@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test short bench experiments fuzz cover examples
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/repairbench -exp all -scale 0.2
+
+fuzz:
+	go test -fuzz=FuzzLevenshteinBounded -fuzztime=30s ./internal/strsim/
+	go test -fuzz=FuzzOSABounded -fuzztime=30s ./internal/strsim/
+	go test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
+
+cover:
+	go test -cover ./internal/... .
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/threshold
+	go run ./examples/hospital -n 1000
+	go run ./examples/tax -n 1000
+	go run ./examples/discovery -n 1000
+	go run ./examples/streaming -base 800 -stream 200
+	go run ./examples/masterdata -n 800
+	go run ./examples/denial -n 500

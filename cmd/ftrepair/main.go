@@ -1,0 +1,25 @@
+// Command ftrepair repairs a CSV file against a set of functional
+// dependencies using the fault-tolerant cost-based model.
+//
+// Usage:
+//
+//	ftrepair -in dirty.csv -fd "City -> State" -fd "City,Street -> District" -out clean.csv
+//	ftrepair -in dirty.csv -fd "City -> State" -detect
+//	ftrepair -in dirty.csv -discover
+//
+// Flags select the algorithm (-algo exacts|greedys|exactm|approm|greedym),
+// the distance weights (-wl/-wr) and the FT-violation threshold: -tau sets
+// a fixed value for every FD, -auto-tau derives one per FD with the paper's
+// sudden-gap heuristic. -report prints a full audit trail on stderr. The
+// implementation lives in internal/cli.
+package main
+
+import (
+	"os"
+
+	"ftrepair/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,63 @@
+// Command repairbench regenerates every table and figure of the paper's
+// evaluation (§6) as text tables or JSON: the effectiveness figures
+// (Fig. 5-7), the efficiency figures with and without the target tree
+// (Fig. 8-10), the comparison against the NADEEF/URM/Llunatic/Holistic
+// baselines (Table 3 and Fig. 11-16), and the ablations DESIGN.md calls
+// out (index, tree, grouping, weights, flavors, tau, detection, autotau).
+//
+// Usage:
+//
+//	repairbench -exp all -scale 0.2
+//	repairbench -exp fig5 -workloads hosp
+//	repairbench -exp table3 -scale 0.5 -format json
+//
+// -scale multiplies the paper's data sizes (HOSP 4k-20k tuples, Tax
+// 2k-10k); the default 0.2 finishes every experiment in minutes on a
+// laptop. Absolute numbers differ from the paper's testbed; the shapes —
+// who wins, trends across sweeps, the effect of the tree index — are the
+// reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ftrepair/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run (all, fig5..fig16, table3, ablation, weights, flavors, tau, detection, autotau)")
+		scale     = flag.Float64("scale", 0.2, "fraction of the paper's data sizes")
+		seed      = flag.Int64("seed", 7, "base RNG seed")
+		workloads = flag.String("workloads", "hosp,tax", "comma-separated workloads (hosp, tax)")
+		exact     = flag.Bool("exact", false, "include the exponential exact algorithms (small scales only)")
+		format    = flag.String("format", "text", "output format: text or json")
+	)
+	flag.Parse()
+	c := experiments.Config{Scale: *scale, Seed: *seed, Exact: *exact, JSON: *format == "json"}
+	for _, w := range strings.Split(*workloads, ",") {
+		if w = strings.TrimSpace(strings.ToLower(w)); w != "" {
+			c.Workloads = append(c.Workloads, w)
+		}
+	}
+	names := experiments.Names()
+	ran := false
+	for _, name := range names {
+		if *exp != "all" && *exp != name {
+			continue
+		}
+		ran = true
+		fmt.Printf("# %s — %s (scale %g)\n\n", name, experiments.Describe(name), c.Scale)
+		if err := experiments.Run(name, c, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all %s\n", *exp, strings.Join(names, " "))
+		os.Exit(2)
+	}
+}

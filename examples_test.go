@@ -1,0 +1,43 @@
+package ftrepair_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs every example main at a small size,
+// guarding the documented entry points against regressions. Skipped in
+// -short mode (each example costs up to a few seconds).
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want string
+	}{
+		{"quickstart", nil, "FT-consistent and closed-world valid"},
+		{"threshold", nil, "sudden-gap heuristic selects"},
+		{"hospital", []string{"-n", "600"}, "GreedyM"},
+		{"tax", []string{"-n", "600"}, "recall by error kind"},
+		{"discovery", []string{"-n", "800"}, "repair with discovered constraints"},
+		{"streaming", []string{"-base", "400", "-stream", "100"}, "overall quality"},
+		{"masterdata", []string{"-n", "600"}, "hybrid"},
+		{"denial", []string{"-n", "400"}, "DC-consistent"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			args := append([]string{"run", "./examples/" + c.dir}, c.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("example %s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

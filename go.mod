@@ -1,0 +1,3 @@
+module ftrepair
+
+go 1.22

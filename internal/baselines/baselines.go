@@ -1,0 +1,243 @@
+// Package baselines reimplements the algorithmic cores of the three
+// comparators in the paper's §6.4, as it describes them:
+//
+//   - NADEEF (Dallachiesa et al., SIGMOD 2013): equality-based violation
+//     detection; within each left-hand-side equivalence class, conflicting
+//     right-hand-side cells repair to the class's most frequent value. It
+//     "only repairs RHS errors" — LHS typos and swaps are invisible to it.
+//   - URM, the Unified Repair Model (Chiang & Miller, ICDE 2011), data
+//     repair option only: per FD, patterns over X∪Y split into frequent
+//     "core" patterns and infrequent "deviant" patterns; each deviant
+//     rewrites to its nearest core pattern when doing so shortens the
+//     description length, processing FDs one at a time and always mapping
+//     the same deviant to the same core.
+//   - Llunatic (Geerts et al., PVLDB 2013) with the frequency cost-manager:
+//     like the equivalence-class repair, but when no value dominates the
+//     class, the conflicting cells are set to a fresh variable (an unknown
+//     to be resolved by a user), which the paper scores as half-correct
+//     ("Metric 0.5").
+//
+// These reimplementations preserve the behaviours the paper's comparison
+// figures measure — which error kinds each baseline can and cannot repair —
+// rather than the systems' full engineering.
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/strsim"
+)
+
+// VariableMarker prefixes the variables Llunatic-style repairs introduce.
+const VariableMarker = "_V"
+
+// maxRounds bounds the chase: repairing one FD can surface violations of
+// another, so the algorithms sweep the FD list until a fixpoint or this
+// many rounds.
+const maxRounds = 5
+
+// NADEEF repairs rel with equality-based equivalence classes: for every FD
+// and every LHS group whose RHS values conflict, all the group's RHS cells
+// take the group's most frequent RHS value (ties break lexicographically).
+func NADEEF(rel *dataset.Relation, set *fd.Set) *dataset.Relation {
+	out := rel.Clone()
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, f := range set.FDs {
+			if repairGroupsToMode(out, f, nil) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+// Llunatic repairs rel like NADEEF but with the frequency cost-manager's
+// confidence rule: a group repairs to its modal RHS only when the mode
+// covers a strict majority of the group; otherwise every conflicting RHS
+// cell becomes a fresh variable.
+func Llunatic(rel *dataset.Relation, set *fd.Set) *dataset.Relation {
+	out := rel.Clone()
+	fresh := 0
+	nextVar := func() string {
+		fresh++
+		return fmt.Sprintf("%s%d", VariableMarker, fresh)
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, f := range set.FDs {
+			if repairGroupsToMode(out, f, nextVar) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+// repairGroupsToMode applies one equivalence-class sweep for f. When
+// nextVar is nil the modal value always wins (NADEEF); otherwise the mode
+// must cover a strict majority, and groups without one get a variable
+// (Llunatic). It reports whether anything changed.
+func repairGroupsToMode(out *dataset.Relation, f *fd.FD, nextVar func() string) bool {
+	groups := make(map[string][]int) // LHS key -> rows
+	for i, t := range out.Tuples {
+		k := t.Key(f.LHS)
+		groups[k] = append(groups[k], i)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic sweep order
+	changed := false
+	for _, k := range keys {
+		rows := groups[k]
+		counts := make(map[string]int)
+		for _, r := range rows {
+			counts[out.Tuples[r].Key(f.RHS)]++
+		}
+		if len(counts) < 2 {
+			continue
+		}
+		mode, modeCount := "", 0
+		for v, c := range counts {
+			if c > modeCount || (c == modeCount && v < mode) {
+				mode, modeCount = v, c
+			}
+		}
+		if nextVar != nil && modeCount*2 <= len(rows) {
+			// No dominant value: set every conflicting RHS cell of the
+			// group to one fresh variable (they must eventually be equal).
+			v := nextVar()
+			for _, r := range rows {
+				for _, c := range f.RHS {
+					if out.Tuples[r][c] != v {
+						out.Tuples[r][c] = v
+						changed = true
+					}
+				}
+			}
+			continue
+		}
+		// Repair the group to the modal RHS: copy the cell values of a
+		// row carrying the mode.
+		var src dataset.Tuple
+		for _, r := range rows {
+			if out.Tuples[r].Key(f.RHS) == mode {
+				src = out.Tuples[r]
+				break
+			}
+		}
+		for _, r := range rows {
+			for _, c := range f.RHS {
+				if out.Tuples[r][c] != src[c] {
+					out.Tuples[r][c] = src[c]
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// URMOptions tunes the Unified-Repair-Model baseline.
+type URMOptions struct {
+	// CoreFactor scales the frequency threshold separating core from
+	// deviant patterns: a pattern is core when its frequency is at least
+	// CoreFactor times the mean pattern frequency of its FD. Zero means 1.
+	CoreFactor float64
+	// MaxDist is the normalized distance above which rewriting a deviant
+	// to its nearest core does not pay off in description length and the
+	// deviant is left untouched. Zero means 0.5.
+	MaxDist float64
+}
+
+// URM repairs rel with the core/deviant-pattern model: per FD (processed in
+// order, one at a time), the patterns over X∪Y with frequency at least the
+// threshold become core; every deviant pattern rewrites all its attributes
+// to the nearest core pattern, provided the rewrite is close enough to
+// shorten the description length. The same deviant always maps to the same
+// core, whatever tuple carries it.
+func URM(rel *dataset.Relation, set *fd.Set, opts URMOptions) *dataset.Relation {
+	if opts.CoreFactor <= 0 {
+		opts.CoreFactor = 1
+	}
+	if opts.MaxDist <= 0 {
+		opts.MaxDist = 0.5
+	}
+	out := rel.Clone()
+	for _, f := range set.FDs {
+		attrs := f.Attrs()
+		freq := make(map[string]int)
+		rep := make(map[string][]string)
+		for _, t := range out.Tuples {
+			k := t.Key(attrs)
+			freq[k]++
+			if _, ok := rep[k]; !ok {
+				rep[k] = t.Project(attrs)
+			}
+		}
+		if len(freq) == 0 {
+			continue
+		}
+		total := 0
+		for _, c := range freq {
+			total += c
+		}
+		threshold := opts.CoreFactor * float64(total) / float64(len(freq))
+		var cores []string
+		for k, c := range freq {
+			if float64(c) >= threshold {
+				cores = append(cores, k)
+			}
+		}
+		sort.Strings(cores)
+		if len(cores) == 0 {
+			continue
+		}
+		// Map each deviant pattern to its nearest core (or nothing).
+		target := make(map[string][]string)
+		for k := range freq {
+			if float64(freq[k]) >= threshold {
+				continue
+			}
+			best, bestDist := "", opts.MaxDist
+			for _, ck := range cores {
+				d := patternDist(rep[k], rep[ck])
+				if d <= bestDist {
+					best, bestDist = ck, d
+				}
+			}
+			if best != "" {
+				target[k] = rep[best]
+			}
+		}
+		for _, t := range out.Tuples {
+			if vals, ok := target[t.Key(attrs)]; ok {
+				for i, c := range attrs {
+					t[c] = vals[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// patternDist is the mean normalized edit distance between two aligned
+// projections.
+func patternDist(a, b []string) float64 {
+	var sum float64
+	for i := range a {
+		sum += strsim.NormalizedEdit(a[i], b[i])
+	}
+	return sum / float64(len(a))
+}

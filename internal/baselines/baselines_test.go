@@ -1,0 +1,217 @@
+package baselines_test
+
+import (
+	"strings"
+	"testing"
+
+	"ftrepair/internal/baselines"
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/eval"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/gen"
+	"ftrepair/internal/repair"
+)
+
+func citizens(t *testing.T) (*dataset.Relation, *dataset.Relation, *fd.Set) {
+	t.Helper()
+	dirty, clean := gen.Citizens()
+	set, err := fd.NewSet(gen.CitizensFDs(dirty.Schema), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirty, clean, set
+}
+
+func TestNADEEFCitizens(t *testing.T) {
+	// NADEEF repairs only the errors visible as RHS conflicts inside
+	// equality groups: t4[State] (New York group), t9[Level] (Bachelors
+	// group), t10[State] (Boston group, MA majority). It cannot see the
+	// typos t6[Education], t8[City], t10[Education], misses t8[Level]
+	// (Masters-group minority is 3 vs... depends on group), and wrongly
+	// repairs t5[State] to MA — the paper's Example 2.
+	dirty, clean, set := citizens(t)
+	out := baselines.NADEEF(dirty, set)
+	schema := dirty.Schema
+	state := schema.MustIndex("State")
+	lvl := schema.MustIndex("Level")
+	edu := schema.MustIndex("Education")
+	city := schema.MustIndex("City")
+	if out.Tuples[3][state] != "NY" {
+		t.Errorf("t4 State = %q, want NY", out.Tuples[3][state])
+	}
+	if out.Tuples[8][lvl] != "3" {
+		t.Errorf("t9 Level = %q, want 3", out.Tuples[8][lvl])
+	}
+	if out.Tuples[9][state] != "MA" {
+		t.Errorf("t10 State = %q, want MA", out.Tuples[9][state])
+	}
+	// The bad grouping: t5 keeps City=Boston, so its State is dragged to
+	// the Boston majority MA — the wrong repair the paper opens with.
+	if out.Tuples[4][state] != "MA" {
+		t.Errorf("t5 State = %q; expected the characteristic wrong repair to MA", out.Tuples[4][state])
+	}
+	// Typos invisible to equality-based detection survive.
+	if out.Tuples[5][edu] != "Masers" || out.Tuples[7][city] != "Boton" || out.Tuples[9][edu] != "Bachelers" {
+		t.Error("NADEEF repaired a typo it cannot detect")
+	}
+	// Overall it must do worse than the FT model on the same input.
+	q, err := eval.Evaluate(clean, dirty, out, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Recall >= 0.7 {
+		t.Errorf("NADEEF recall %.3f suspiciously high", q.Recall)
+	}
+}
+
+func TestLlunaticCitizens(t *testing.T) {
+	dirty, clean, set := citizens(t)
+	out := baselines.Llunatic(dirty, set)
+	state := dirty.Schema.MustIndex("State")
+	// Boston group States: {NY(t5), MA(t6), MA(t7), MA(t9), NY(t10)} — MA
+	// is a strict majority (3/5), so the group repairs to MA.
+	if out.Tuples[9][state] != "MA" {
+		t.Errorf("t10 State = %q, want MA", out.Tuples[9][state])
+	}
+	// New York group States: {NY,NY,NY,MA}: NY is a strict majority.
+	if out.Tuples[3][state] != "NY" {
+		t.Errorf("t4 State = %q, want NY", out.Tuples[3][state])
+	}
+	q, err := eval.Evaluate(clean, dirty, out, eval.Options{PartialMarker: baselines.VariableMarker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Recall >= 0.7 {
+		t.Errorf("Llunatic recall %.3f suspiciously high", q.Recall)
+	}
+}
+
+func TestLlunaticEmitsVariables(t *testing.T) {
+	// A 50/50 conflict has no dominant value: Llunatic must emit one fresh
+	// variable for the whole group where NADEEF just picks a value.
+	schema := dataset.Strings("X", "Y")
+	rel, _ := dataset.FromRows(schema, [][]string{
+		{"a", "1"}, {"a", "2"},
+	})
+	set, err := fd.NewSet([]*fd.FD{fd.MustParse(schema, "X->Y")}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := baselines.Llunatic(rel, set)
+	v0, v1 := out.Tuples[0][1], out.Tuples[1][1]
+	if !strings.HasPrefix(v0, baselines.VariableMarker) || v0 != v1 {
+		t.Fatalf("variables = %q, %q", v0, v1)
+	}
+	// NADEEF picks the lexicographically smaller mode on ties.
+	nOut := baselines.NADEEF(rel, set)
+	if nOut.Tuples[0][1] != "1" || nOut.Tuples[1][1] != "1" {
+		t.Fatalf("NADEEF tie repair = %q, %q", nOut.Tuples[0][1], nOut.Tuples[1][1])
+	}
+}
+
+func TestURMCitizens(t *testing.T) {
+	dirty, clean, set := citizens(t)
+	out := baselines.URM(dirty, set, baselines.URMOptions{})
+	edu := dirty.Schema.MustIndex("Education")
+	// URM handles typos when the deviant pattern is close to a core
+	// pattern: (Masers,4) x1 is deviant, (Masters,4) x2 is core-ish.
+	if out.Tuples[5][edu] != "Masters" {
+		t.Errorf("t6 Education = %q, want Masters (deviant -> core)", out.Tuples[5][edu])
+	}
+	q, err := eval.Evaluate(clean, dirty, out, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// URM catches more than NADEEF (it sees LHS deviants) but is
+	// frequency-driven, so precision suffers.
+	nQ, err := eval.Evaluate(clean, dirty, baselines.NADEEF(dirty, set), eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Recall < nQ.Recall {
+		t.Errorf("URM recall %.3f below NADEEF %.3f", q.Recall, nQ.Recall)
+	}
+}
+
+func TestURMDeviantTooFarStays(t *testing.T) {
+	schema := dataset.Strings("X", "Y")
+	rel, _ := dataset.FromRows(schema, [][]string{
+		{"aaaa", "1"}, {"aaaa", "1"}, {"aaaa", "1"},
+		{"zzzz", "9"}, // deviant, far from the core
+	})
+	set, err := fd.NewSet([]*fd.FD{fd.MustParse(schema, "X->Y")}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := baselines.URM(rel, set, baselines.URMOptions{})
+	if out.Tuples[3][0] != "zzzz" {
+		t.Fatalf("far deviant rewritten to %q", out.Tuples[3][0])
+	}
+	// A close deviant rewrites.
+	rel2, _ := dataset.FromRows(schema, [][]string{
+		{"aaaa", "1"}, {"aaaa", "1"}, {"aaaa", "1"},
+		{"aaab", "1"},
+	})
+	out2 := baselines.URM(rel2, set, baselines.URMOptions{})
+	if out2.Tuples[3][0] != "aaaa" {
+		t.Fatalf("close deviant = %q, want aaaa", out2.Tuples[3][0])
+	}
+}
+
+func TestBaselinesDeterministicAndNonMutating(t *testing.T) {
+	dirty, _, set := citizens(t)
+	orig := dirty.Clone()
+	a := baselines.NADEEF(dirty, set)
+	b := baselines.NADEEF(dirty, set)
+	if cells, err := dataset.Diff(a, b); err != nil || len(cells) != 0 {
+		t.Fatalf("NADEEF nondeterministic: %v %v", cells, err)
+	}
+	u1 := baselines.URM(dirty, set, baselines.URMOptions{})
+	u2 := baselines.URM(dirty, set, baselines.URMOptions{})
+	if cells, err := dataset.Diff(u1, u2); err != nil || len(cells) != 0 {
+		t.Fatalf("URM nondeterministic: %v %v", cells, err)
+	}
+	l1 := baselines.Llunatic(dirty, set)
+	l2 := baselines.Llunatic(dirty, set)
+	if cells, err := dataset.Diff(l1, l2); err != nil || len(cells) != 0 {
+		t.Fatalf("Llunatic nondeterministic: %v %v", cells, err)
+	}
+	if cells, err := dataset.Diff(orig, dirty); err != nil || len(cells) != 0 {
+		t.Fatalf("baseline mutated input: %v %v", cells, err)
+	}
+}
+
+func TestBaselinesVsFTModelOnHOSP(t *testing.T) {
+	// The paper's Table 3 shape: our repair beats every baseline on both
+	// precision and recall on the HOSP workload.
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 1000, ErrorRate: 0.04, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := repair.GreedyM(inst.Dirty, inst.Set, inst.Cfg, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oursQ, err := eval.Evaluate(inst.Clean, inst.Dirty, ours.Repaired, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []struct {
+		name string
+		out  *dataset.Relation
+		opts eval.Options
+	}{
+		{"NADEEF", baselines.NADEEF(inst.Dirty, inst.Set), eval.Options{}},
+		{"URM", baselines.URM(inst.Dirty, inst.Set, baselines.URMOptions{}), eval.Options{}},
+		{"Llunatic", baselines.Llunatic(inst.Dirty, inst.Set), eval.Options{PartialMarker: baselines.VariableMarker}},
+	} {
+		q, err := eval.Evaluate(inst.Clean, inst.Dirty, b.out, b.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-8s P=%.3f R=%.3f (ours: P=%.3f R=%.3f)", b.name, q.Precision, q.Recall, oursQ.Precision, oursQ.Recall)
+		if q.Recall >= oursQ.Recall {
+			t.Errorf("%s recall %.3f >= ours %.3f", b.name, q.Recall, oursQ.Recall)
+		}
+	}
+}

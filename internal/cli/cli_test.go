@@ -1,0 +1,141 @@
+package cli_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftrepair/internal/cli"
+)
+
+const sampleCSV = `City,State
+Boston,MA
+Boston,MA
+Boston,MA
+Boston,MA
+Boston,MA
+Boston,MA
+Boston,MA
+Boston,MA
+Boton,MA
+Boston,NY
+`
+
+func runCLI(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = cli.Main(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIRepairStdinToStdout(t *testing.T) {
+	code, out, errb := runCLI(t, sampleCSV, "-in", "-", "-fd", "City -> State", "-algo", "exacts")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if strings.Contains(out, "Boton") || strings.Contains(out, ",NY") {
+		t.Fatalf("repairs missing:\n%s", out)
+	}
+	if !strings.Contains(errb, "repaired 2 cells") {
+		t.Fatalf("summary:\n%s", errb)
+	}
+}
+
+func TestCLIDetect(t *testing.T) {
+	code, out, _ := runCLI(t, sampleCSV, "-in", "-", "-fd", "City -> State", "-detect")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "similar") || !strings.Contains(out, "classic") {
+		t.Fatalf("detect output:\n%s", out)
+	}
+	if !strings.Contains(out, "2 FT-violations") {
+		t.Fatalf("violation count:\n%s", out)
+	}
+}
+
+func TestCLIDiscover(t *testing.T) {
+	code, out, errb := runCLI(t, sampleCSV, "-in", "-", "-discover", "-q")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "[City] -> [State]") {
+		t.Fatalf("discover output:\n%s", out)
+	}
+}
+
+func TestCLIReport(t *testing.T) {
+	code, _, errb := runCLI(t, sampleCSV, "-in", "-", "-fd", "City -> State", "-report", "-out", os.DevNull)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(errb, "repair report") || !strings.Contains(errb, "repairs by attribute") {
+		t.Fatalf("report:\n%s", errb)
+	}
+}
+
+func TestCLIFileIO(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	out := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runCLI(t, "", "-in", in, "-out", out, "-fd", "City -> State", "-q")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "Boton") {
+		t.Fatalf("output file unrepaired:\n%s", data)
+	}
+}
+
+func TestCLIAutoTau(t *testing.T) {
+	code, _, errb := runCLI(t, sampleCSV, "-in", "-", "-fd", "City -> State", "-auto-tau", "-out", os.DevNull)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(errb, "tau=") {
+		t.Fatalf("tau not reported:\n%s", errb)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},           // missing -in
+		{"-in", "-"}, // missing -fd
+		{"-in", "-", "-fd", "City -> State", "-algo", "bogus"},
+		{"-in", "-", "-fd", "Nope -> State"}, // unknown attribute
+		{"-in", "/nonexistent/x.csv", "-fd", "City -> State"},
+		{"-in", "-", "-fd", "City -> State", "-wl", "0.9", "-wr", "0.9"},
+	}
+	for _, args := range cases {
+		code, _, errb := runCLI(t, sampleCSV, args...)
+		if code == 0 {
+			t.Errorf("args %v succeeded", args)
+		}
+		if !strings.Contains(errb, "ftrepair:") {
+			t.Errorf("args %v: no error message: %s", args, errb)
+		}
+	}
+	// Unknown flags exit 2 via the flag package.
+	code, _, _ := runCLI(t, "", "-definitely-not-a-flag")
+	if code != 2 {
+		t.Errorf("unknown flag exit = %d", code)
+	}
+}
+
+func TestCLITypeInference(t *testing.T) {
+	// Without -types, Score is inferred numeric; with an explicit spec it
+	// stays as declared. Either way the repair runs.
+	csv := "City,Score\nBoston,85\nBoston,90\nBoston,85\n"
+	code, _, errb := runCLI(t, csv, "-in", "-", "-fd", "City -> Score", "-q", "-out", os.DevNull)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+}

@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures the loader never panics and that accepted inputs
+// round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("A,B\nx,y\n", "")
+	f.Add("A\n1\n2\n", "numeric")
+	f.Add("A,B\n\"q,w\",z\n", "string,string")
+	f.Add("", "")
+	f.Add("A,A\nx,y\n", "")
+	f.Fuzz(func(t *testing.T, csvData, typeSpec string) {
+		if len(csvData) > 1<<12 || len(typeSpec) > 64 {
+			t.Skip()
+		}
+		rel, err := ReadCSV(strings.NewReader(csvData), typeSpec)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rel); err != nil {
+			t.Fatalf("WriteCSV failed on accepted input: %v", err)
+		}
+		again, err := ReadCSV(bytes.NewReader(buf.Bytes()), "")
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal: %q\nwritten: %q", err, csvData, buf.String())
+		}
+		if again.Len() != rel.Len() {
+			t.Fatalf("round trip changed cardinality: %d vs %d", again.Len(), rel.Len())
+		}
+	})
+}
+
+// FuzzTupleKey checks the projection-key injectivity contract.
+func FuzzTupleKey(f *testing.F) {
+	f.Add("ab", "c", "a", "bc")
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2 string) {
+		ta := Tuple{a1, a2}
+		tb := Tuple{b1, b2}
+		cols := []int{0, 1}
+		eq := a1 == b1 && a2 == b2
+		if (ta.Key(cols) == tb.Key(cols)) != eq {
+			t.Fatalf("key collision: %q/%q vs %q/%q", a1, a2, b1, b2)
+		}
+	})
+}
+
+func TestKeyEscaping(t *testing.T) {
+	// The classic collision shapes without escaping.
+	a := Tuple{"x\x00y", "z"}
+	b := Tuple{"x", "y\x00z"}
+	if a.Key([]int{0, 1}) == b.Key([]int{0, 1}) {
+		t.Fatal("NUL-splitting collision")
+	}
+	c := Tuple{"x\x01", "y"}
+	d := Tuple{"x", "\x01y"}
+	if c.Key([]int{0, 1}) == d.Key([]int{0, 1}) {
+		t.Fatal("escape-byte collision")
+	}
+	// Equal values keep equal keys.
+	same := Tuple{"x\x00y"}
+	if a.Key([]int{0}) != same.Key([]int{0}) {
+		t.Fatal("escaping broke equality")
+	}
+}

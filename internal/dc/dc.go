@@ -1,0 +1,278 @@
+// Package dc implements denial constraints, the constraint language of the
+// holistic-repair line of work the paper compares against (Chu et al.,
+// ICDE 2013): a denial constraint forbids any pair of tuples from jointly
+// satisfying a conjunction of predicates, e.g.
+//
+//	¬( t1.City = t2.City  ∧  t1.State ≠ t2.State )            — the FD City→State
+//	¬( t1.State = t2.State ∧ t1.Salary > t2.Salary ∧ t1.Rate < t2.Rate )
+//
+// DCs strictly generalize FDs with order and inequality predicates, and
+// with the ≈ operator they also express similarity conditions. The package
+// provides parsing, detection (with equality-prefix blocking), and a
+// violation-driven repair in the holistic style, used as an additional
+// baseline and as a validation surface for constraints FDs cannot express.
+package dc
+
+import (
+	"fmt"
+	"strings"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/strsim"
+)
+
+// Op is a predicate operator.
+type Op uint8
+
+// Predicate operators. Sim/NotSim compare normalized string distance
+// against the predicate's Theta.
+const (
+	Eq Op = iota
+	Neq
+	Lt
+	Leq
+	Gt
+	Geq
+	Sim
+	NotSim
+)
+
+var opNames = map[Op]string{
+	Eq: "=", Neq: "!=", Lt: "<", Leq: "<=", Gt: ">", Geq: ">=", Sim: "~", NotSim: "!~",
+}
+
+// String renders the operator symbol.
+func (o Op) String() string { return opNames[o] }
+
+// Pred is one predicate over a tuple pair: t1.Left <op> t2.Right, or
+// t1.Left <op> Const when Right is negative.
+type Pred struct {
+	Left  int
+	Right int // -1 for constant comparisons
+	Const string
+	Op    Op
+	// Theta is the normalized-distance threshold for Sim/NotSim
+	// (default 0.2 when unset at parse time).
+	Theta float64
+}
+
+// DC is a denial constraint: no tuple pair may satisfy every predicate.
+type DC struct {
+	Name   string
+	Schema *dataset.Schema
+	Preds  []Pred
+}
+
+// Parse reads a DC spec: ';'-separated predicates of the form
+// "t1.A <op> t2.B" or "t1.A <op> 'literal'", with ops =, !=, <, <=, >, >=,
+// ~, !~. An optional "name:" prefix labels the constraint. The similarity
+// threshold of ~/!~ can be given as "~0.25".
+func Parse(schema *dataset.Schema, spec string) (*DC, error) {
+	name := ""
+	body := spec
+	if i := strings.Index(spec, ":"); i >= 0 && !strings.Contains(spec[:i], ".") {
+		name = strings.TrimSpace(spec[:i])
+		body = spec[i+1:]
+	}
+	var preds []Pred
+	for _, ps := range strings.Split(body, ";") {
+		ps = strings.TrimSpace(ps)
+		if ps == "" {
+			continue
+		}
+		p, err := parsePred(schema, ps)
+		if err != nil {
+			return nil, fmt.Errorf("dc: %q: %w", spec, err)
+		}
+		preds = append(preds, p)
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("dc: %q has no predicates", spec)
+	}
+	return &DC{Name: name, Schema: schema, Preds: preds}, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(schema *dataset.Schema, spec string) *DC {
+	d, err := Parse(schema, spec)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func parsePred(schema *dataset.Schema, s string) (Pred, error) {
+	// Longest operators first so "<=" is not read as "<".
+	for _, cand := range []struct {
+		sym string
+		op  Op
+	}{
+		{"!=", Neq}, {"<=", Leq}, {">=", Geq}, {"!~", NotSim},
+		{"=", Eq}, {"<", Lt}, {">", Gt}, {"~", Sim},
+	} {
+		i := strings.Index(s, cand.sym)
+		if i < 0 {
+			continue
+		}
+		lhs := strings.TrimSpace(s[:i])
+		rhs := strings.TrimSpace(s[i+len(cand.sym):])
+		p := Pred{Op: cand.op, Theta: 0.2}
+		// Optional numeric theta glued to ~ / !~: "t1.A ~0.3 t2.A".
+		if (cand.op == Sim || cand.op == NotSim) && rhs != "" {
+			var theta float64
+			var rest string
+			if n, _ := fmt.Sscanf(rhs, "%f %s", &theta, &rest); n == 2 {
+				p.Theta = theta
+				rhs = rest
+			}
+		}
+		col, err := tupleAttr(schema, lhs, "t1")
+		if err != nil {
+			return Pred{}, err
+		}
+		p.Left = col
+		if strings.HasPrefix(rhs, "'") && strings.HasSuffix(rhs, "'") && len(rhs) >= 2 {
+			p.Right = -1
+			p.Const = rhs[1 : len(rhs)-1]
+			return p, nil
+		}
+		rcol, err := tupleAttr(schema, rhs, "t2")
+		if err != nil {
+			return Pred{}, err
+		}
+		p.Right = rcol
+		return p, nil
+	}
+	return Pred{}, fmt.Errorf("no operator in predicate %q", s)
+}
+
+func tupleAttr(schema *dataset.Schema, s, wantTuple string) (int, error) {
+	parts := strings.SplitN(s, ".", 2)
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("predicate side %q must be %s.Attr", s, wantTuple)
+	}
+	if parts[0] != wantTuple {
+		return 0, fmt.Errorf("predicate side %q must reference %s", s, wantTuple)
+	}
+	col, ok := schema.Index(strings.TrimSpace(parts[1]))
+	if !ok {
+		return 0, fmt.Errorf("unknown attribute %q", parts[1])
+	}
+	return col, nil
+}
+
+// String renders the DC.
+func (d *DC) String() string {
+	parts := make([]string, len(d.Preds))
+	for i, p := range d.Preds {
+		rhs := "t2." + attrName(d.Schema, p.Right)
+		if p.Right < 0 {
+			rhs = "'" + p.Const + "'"
+		}
+		parts[i] = fmt.Sprintf("t1.%s %s %s", attrName(d.Schema, p.Left), p.Op, rhs)
+	}
+	s := "not(" + strings.Join(parts, " and ") + ")"
+	if d.Name != "" {
+		return d.Name + ": " + s
+	}
+	return s
+}
+
+func attrName(s *dataset.Schema, col int) string {
+	if col < 0 {
+		return "?"
+	}
+	return s.Attr(col).Name
+}
+
+// holds evaluates one predicate on an ordered tuple pair.
+func (p Pred) holds(schema *dataset.Schema, t1, t2 dataset.Tuple) bool {
+	a := t1[p.Left]
+	var b string
+	if p.Right < 0 {
+		b = p.Const
+	} else {
+		b = t2[p.Right]
+	}
+	switch p.Op {
+	case Eq:
+		return a == b
+	case Neq:
+		return a != b
+	case Sim:
+		_, within := strsim.NormalizedEditWithin(a, b, p.Theta)
+		return within && a != b
+	case NotSim:
+		_, within := strsim.NormalizedEditWithin(a, b, p.Theta)
+		return !within
+	}
+	// Order predicates: numeric when both parse, lexicographic otherwise.
+	av, errA := dataset.ParseFloat(a)
+	bv, errB := dataset.ParseFloat(b)
+	if errA == nil && errB == nil {
+		switch p.Op {
+		case Lt:
+			return av < bv
+		case Leq:
+			return av <= bv
+		case Gt:
+			return av > bv
+		case Geq:
+			return av >= bv
+		}
+	}
+	switch p.Op {
+	case Lt:
+		return a < b
+	case Leq:
+		return a <= b
+	case Gt:
+		return a > b
+	case Geq:
+		return a >= b
+	}
+	return false
+}
+
+// Violates reports whether the ordered pair (t1, t2) satisfies every
+// predicate (i.e. violates the constraint). Pairs are ordered: asymmetric
+// DCs (with order predicates) must be checked both ways.
+func (d *DC) Violates(t1, t2 dataset.Tuple) bool {
+	for _, p := range d.Preds {
+		if !p.holds(d.Schema, t1, t2) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromFD expresses an FD as the equivalent denial constraint.
+func FromFD(f *fd.FD) *DC {
+	d := &DC{Name: f.Name, Schema: f.Schema}
+	for _, c := range f.LHS {
+		d.Preds = append(d.Preds, Pred{Left: c, Right: c, Op: Eq})
+	}
+	// ¬(X equal ∧ some Y differs) needs one DC per RHS attribute for
+	// multi-attribute Y; FDs in this codebase repair per constraint, so
+	// the conjunction "all Y differ" would be wrong. Use the first RHS for
+	// single-attribute FDs and one Neq per attribute joined as separate
+	// DCs via FromFDAll.
+	d.Preds = append(d.Preds, Pred{Left: f.RHS[0], Right: f.RHS[0], Op: Neq})
+	return d
+}
+
+// FromFDAll expresses an FD with a multi-attribute RHS as one DC per RHS
+// attribute (their conjunction is the FD).
+func FromFDAll(f *fd.FD) []*DC {
+	out := make([]*DC, len(f.RHS))
+	for i, r := range f.RHS {
+		d := &DC{Name: f.Name, Schema: f.Schema}
+		for _, c := range f.LHS {
+			d.Preds = append(d.Preds, Pred{Left: c, Right: c, Op: Eq})
+		}
+		d.Preds = append(d.Preds, Pred{Left: r, Right: r, Op: Neq})
+		out[i] = d
+	}
+	return out
+}

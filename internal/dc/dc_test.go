@@ -1,0 +1,216 @@
+package dc_test
+
+import (
+	"strings"
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/dc"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/gen"
+)
+
+func TestParseDC(t *testing.T) {
+	schema := dataset.Strings("City", "State", "Salary", "Rate")
+	d, err := dc.Parse(schema, "fdlike: t1.City = t2.City ; t1.State != t2.State")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "fdlike" || len(d.Preds) != 2 {
+		t.Fatalf("parsed %+v", d)
+	}
+	if got := d.String(); !strings.Contains(got, "t1.City = t2.City") || !strings.Contains(got, "t1.State != t2.State") {
+		t.Fatalf("String = %q", got)
+	}
+	// Order predicates and constants.
+	d2, err := dc.Parse(schema, "t1.Salary > t2.Salary ; t1.Rate < t2.Rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Preds) != 2 {
+		t.Fatalf("preds = %d", len(d2.Preds))
+	}
+	d3, err := dc.Parse(schema, "t1.City = 'NYC' ; t1.State != 'NY'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Preds[0].Right != -1 || d3.Preds[0].Const != "NYC" {
+		t.Fatalf("constant predicate = %+v", d3.Preds[0])
+	}
+	if !strings.Contains(d3.String(), "'NYC'") {
+		t.Fatalf("String = %q", d3.String())
+	}
+	// Similarity with explicit theta.
+	d4, err := dc.Parse(schema, "t1.City ~0.3 t2.City ; t1.State != t2.State")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4.Preds[0].Theta != 0.3 {
+		t.Fatalf("theta = %v", d4.Preds[0].Theta)
+	}
+}
+
+func TestParseDCErrors(t *testing.T) {
+	schema := dataset.Strings("A", "B")
+	for _, spec := range []string{
+		"",            // empty
+		"t1.A t2.A",   // no operator
+		"t1.Z = t2.A", // unknown attribute
+		"t2.A = t2.B", // wrong tuple on the left
+		"t1.A = t3.B", // wrong tuple on the right
+		"A = t2.B",    // missing tuple qualifier
+	} {
+		if _, err := dc.Parse(schema, spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	dc.MustParse(dataset.Strings("A"), "bogus")
+}
+
+func TestViolatesFDShape(t *testing.T) {
+	schema := dataset.Strings("City", "State")
+	d := dc.MustParse(schema, "t1.City = t2.City ; t1.State != t2.State")
+	if !d.Violates(dataset.Tuple{"Boston", "MA"}, dataset.Tuple{"Boston", "NY"}) {
+		t.Fatal("classic violation missed")
+	}
+	if d.Violates(dataset.Tuple{"Boston", "MA"}, dataset.Tuple{"Boston", "MA"}) {
+		t.Fatal("consistent pair flagged")
+	}
+	if d.Violates(dataset.Tuple{"Boston", "MA"}, dataset.Tuple{"Albany", "NY"}) {
+		t.Fatal("different cities flagged")
+	}
+}
+
+func TestViolatesOrderPredicates(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "State"},
+		dataset.Attribute{Name: "Salary", Type: dataset.Numeric},
+		dataset.Attribute{Name: "Rate", Type: dataset.Numeric},
+	)
+	// Within a state, a higher salary must not have a lower rate.
+	d := dc.MustParse(schema, "t1.State = t2.State ; t1.Salary > t2.Salary ; t1.Rate < t2.Rate")
+	hi := dataset.Tuple{"NY", "90000", "3.0"}
+	lo := dataset.Tuple{"NY", "50000", "5.0"}
+	if !d.Violates(hi, lo) {
+		t.Fatal("regressive-tax pair missed")
+	}
+	if d.Violates(lo, hi) {
+		t.Fatal("ordered pair misfired in reverse")
+	}
+	ok := dataset.Tuple{"NY", "90000", "7.0"}
+	if d.Violates(ok, lo) {
+		t.Fatal("progressive pair flagged")
+	}
+	// Numeric comparison, not lexicographic: 9000 < 50000.
+	small := dataset.Tuple{"NY", "9000", "1.0"}
+	if d.Violates(small, lo) {
+		t.Fatal("lexicographic comparison used for numerics")
+	}
+}
+
+func TestSimilarityPredicate(t *testing.T) {
+	schema := dataset.Strings("City", "State")
+	d := dc.MustParse(schema, "t1.City ~0.2 t2.City ; t1.State != t2.State")
+	if !d.Violates(dataset.Tuple{"Boston", "MA"}, dataset.Tuple{"Boton", "NY"}) {
+		t.Fatal("similar-city violation missed")
+	}
+	// Equal cities are not "similar but different".
+	if d.Violates(dataset.Tuple{"Boston", "MA"}, dataset.Tuple{"Boston", "NY"}) {
+		t.Fatal("equal cities matched the ~ predicate")
+	}
+}
+
+func TestFromFD(t *testing.T) {
+	schema := dataset.Strings("A", "B", "C")
+	f := fd.MustParse(schema, "phi: A -> B")
+	d := dc.FromFD(f)
+	if !d.Violates(dataset.Tuple{"x", "1", "-"}, dataset.Tuple{"x", "2", "-"}) {
+		t.Fatal("FD-derived DC missed a violation")
+	}
+	multi := fd.MustParse(schema, "A -> B, C")
+	ds := dc.FromFDAll(multi)
+	if len(ds) != 2 {
+		t.Fatalf("FromFDAll = %d DCs", len(ds))
+	}
+	if !ds[1].Violates(dataset.Tuple{"x", "1", "p"}, dataset.Tuple{"x", "1", "q"}) {
+		t.Fatal("second RHS attribute not covered")
+	}
+}
+
+func TestDetectWithBlocking(t *testing.T) {
+	dirty, _ := gen.Citizens()
+	f := gen.CitizensFDs(dirty.Schema)[1] // City -> State
+	d := dc.FromFD(f)
+	violations := dc.Detect(dirty, []*dc.DC{d})
+	// Classic violations of phi2: (New York: NY vs MA) and (Boston: NY vs
+	// MA) group pairs, both directions.
+	if len(violations) == 0 {
+		t.Fatal("no violations detected")
+	}
+	for _, v := range violations {
+		if !d.Violates(dirty.Tuples[v.Row1], dirty.Tuples[v.Row2]) {
+			t.Fatalf("reported non-violation %+v", v)
+		}
+	}
+	// Blocking must agree with the brute-force path: strip the equality
+	// prefix by checking an unblocked constraint on the same semantics.
+	unblocked := dc.MustParse(dirty.Schema, "t1.City ~0 t2.City ; t1.State != t2.State")
+	_ = unblocked // ~0 means equal-only similarity: different semantics; just exercise the path
+	if vs := dc.Detect(dirty, []*dc.DC{unblocked}); len(vs) != 0 {
+		// ~ requires a != b, so theta 0 can never hold.
+		t.Fatalf("theta-0 similarity produced %d violations", len(vs))
+	}
+}
+
+func TestConsistentAndRepair(t *testing.T) {
+	schema := dataset.Strings("City", "State")
+	rel, err := dataset.FromRows(schema, [][]string{
+		{"Boston", "MA"}, {"Boston", "MA"}, {"Boston", "MA"},
+		{"Boston", "NY"},
+		{"Albany", "NY"}, {"Albany", "NY"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dc.MustParse(schema, "t1.City = t2.City ; t1.State != t2.State")
+	if dc.Consistent(rel, []*dc.DC{d}) {
+		t.Fatal("violations missed")
+	}
+	repaired := dc.Repair(rel, []*dc.DC{d}, 0)
+	if !dc.Consistent(repaired, []*dc.DC{d}) {
+		t.Fatal("repair left violations")
+	}
+	// Input untouched.
+	if rel.Tuples[3][1] != "NY" {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestRepairOrderDC(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "State"},
+		dataset.Attribute{Name: "Salary", Type: dataset.Numeric},
+		dataset.Attribute{Name: "Rate", Type: dataset.Numeric},
+	)
+	rel, err := dataset.FromRows(schema, [][]string{
+		{"NY", "50000", "5.0"},
+		{"NY", "90000", "3.0"}, // violates monotonicity with row 0
+		{"NY", "70000", "6.0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dc.MustParse(schema, "t1.State = t2.State ; t1.Salary > t2.Salary ; t1.Rate < t2.Rate")
+	repaired := dc.Repair(rel, []*dc.DC{d}, 0)
+	if !dc.Consistent(repaired, []*dc.DC{d}) {
+		t.Fatalf("order DC still violated: %v", repaired.Tuples)
+	}
+}

@@ -1,0 +1,175 @@
+package dc
+
+import (
+	"sort"
+
+	"ftrepair/internal/dataset"
+)
+
+// Violation is one violating ordered tuple pair of one DC.
+type Violation struct {
+	DC   *DC
+	Row1 int
+	Row2 int
+}
+
+// Detect finds every violating pair of every DC. Constraints whose leading
+// predicates are cross-tuple equalities are blocked on those attributes
+// (only pairs inside an equality group are compared), which covers
+// FD-shaped DCs in near-linear time; fully inequality-shaped DCs fall back
+// to all ordered pairs.
+func Detect(rel *dataset.Relation, dcs []*DC) []Violation {
+	var out []Violation
+	for _, d := range dcs {
+		out = append(out, detectOne(rel, d)...)
+	}
+	return out
+}
+
+func detectOne(rel *dataset.Relation, d *DC) []Violation {
+	eqCols := equalityPrefix(d)
+	var out []Violation
+	check := func(i, j int) {
+		if d.Violates(rel.Tuples[i], rel.Tuples[j]) {
+			out = append(out, Violation{DC: d, Row1: i, Row2: j})
+		}
+	}
+	if len(eqCols) > 0 {
+		groups := make(map[string][]int)
+		for i, t := range rel.Tuples {
+			k := t.Key(eqCols)
+			groups[k] = append(groups[k], i)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rows := groups[k]
+			for a := 0; a < len(rows); a++ {
+				for b := 0; b < len(rows); b++ {
+					if a != b {
+						check(rows[a], rows[b])
+					}
+				}
+			}
+		}
+		return out
+	}
+	for i := range rel.Tuples {
+		for j := range rel.Tuples {
+			if i != j {
+				check(i, j)
+			}
+		}
+	}
+	return out
+}
+
+// equalityPrefix returns the attributes compared with cross-tuple equality
+// on the same column (usable as a blocking key).
+func equalityPrefix(d *DC) []int {
+	var cols []int
+	for _, p := range d.Preds {
+		if p.Op == Eq && p.Right == p.Left {
+			cols = append(cols, p.Left)
+		}
+	}
+	return cols
+}
+
+// Consistent reports whether rel has no DC violations.
+func Consistent(rel *dataset.Relation, dcs []*DC) bool {
+	for _, d := range dcs {
+		if len(detectOne(rel, d)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// breakable reports whether adopting the partner's (or constant) value at
+// the predicate's left cell falsifies the predicate: strict comparisons and
+// disequalities become false on equal values; Eq/Leq/Geq stay true.
+func breakable(op Op) bool {
+	switch op {
+	case Neq, Lt, Gt, Sim, NotSim:
+		return true
+	}
+	return false
+}
+
+// Repair resolves DC violations in the holistic baseline style: violations
+// are collected, and per violating pair the cell whose repair covers the
+// most violations is updated (greedy cover of the conflict hypergraph),
+// adopting the partner's value at a breakable predicate — which falsifies
+// that predicate and thus the conjunction. The process iterates until
+// consistency or the round budget. This deliberately mirrors the
+// straightforward strategy of the DC-repair baseline, not the paper's
+// cost-based model.
+func Repair(rel *dataset.Relation, dcs []*DC, maxRounds int) *dataset.Relation {
+	if maxRounds <= 0 {
+		maxRounds = 5
+	}
+	out := rel.Clone()
+	type cellKey struct{ row, col int }
+	type choice struct {
+		cell cellKey
+		val  string
+	}
+	// choices lists the single-cell repairs that falsify one predicate of
+	// the violation: either side of a breakable cross-tuple predicate
+	// adopts the other side's value; constant predicates repair the left
+	// cell to the constant.
+	choices := func(v Violation) []choice {
+		var out2 []choice
+		for _, p := range v.DC.Preds {
+			if !breakable(p.Op) {
+				continue
+			}
+			if p.Right < 0 {
+				out2 = append(out2, choice{cellKey{v.Row1, p.Left}, p.Const})
+				continue
+			}
+			out2 = append(out2,
+				choice{cellKey{v.Row1, p.Left}, out.Tuples[v.Row2][p.Right]},
+				choice{cellKey{v.Row2, p.Right}, out.Tuples[v.Row1][p.Left]},
+			)
+		}
+		return out2
+	}
+	for round := 0; round < maxRounds; round++ {
+		violations := Detect(out, dcs)
+		if len(violations) == 0 {
+			break
+		}
+		// Greedy cover: cells appearing in many violations repair first,
+		// resolving the whole group toward its majority value.
+		counts := make(map[cellKey]int)
+		for _, v := range violations {
+			for _, c := range choices(v) {
+				counts[c.cell]++
+			}
+		}
+		done := make(map[cellKey]bool)
+		for _, v := range violations {
+			if !v.DC.Violates(out.Tuples[v.Row1], out.Tuples[v.Row2]) {
+				continue // an earlier repair already resolved this pair
+			}
+			var best choice
+			bestCount := -1
+			for _, c := range choices(v) {
+				if !done[c.cell] && counts[c.cell] > bestCount {
+					best, bestCount = c, counts[c.cell]
+				}
+			}
+			if bestCount < 0 {
+				continue
+			}
+			done[best.cell] = true
+			out.Tuples[best.cell.row][best.cell.col] = best.val
+		}
+	}
+	return out
+}

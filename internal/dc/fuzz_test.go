@@ -1,0 +1,33 @@
+package dc_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/dc"
+)
+
+// FuzzParse ensures the DC parser never panics and accepted constraints
+// evaluate without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add("t1.A = t2.A ; t1.B != t2.B")
+	f.Add("t1.A > t2.B")
+	f.Add("t1.A ~0.3 t2.A")
+	f.Add("t1.A = 'lit'")
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 256 {
+			t.Skip()
+		}
+		schema := dataset.Strings("A", "B")
+		d, err := dc.Parse(schema, spec)
+		if err != nil {
+			return
+		}
+		if len(d.Preds) == 0 {
+			t.Fatalf("accepted DC without predicates: %q", spec)
+		}
+		// Evaluation must not panic on arbitrary tuples.
+		d.Violates(dataset.Tuple{"x", "1"}, dataset.Tuple{"y", "2"})
+		_ = d.String()
+	})
+}

@@ -1,0 +1,292 @@
+// Package discover profiles a relation for functional dependencies, the
+// constraint-acquisition substrate the repair model assumes: users rarely
+// have Σ written down, and dirty data never satisfies candidate FDs
+// exactly. The discovery is TANE-style — level-wise search over
+// left-hand-side attribute sets with partition refinement — and tolerant:
+// an FD is reported when its g3 error (the fraction of tuples that would
+// have to be removed for the FD to hold exactly) is at most a budget,
+// which is what makes discovery work on data that still contains the very
+// errors one wants to repair.
+package discover
+
+import (
+	"sort"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+)
+
+// Options tunes discovery.
+type Options struct {
+	// MaxLHS bounds the left-hand-side size (default 2; 3 is practical for
+	// narrow schemas).
+	MaxLHS int
+	// MaxError is the g3 tolerance: the fraction of tuples violating the
+	// candidate that is still acceptable (default 0.01; set near the
+	// expected dirtiness).
+	MaxError float64
+	// MinSupport is the minimum fraction of tuples lying in LHS groups of
+	// size >= 2 (default 0.05). Candidates below it have almost no
+	// witnesses — near-key LHSs that "hold" vacuously.
+	MinSupport float64
+	// MaxResults caps the number of reported FDs (0 = unlimited).
+	MaxResults int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLHS <= 0 {
+		o.MaxLHS = 2
+	}
+	if o.MaxError < 0 {
+		o.MaxError = 0
+	} else if o.MaxError == 0 {
+		o.MaxError = 0.01
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 0.05
+	}
+	return o
+}
+
+// Result is one discovered dependency with its quality measures.
+type Result struct {
+	FD *fd.FD
+	// Error is the g3 measure: violating tuples / all tuples.
+	Error float64
+	// Support is the fraction of tuples in LHS groups with at least two
+	// members (the witnessed fraction).
+	Support float64
+}
+
+// FDs discovers minimal approximate functional dependencies of rel.
+// Results sort by ascending error, then descending support, then by
+// attribute order. Only minimal FDs are reported: when X -> A holds, no
+// superset of X is reported for A.
+func FDs(rel *dataset.Relation, opts Options) []Result {
+	opts = opts.withDefaults()
+	n := rel.Len()
+	if n == 0 {
+		return nil
+	}
+	nattrs := rel.Schema.Len()
+
+	// Per-attribute value partitions as class ids per row.
+	attrClass := make([][]int, nattrs)
+	for a := 0; a < nattrs; a++ {
+		attrClass[a] = classIDs(rel, []int{a})
+	}
+
+	// found[rhs] lists the minimal LHS sets already reported for rhs.
+	found := make([][][]int, nattrs)
+
+	var results []Result
+	names := func(cols ...int) []string {
+		out := make([]string, len(cols))
+		for i, c := range cols {
+			out[i] = rel.Schema.Attr(c).Name
+		}
+		return out
+	}
+	report := func(lhs []int, rhs int, errRate, support float64) {
+		built, err := fd.New(rel.Schema, "", names(lhs...), names(rhs))
+		if err != nil {
+			return // overlapping LHS/RHS cannot happen; defensive
+		}
+		results = append(results, Result{FD: built, Error: errRate, Support: support})
+		found[rhs] = append(found[rhs], append([]int(nil), lhs...))
+	}
+
+	// Level-wise over LHS sizes.
+	var lhsSets [][]int
+	for a := 0; a < nattrs; a++ {
+		lhsSets = append(lhsSets, []int{a})
+	}
+	for level := 1; level <= opts.MaxLHS; level++ {
+		for _, lhs := range lhsSets {
+			classes := classIDsMulti(attrClass, lhs)
+			groups, support := groupRows(classes, n)
+			if support < opts.MinSupport {
+				continue
+			}
+			for rhs := 0; rhs < nattrs; rhs++ {
+				if containsAttr(lhs, rhs) {
+					continue
+				}
+				if coveredByMinimal(found[rhs], lhs) {
+					continue
+				}
+				errRate := g3(groups, attrClass[rhs], n)
+				if errRate <= opts.MaxError {
+					report(lhs, rhs, errRate, support)
+				}
+			}
+		}
+		if level == opts.MaxLHS {
+			break
+		}
+		lhsSets = nextLevel(lhsSets, nattrs)
+	}
+
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Error != results[j].Error {
+			return results[i].Error < results[j].Error
+		}
+		if results[i].Support != results[j].Support {
+			return results[i].Support > results[j].Support
+		}
+		return lessAttrs(results[i].FD, results[j].FD)
+	})
+	if opts.MaxResults > 0 && len(results) > opts.MaxResults {
+		results = results[:opts.MaxResults]
+	}
+	return results
+}
+
+// classIDs assigns each row a dense class id by its values on cols.
+func classIDs(rel *dataset.Relation, cols []int) []int {
+	ids := make([]int, rel.Len())
+	seen := make(map[string]int)
+	for i, t := range rel.Tuples {
+		k := t.Key(cols)
+		id, ok := seen[k]
+		if !ok {
+			id = len(seen)
+			seen[k] = id
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// classIDsMulti combines per-attribute class ids into class ids for the
+// attribute set (partition intersection).
+func classIDsMulti(attrClass [][]int, lhs []int) []int {
+	n := len(attrClass[lhs[0]])
+	if len(lhs) == 1 {
+		return attrClass[lhs[0]]
+	}
+	ids := make([]int, n)
+	seen := make(map[string]int)
+	var key []byte
+	for i := 0; i < n; i++ {
+		key = key[:0]
+		for _, a := range lhs {
+			key = appendInt(key, attrClass[a][i])
+			key = append(key, ',')
+		}
+		id, ok := seen[string(key)]
+		if !ok {
+			id = len(seen)
+			seen[string(key)] = id
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	start := len(b)
+	for v > 0 {
+		b = append(b, byte('0'+v%10))
+		v /= 10
+	}
+	// reverse the appended digits
+	for i, j := start, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return b
+}
+
+// groupRows buckets row indices by class id, stripped of singletons, and
+// reports the witnessed support.
+func groupRows(classes []int, n int) ([][]int, float64) {
+	byClass := make(map[int][]int)
+	for i, c := range classes {
+		byClass[c] = append(byClass[c], i)
+	}
+	var groups [][]int
+	witnessed := 0
+	for _, rows := range byClass {
+		if len(rows) >= 2 {
+			groups = append(groups, rows)
+			witnessed += len(rows)
+		}
+	}
+	return groups, float64(witnessed) / float64(n)
+}
+
+// g3 is the minimum fraction of tuples to delete so that every LHS group
+// agrees on the RHS: per group, everything outside the modal RHS class.
+func g3(groups [][]int, rhsClass []int, n int) float64 {
+	violations := 0
+	counts := make(map[int]int)
+	for _, rows := range groups {
+		for k := range counts {
+			delete(counts, k)
+		}
+		max := 0
+		for _, r := range rows {
+			counts[rhsClass[r]]++
+			if counts[rhsClass[r]] > max {
+				max = counts[rhsClass[r]]
+			}
+		}
+		violations += len(rows) - max
+	}
+	return float64(violations) / float64(n)
+}
+
+func containsAttr(lhs []int, a int) bool {
+	for _, x := range lhs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// coveredByMinimal reports whether some already-reported LHS for this RHS
+// is a subset of lhs (so lhs would be non-minimal).
+func coveredByMinimal(minimal [][]int, lhs []int) bool {
+	for _, m := range minimal {
+		sub := true
+		for _, a := range m {
+			if !containsAttr(lhs, a) {
+				sub = false
+				break
+			}
+		}
+		if sub {
+			return true
+		}
+	}
+	return false
+}
+
+// nextLevel extends each LHS with every larger attribute index (sorted
+// candidate generation without duplicates).
+func nextLevel(lhsSets [][]int, nattrs int) [][]int {
+	var out [][]int
+	for _, lhs := range lhsSets {
+		for a := lhs[len(lhs)-1] + 1; a < nattrs; a++ {
+			ext := append(append([]int{}, lhs...), a)
+			out = append(out, ext)
+		}
+	}
+	return out
+}
+
+func lessAttrs(a, b *fd.FD) bool {
+	if len(a.LHS) != len(b.LHS) {
+		return len(a.LHS) < len(b.LHS)
+	}
+	for i := range a.LHS {
+		if a.LHS[i] != b.LHS[i] {
+			return a.LHS[i] < b.LHS[i]
+		}
+	}
+	return a.RHS[0] < b.RHS[0]
+}

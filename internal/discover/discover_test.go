@@ -1,0 +1,167 @@
+package discover_test
+
+import (
+	"strings"
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/discover"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/gen"
+)
+
+func hasFD(results []discover.Result, spec string) bool {
+	for _, r := range results {
+		if strings.Contains(r.FD.String(), spec) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiscoverSimple(t *testing.T) {
+	schema := dataset.Strings("City", "State", "Name")
+	rel, err := dataset.FromRows(schema, [][]string{
+		{"Boston", "MA", "a"},
+		{"Boston", "MA", "b"},
+		{"Boston", "MA", "c"},
+		{"Albany", "NY", "d"},
+		{"Albany", "NY", "e"},
+		{"Buffalo", "NY", "f"},
+		{"Buffalo", "NY", "g"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := discover.FDs(rel, discover.Options{})
+	if !hasFD(results, "[City] -> [State]") {
+		t.Fatalf("City->State not discovered: %v", render(results))
+	}
+	// State does NOT determine City (NY has two cities).
+	if hasFD(results, "[State] -> [City]") {
+		t.Fatalf("spurious State->City: %v", render(results))
+	}
+	// Name is a key: its groups are singletons, below the support floor.
+	if hasFD(results, "[Name] ->") {
+		t.Fatalf("vacuous key FD reported: %v", render(results))
+	}
+	// All reported errors are zero on clean data.
+	for _, r := range results {
+		if r.Error != 0 {
+			t.Fatalf("clean data with error %v: %s", r.Error, r.FD)
+		}
+		if r.Support <= 0 || r.Support > 1 {
+			t.Fatalf("support out of range: %+v", r)
+		}
+	}
+}
+
+func render(results []discover.Result) []string {
+	var out []string
+	for _, r := range results {
+		out = append(out, r.FD.String())
+	}
+	return out
+}
+
+func TestDiscoverToleratesNoise(t *testing.T) {
+	schema := dataset.Strings("City", "State")
+	rel := dataset.NewRelation(schema)
+	for i := 0; i < 50; i++ {
+		state := "MA"
+		if i == 0 {
+			state = "NY" // one violating tuple
+		}
+		if err := rel.Append(dataset.Tuple{"Boston", state}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strict discovery misses the FD...
+	strict := discover.FDs(rel, discover.Options{MaxError: 1e-9})
+	if hasFD(strict, "[City] -> [State]") {
+		t.Fatal("strict discovery accepted a violated FD")
+	}
+	// ...tolerant discovery finds it with the right error (1/50).
+	loose := discover.FDs(rel, discover.Options{MaxError: 0.05})
+	found := false
+	for _, r := range loose {
+		if strings.Contains(r.FD.String(), "[City] -> [State]") {
+			found = true
+			if r.Error != 1.0/50 {
+				t.Fatalf("error = %v, want %v", r.Error, 1.0/50)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tolerant discovery missed City->State")
+	}
+}
+
+func TestDiscoverMinimality(t *testing.T) {
+	schema := dataset.Strings("A", "B", "C")
+	rel := dataset.NewRelation(schema)
+	vals := []string{"x", "y", "z"}
+	for i := 0; i < 30; i++ {
+		a := vals[i%3]
+		if err := rel.Append(dataset.Tuple{a, vals[(i/3)%3], a + "!"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A -> C holds; (A,B) -> C must not be reported.
+	results := discover.FDs(rel, discover.Options{MaxLHS: 2})
+	if !hasFD(results, "[A] -> [C]") {
+		t.Fatalf("A->C missing: %v", render(results))
+	}
+	if hasFD(results, "[A,B] -> [C]") {
+		t.Fatalf("non-minimal FD reported: %v", render(results))
+	}
+}
+
+func TestDiscoverRecoversWorkloadFDs(t *testing.T) {
+	// On a dirty HOSP instance, tolerant discovery must recover the
+	// planted constraint set (single-attribute LHSs).
+	clean := gen.HOSP{Seed: 21}.Generate(1500)
+	fds := gen.HOSPFDs(clean.Schema)
+	dirty, _ := gen.Inject(clean, fds, 0.04, 22)
+	results := discover.FDs(dirty, discover.Options{MaxLHS: 1, MaxError: 0.12, MinSupport: 0.3})
+	for _, want := range fds {
+		spec := want.String()
+		// Strip the name prefix ("h1: ...").
+		if i := strings.Index(spec, ": "); i >= 0 {
+			spec = spec[i+2:]
+		}
+		if !hasFD(results, spec) {
+			t.Errorf("planted FD not recovered: %s\nfound: %v", spec, render(results))
+		}
+	}
+}
+
+func TestDiscoverEmptyAndCaps(t *testing.T) {
+	rel := dataset.NewRelation(dataset.Strings("A", "B"))
+	if got := discover.FDs(rel, discover.Options{}); got != nil {
+		t.Fatalf("empty relation discovered %v", got)
+	}
+	rel2, _ := dataset.FromRows(dataset.Strings("A", "B", "C"), [][]string{
+		{"x", "1", "p"}, {"x", "1", "p"}, {"y", "2", "q"}, {"y", "2", "q"},
+	})
+	capped := discover.FDs(rel2, discover.Options{MaxResults: 2})
+	if len(capped) != 2 {
+		t.Fatalf("MaxResults ignored: %d results", len(capped))
+	}
+}
+
+func TestDiscoveredFDsAreUsableForRepair(t *testing.T) {
+	// Discovery output plugs straight into a constraint set.
+	clean := gen.Tax{Seed: 23}.Generate(400)
+	results := discover.FDs(clean, discover.Options{MaxLHS: 1, MinSupport: 0.3, MaxResults: 6})
+	if len(results) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	var fds []*fd.FD
+	for _, r := range results {
+		fds = append(fds, r.FD)
+	}
+	if _, err := fd.NewSet(fds, 0.3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/repair"
+)
+
+// DetectionQuality measures error *localization*, the paper's step 1: a
+// cell is flagged when it belongs to the constrained attributes of a tuple
+// participating in at least one detected violation. Precision is the
+// fraction of flagged cells that are truly erroneous, recall the fraction
+// of injected errors (on constrained attributes) that get flagged. The
+// FT semantics' headline claim is higher recall than equality-based
+// detection at comparable precision.
+func DetectionQuality(inst *Instance, violations []repair.Violation) Quality {
+	flagged := make(map[dataset.Cell]bool)
+	for _, v := range violations {
+		attrs := v.FD.Attrs()
+		for _, rows := range [][]int{v.LeftRows, v.RightRows} {
+			for _, row := range rows {
+				for _, col := range attrs {
+					flagged[dataset.Cell{Row: row, Col: col}] = true
+				}
+			}
+		}
+	}
+	// Errors on constrained attributes only: detection cannot see errors
+	// outside every FD.
+	constrained := make(map[int]bool)
+	for _, f := range inst.Set.FDs {
+		for _, c := range f.Attrs() {
+			constrained[c] = true
+		}
+	}
+	q := Quality{Repaired: len(flagged)}
+	for _, inj := range inst.Injections {
+		if !constrained[inj.Cell.Col] {
+			continue
+		}
+		q.Errors++
+		if flagged[inj.Cell] {
+			q.Correct++
+		}
+	}
+	if q.Repaired > 0 {
+		truePos := 0.0
+		errSet := make(map[dataset.Cell]bool, len(inst.Injections))
+		for _, inj := range inst.Injections {
+			errSet[inj.Cell] = true
+		}
+		for c := range flagged {
+			if errSet[c] {
+				truePos++
+			}
+		}
+		q.Precision = truePos / float64(q.Repaired)
+	} else {
+		q.Precision = 1
+	}
+	if q.Errors > 0 {
+		q.Recall = q.Correct / float64(q.Errors)
+	} else {
+		q.Recall = 1
+	}
+	if q.Precision+q.Recall > 0 {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}
+
+// ClassicDetect runs equality-based violation detection (the w_l=1, w_r=0,
+// tau=0 degeneration of Remark §2.1) over the instance's FDs, for the
+// detection comparison.
+func ClassicDetect(inst *Instance) []repair.Violation {
+	cfg, err := fd.NewDistConfig(inst.Dirty, 1, 0)
+	if err != nil {
+		return nil
+	}
+	set, err := fd.NewSet(inst.Set.FDs, 0)
+	if err != nil {
+		return nil
+	}
+	return repair.Detect(inst.Dirty, set, cfg, repair.Options{})
+}

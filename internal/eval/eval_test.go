@@ -1,0 +1,280 @@
+package eval_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/eval"
+	"ftrepair/internal/repair"
+)
+
+func tinyTrio(t *testing.T) (clean, dirty, repaired *dataset.Relation) {
+	t.Helper()
+	schema := dataset.Strings("A", "B")
+	mk := func(rows [][]string) *dataset.Relation {
+		r, err := dataset.FromRows(schema, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	clean = mk([][]string{{"x", "1"}, {"y", "2"}, {"z", "3"}})
+	dirty = mk([][]string{{"x", "9"}, {"q", "2"}, {"z", "3"}}) // two errors
+	repaired = mk([][]string{{"x", "1"}, {"w", "2"}, {"z", "4"}})
+	// repairs: (0,1) correct; (1,0) wrong value; (2,1) false positive.
+	return
+}
+
+func TestEvaluate(t *testing.T) {
+	clean, dirty, repaired := tinyTrio(t)
+	q, err := eval.Evaluate(clean, dirty, repaired, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Repaired != 3 || q.Errors != 2 || q.Correct != 1 {
+		t.Fatalf("counts: %+v", q)
+	}
+	if q.Precision != 1.0/3 || q.Recall != 0.5 {
+		t.Fatalf("P=%v R=%v", q.Precision, q.Recall)
+	}
+	if q.F1 <= 0 || q.F1 >= 1 {
+		t.Fatalf("F1=%v", q.F1)
+	}
+}
+
+func TestEvaluatePerfectAndEmpty(t *testing.T) {
+	clean, dirty, _ := tinyTrio(t)
+	q, err := eval.Evaluate(clean, dirty, clean.Clone(), eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Fatalf("perfect repair: %+v", q)
+	}
+	// No repairs at all: precision defined as 1, recall 0.
+	q, err = eval.Evaluate(clean, dirty, dirty.Clone(), eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision != 1 || q.Recall != 0 {
+		t.Fatalf("noop repair: %+v", q)
+	}
+	// Clean input, clean output: both 1.
+	q, err = eval.Evaluate(clean, clean.Clone(), clean.Clone(), eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Fatalf("clean noop: %+v", q)
+	}
+}
+
+func TestEvaluatePartialCredit(t *testing.T) {
+	schema := dataset.Strings("A")
+	mk := func(rows ...string) *dataset.Relation {
+		r := dataset.NewRelation(schema)
+		for _, v := range rows {
+			if err := r.Append(dataset.Tuple{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	clean := mk("x", "y")
+	dirty := mk("x", "q")
+	repaired := mk("x", "_V1")
+	q, err := eval.Evaluate(clean, dirty, repaired, eval.Options{PartialMarker: "_V"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Correct != 0.5 || q.Precision != 0.5 || q.Recall != 0.5 {
+		t.Fatalf("partial credit: %+v", q)
+	}
+	// Without the marker option the variable counts as wrong.
+	q, err = eval.Evaluate(clean, dirty, repaired, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Correct != 0 {
+		t.Fatalf("no marker: %+v", q)
+	}
+	// A variable written over a clean cell gets no credit.
+	repaired2 := mk("_V2", "q")
+	q, err = eval.Evaluate(clean, dirty, repaired2, eval.Options{PartialMarker: "_V"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Correct != 0 {
+		t.Fatalf("variable on clean cell: %+v", q)
+	}
+}
+
+func TestEvaluateSchemaMismatch(t *testing.T) {
+	a, _ := dataset.FromRows(dataset.Strings("A"), [][]string{{"x"}})
+	b, _ := dataset.FromRows(dataset.Strings("B"), [][]string{{"x"}})
+	if _, err := eval.Evaluate(a, b, b, eval.Options{}); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestPrepareValidation(t *testing.T) {
+	if _, err := eval.Prepare(eval.Setup{Workload: "hosp"}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := eval.Prepare(eval.Setup{Workload: "nope", N: 10}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 10, FDs: 99}); err == nil {
+		t.Fatal("too many FDs accepted")
+	}
+	inst, err := eval.Prepare(eval.Setup{Workload: "tax", N: 50, FDs: 3, ErrorRate: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Set.FDs) != 3 || inst.Dirty.Len() != 50 {
+		t.Fatalf("instance: %d fds, %d tuples", len(inst.Set.FDs), inst.Dirty.Len())
+	}
+}
+
+func TestEndToEndQualityHOSP(t *testing.T) {
+	// The integration smoke test of the whole pipeline: a HOSP instance at
+	// the paper's default error rate, repaired with GreedyM, must achieve
+	// solid precision and recall (the paper reports both around 0.9; we
+	// require >= 0.6 to keep the test robust to noise-mix variance).
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 1000, ErrorRate: 0.04, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repair.GreedyM(inst.Dirty, inst.Set, inst.Cfg, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eval.Evaluate(inst.Clean, inst.Dirty, res.Repaired, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("HOSP GreedyM: P=%.3f R=%.3f (repaired %d, errors %d) in %v",
+		q.Precision, q.Recall, q.Repaired, q.Errors, res.Elapsed)
+	if q.Precision < 0.6 {
+		t.Fatalf("precision %.3f too low", q.Precision)
+	}
+	if q.Recall < 0.6 {
+		t.Fatalf("recall %.3f too low", q.Recall)
+	}
+}
+
+func TestEndToEndQualityTax(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "tax", N: 600, ErrorRate: 0.04, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repair.ApproM(inst.Dirty, inst.Set, inst.Cfg, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eval.Evaluate(inst.Clean, inst.Dirty, res.Repaired, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Tax ApproM: P=%.3f R=%.3f (repaired %d, errors %d) in %v",
+		q.Precision, q.Recall, q.Repaired, q.Errors, res.Elapsed)
+	if q.Precision < 0.5 || q.Recall < 0.5 {
+		t.Fatalf("quality too low: %+v", q)
+	}
+}
+
+func TestPrintTables(t *testing.T) {
+	series := []eval.Series{
+		{Name: "GreedyM", Points: []eval.Point{
+			{X: 1, Quality: eval.Quality{Precision: 0.9, Recall: 0.8}, Millis: 10},
+			{X: 2, Quality: eval.Quality{Precision: 0.91, Recall: 0.81}, Millis: 20},
+		}},
+		{Name: "NADEEF", Points: []eval.Point{
+			{X: 1, Quality: eval.Quality{Precision: 0.6, Recall: 0.3}, Millis: 5},
+			{X: 2, Err: "unsupported"},
+		}},
+	}
+	var qb, tb strings.Builder
+	eval.PrintQuality(&qb, "Fig 5 (a,b)", "N", series)
+	eval.PrintTime(&tb, "Fig 8", "N", series)
+	q := qb.String()
+	if !strings.Contains(q, "GreedyM-P") || !strings.Contains(q, "0.900") || !strings.Contains(q, "-") {
+		t.Fatalf("quality table:\n%s", q)
+	}
+	tt := tb.String()
+	if !strings.Contains(tt, "GreedyM(ms)") || !strings.Contains(tt, "10.0") {
+		t.Fatalf("time table:\n%s", tt)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	series := []eval.Series{{
+		Name: "GreedyM",
+		Points: []eval.Point{{
+			X:       800,
+			Quality: eval.Quality{Precision: 0.9, Recall: 0.8, F1: 0.847, Repaired: 10, Correct: 9, Errors: 11},
+			Millis:  42,
+		}},
+	}}
+	var sb strings.Builder
+	if err := eval.WriteJSON(&sb, "Fig 5", "N", series); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title  string `json:"title"`
+		XLabel string `json:"xlabel"`
+		Series []struct {
+			Name   string `json:"name"`
+			Points []struct {
+				X         float64 `json:"x"`
+				Precision float64 `json:"precision"`
+				Millis    float64 `json:"millis"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Title != "Fig 5" || doc.XLabel != "N" || len(doc.Series) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	p := doc.Series[0].Points[0]
+	if p.X != 800 || p.Precision != 0.9 || p.Millis != 42 {
+		t.Fatalf("point = %+v", p)
+	}
+}
+
+func TestSoakLargeInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, wk := range []struct {
+		name string
+		n    int
+	}{{"hosp", 5000}, {"tax", 4000}} {
+		inst, err := eval.Prepare(eval.Setup{Workload: wk.name, N: wk.n, ErrorRate: 0.06, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := repair.GreedyM(inst.Dirty, inst.Set, inst.Cfg, repair.Options{Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := repair.VerifyFTConsistent(res.Repaired, inst.Set, inst.Cfg); err != nil {
+			t.Fatalf("%s: %v", wk.name, err)
+		}
+		if err := repair.VerifyValid(inst.Dirty, res.Repaired, inst.Set); err != nil {
+			t.Fatalf("%s: %v", wk.name, err)
+		}
+		q, err := eval.Evaluate(inst.Clean, inst.Dirty, res.Repaired, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s n=%d: P=%.3f R=%.3f in %v", wk.name, wk.n, q.Precision, q.Recall, res.Elapsed)
+		if q.Precision < 0.8 || q.Recall < 0.8 {
+			t.Fatalf("%s quality regression: P=%.3f R=%.3f", wk.name, q.Precision, q.Recall)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonPoint is the stable wire form of a Point.
+type jsonPoint struct {
+	X         float64 `json:"x"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	Millis    float64 `json:"millis"`
+	Repaired  int     `json:"repaired"`
+	Correct   float64 `json:"correct"`
+	Errors    int     `json:"errors"`
+	Err       string  `json:"error,omitempty"`
+}
+
+// jsonSeries is the stable wire form of a Series.
+type jsonSeries struct {
+	Name   string      `json:"name"`
+	Points []jsonPoint `json:"points"`
+}
+
+// jsonExperiment wraps one experiment's series with its identity.
+type jsonExperiment struct {
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON emits one experiment's sweep as a JSON document, the
+// plot-ready alternative to the text tables.
+func WriteJSON(w io.Writer, title, xlabel string, series []Series) error {
+	doc := jsonExperiment{Title: title, XLabel: xlabel}
+	for _, s := range series {
+		js := jsonSeries{Name: s.Name}
+		for _, p := range s.Points {
+			js.Points = append(js.Points, jsonPoint{
+				X:         p.X,
+				Precision: p.Quality.Precision,
+				Recall:    p.Quality.Recall,
+				F1:        p.Quality.F1,
+				Millis:    p.Millis,
+				Repaired:  p.Quality.Repaired,
+				Correct:   p.Quality.Correct,
+				Errors:    p.Quality.Errors,
+				Err:       p.Err,
+			})
+		}
+		doc.Series = append(doc.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

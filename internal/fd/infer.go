@@ -1,0 +1,130 @@
+package fd
+
+import "sort"
+
+// Closure computes the attribute closure of attrs under the FDs (the
+// Armstrong-axiom fixpoint): every attribute functionally determined by
+// attrs. Returned sorted.
+func Closure(attrs []int, fds []*FD) []int {
+	in := make(map[int]bool, len(attrs))
+	for _, a := range attrs {
+		in[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			all := true
+			for _, c := range f.LHS {
+				if !in[c] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, c := range f.RHS {
+				if !in[c] {
+					in[c] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(in))
+	for c := range in {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Implies reports whether the FDs logically imply f (f's RHS is inside the
+// closure of f's LHS).
+func Implies(fds []*FD, f *FD) bool {
+	cl := Closure(f.LHS, fds)
+	in := make(map[int]bool, len(cl))
+	for _, c := range cl {
+		in[c] = true
+	}
+	for _, c := range f.RHS {
+		if !in[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Redundant returns the indices of FDs implied by the others — candidates
+// for removal when validating a constraint set. (A redundant FD is not
+// wrong, but under the FT semantics each FD adds detection surface and
+// repair cost, so users often want a minimal set.)
+func Redundant(fds []*FD) []int {
+	var out []int
+	for i := range fds {
+		rest := make([]*FD, 0, len(fds)-1)
+		rest = append(rest, fds[:i]...)
+		rest = append(rest, fds[i+1:]...)
+		if Implies(rest, fds[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MinimalCover computes a minimal cover of the FDs: singleton right-hand
+// sides, no extraneous LHS attributes, no redundant FDs. The result is
+// logically equivalent to the input. FDs keep their source's Name with a
+// "#k" suffix when split.
+func MinimalCover(fds []*FD) []*FD {
+	if len(fds) == 0 {
+		return nil
+	}
+	schema := fds[0].Schema
+	// 1. Split RHS into singletons.
+	var work []*FD
+	for _, f := range fds {
+		for k, r := range f.RHS {
+			g := &FD{Name: f.Name, Schema: schema, LHS: append([]int(nil), f.LHS...), RHS: []int{r}}
+			if len(f.RHS) > 1 {
+				g.Name = nameWithIndex(f.Name, k)
+			}
+			g.attrs = append(append([]int{}, g.LHS...), g.RHS...)
+			work = append(work, g)
+		}
+	}
+	// 2. Remove extraneous LHS attributes: drop a when LHS\{a} still
+	// determines the RHS under the full set.
+	for _, f := range work {
+		for i := 0; i < len(f.LHS) && len(f.LHS) > 1; {
+			reduced := append(append([]int{}, f.LHS[:i]...), f.LHS[i+1:]...)
+			trial := &FD{Schema: schema, LHS: reduced, RHS: f.RHS}
+			if Implies(work, trial) {
+				f.LHS = reduced
+				f.attrs = append(append([]int{}, f.LHS...), f.RHS...)
+			} else {
+				i++
+			}
+		}
+	}
+	// 3. Remove redundant FDs, scanning once (removal order can matter;
+	// one deterministic pass gives a valid minimal cover).
+	for i := 0; i < len(work); {
+		rest := make([]*FD, 0, len(work)-1)
+		rest = append(rest, work[:i]...)
+		rest = append(rest, work[i+1:]...)
+		if Implies(rest, work[i]) {
+			work = rest
+		} else {
+			i++
+		}
+	}
+	return work
+}
+
+func nameWithIndex(name string, k int) string {
+	if name == "" {
+		return ""
+	}
+	return name + "#" + string(rune('0'+k%10))
+}

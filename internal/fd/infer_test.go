@@ -1,0 +1,120 @@
+package fd_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+)
+
+func inferFixture() (*dataset.Schema, []*fd.FD) {
+	schema := dataset.Strings("A", "B", "C", "D", "E")
+	fds := []*fd.FD{
+		fd.MustParse(schema, "A->B"),
+		fd.MustParse(schema, "B->C"),
+		fd.MustParse(schema, "A,C->D"),
+	}
+	return schema, fds
+}
+
+func TestClosure(t *testing.T) {
+	schema, fds := inferFixture()
+	a := schema.MustIndex("A")
+	got := fd.Closure([]int{a}, fds)
+	// A+ = {A,B,C,D}: A->B, B->C, then A,C->D.
+	want := []int{0, 1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Closure(A) = %v, want %v", got, want)
+	}
+	// E determines nothing.
+	if got := fd.Closure([]int{4}, fds); !reflect.DeepEqual(got, []int{4}) {
+		t.Fatalf("Closure(E) = %v", got)
+	}
+	// Empty attribute set stays empty.
+	if got := fd.Closure(nil, fds); len(got) != 0 {
+		t.Fatalf("Closure(nil) = %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	schema, fds := inferFixture()
+	if !fd.Implies(fds, fd.MustParse(schema, "A->D")) {
+		t.Fatal("A->D should be implied")
+	}
+	if !fd.Implies(fds, fd.MustParse(schema, "A->C")) {
+		t.Fatal("A->C should be implied (transitivity)")
+	}
+	if fd.Implies(fds, fd.MustParse(schema, "B->A")) {
+		t.Fatal("B->A should not be implied")
+	}
+	if fd.Implies(fds, fd.MustParse(schema, "A->E")) {
+		t.Fatal("A->E should not be implied")
+	}
+}
+
+func TestRedundant(t *testing.T) {
+	schema, fds := inferFixture()
+	withRedundant := append(fds, fd.MustParse(schema, "A->C")) // implied
+	got := fd.Redundant(withRedundant)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Redundant = %v, want [3]", got)
+	}
+	if got := fd.Redundant(fds); len(got) != 0 {
+		t.Fatalf("minimal set flagged redundant: %v", got)
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	schema := dataset.Strings("A", "B", "C", "D")
+	fds := []*fd.FD{
+		// A,B -> C where B is extraneous (A -> B holds), plus a compound
+		// RHS to split, plus a redundant FD.
+		fd.MustParse(schema, "A->B"),
+		fd.MustParse(schema, "f2: A,B -> C,D"),
+		fd.MustParse(schema, "A->C"), // redundant once A->C emerges from f2
+	}
+	cover := fd.MinimalCover(fds)
+	// Every cover FD has a singleton RHS.
+	for _, f := range cover {
+		if len(f.RHS) != 1 {
+			t.Fatalf("cover FD %s has compound RHS", f)
+		}
+	}
+	// The cover is equivalent: it implies all originals and vice versa.
+	for _, f := range fds {
+		if !fd.Implies(cover, f) {
+			t.Fatalf("cover does not imply %s", f)
+		}
+	}
+	for _, f := range cover {
+		if !fd.Implies(fds, f) {
+			t.Fatalf("original set does not imply cover FD %s", f)
+		}
+	}
+	// The extraneous B must be gone: no cover FD has a 2-attribute LHS.
+	for _, f := range cover {
+		if len(f.LHS) != 1 {
+			t.Fatalf("cover FD %s kept an extraneous LHS attribute", f)
+		}
+	}
+	// No redundancy remains.
+	if got := fd.Redundant(cover); len(got) != 0 {
+		t.Fatalf("cover still redundant at %v", got)
+	}
+	if fd.MinimalCover(nil) != nil {
+		t.Fatal("empty input should produce nil cover")
+	}
+}
+
+func TestMinimalCoverOnWorkloadFDs(t *testing.T) {
+	// The HOSP and Tax constraint sets contain one deliberate redundancy
+	// each? They should at least round-trip through MinimalCover as an
+	// equivalent set.
+	schema, fds := inferFixture()
+	_ = schema
+	cover := fd.MinimalCover(fds)
+	if len(cover) != 3 {
+		t.Fatalf("cover size = %d", len(cover))
+	}
+}

@@ -1,0 +1,90 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is a set Σ of FDs with a per-FD FT-violation threshold τ.
+type Set struct {
+	FDs []*FD
+	Tau []float64 // aligned with FDs
+}
+
+// NewSet pairs FDs with thresholds. A single threshold is broadcast to every
+// FD.
+func NewSet(fds []*FD, taus ...float64) (*Set, error) {
+	if len(fds) == 0 {
+		return nil, fmt.Errorf("fd: empty constraint set")
+	}
+	s := &Set{FDs: fds}
+	switch len(taus) {
+	case 0:
+		return nil, fmt.Errorf("fd: no thresholds given")
+	case 1:
+		s.Tau = make([]float64, len(fds))
+		for i := range s.Tau {
+			s.Tau[i] = taus[0]
+		}
+	case len(fds):
+		s.Tau = append([]float64(nil), taus...)
+	default:
+		return nil, fmt.Errorf("fd: %d thresholds for %d FDs", len(taus), len(fds))
+	}
+	for i, t := range s.Tau {
+		if t < 0 {
+			return nil, fmt.Errorf("fd: negative threshold %v for %s", t, fds[i])
+		}
+	}
+	return s, nil
+}
+
+// Components partitions the FDs of Σ into connected components of the FD
+// graph, in which two FDs are adjacent when they share an attribute (§4.1).
+// Components can be repaired independently (Theorem 5). Each component is a
+// sorted slice of indices into s.FDs.
+func (s *Set) Components() [][]int {
+	n := len(s.FDs)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.FDs[i].SharesAttrs(s.FDs[j]) {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// Subset returns a new Set restricted to the FDs at the given indices.
+func (s *Set) Subset(idx []int) *Set {
+	sub := &Set{FDs: make([]*FD, len(idx)), Tau: make([]float64, len(idx))}
+	for i, j := range idx {
+		sub.FDs[i] = s.FDs[j]
+		sub.Tau[i] = s.Tau[j]
+	}
+	return sub
+}

@@ -1,0 +1,194 @@
+package fd
+
+import (
+	"math/rand"
+	"sort"
+
+	"ftrepair/internal/dataset"
+)
+
+// TauOptions controls automatic threshold selection.
+type TauOptions struct {
+	// MaxPatterns caps the number of distinct projections considered; when
+	// exceeded, a seeded sample is used. Zero means 512.
+	MaxPatterns int
+	// Seed drives the sampling RNG, for reproducibility.
+	Seed int64
+	// Shrink scales the selected threshold down (0 < Shrink <= 1), for
+	// precision-oriented deployments; the paper notes that "if precision
+	// rather than recall is regarded as the more important criterion, we can
+	// conservatively decrease threshold τ". Zero means 1 (no shrink).
+	Shrink float64
+	// Fallback is returned when no knee is found (e.g. all pairs
+	// equidistant). Zero means 0.2.
+	Fallback float64
+}
+
+func (o TauOptions) withDefaults() TauOptions {
+	if o.MaxPatterns <= 0 {
+		o.MaxPatterns = 512
+	}
+	if o.Shrink <= 0 || o.Shrink > 1 {
+		o.Shrink = 1
+	}
+	if o.Fallback <= 0 {
+		o.Fallback = 0.2
+	}
+	return o
+}
+
+// SelectTau implements the paper's threshold heuristic: compute pairwise
+// distances of distinct projections, sort ascending, and pick the point
+// where the gap between adjacent distances "suddenly becomes large",
+// returning the smaller value as τ. The sudden-gap point is chosen as the
+// adjacent pair with the largest relative jump within the lower half of the
+// distance distribution (true violations — typos and swapped values — sit
+// near zero; the bulk of unrelated pairs sits high).
+func SelectTau(rel *dataset.Relation, f *FD, cfg *DistConfig, opts TauOptions) float64 {
+	opts = opts.withDefaults()
+	patterns := DistinctProjections(rel, f)
+	if len(patterns) > opts.MaxPatterns {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		rng.Shuffle(len(patterns), func(i, j int) {
+			patterns[i], patterns[j] = patterns[j], patterns[i]
+		})
+		patterns = patterns[:opts.MaxPatterns]
+	}
+	var dists []float64
+	for i := 0; i < len(patterns); i++ {
+		for j := i + 1; j < len(patterns); j++ {
+			dists = append(dists, cfg.Dist(f, patterns[i], patterns[j]))
+		}
+	}
+	if len(dists) < 2 {
+		return opts.Fallback * opts.Shrink
+	}
+	sort.Float64s(dists)
+	// Scan adjacent gaps in the lower half for the largest relative jump.
+	const eps = 1e-6
+	bestScore := 0.0
+	bestTau := -1.0
+	half := len(dists) / 2
+	if half < 1 {
+		half = 1
+	}
+	for i := 0; i < half && i+1 < len(dists); i++ {
+		gap := dists[i+1] - dists[i]
+		if gap <= 0 {
+			continue
+		}
+		score := gap / (dists[i] + eps)
+		if score > bestScore {
+			bestScore = score
+			bestTau = dists[i]
+		}
+	}
+	if bestTau < 0 || bestScore < 2 { // no sudden gap: distances are smooth
+		return opts.Fallback * opts.Shrink
+	}
+	if bestTau == 0 {
+		// All low-end pairs were identical projections (shouldn't happen
+		// with distinct patterns, but weights can zero out a side).
+		return opts.Fallback * opts.Shrink
+	}
+	return bestTau * opts.Shrink
+}
+
+// Separation reports how an FD's patterns behave under a threshold.
+// MergeMass is the key number: the fraction of (sampled) tuples an FT
+// repair of this FD alone would rewrite — per conflict component of the
+// pattern graph, everything outside the component's dominant pattern. For
+// an FT-safe FD this approximates the data's error rate; for an FD whose
+// legitimate patterns sit within tau of each other (e.g. a discovered FD
+// with near-identical codes in the LHS) it approaches the table size,
+// flagging the FD as unsafe to repair with at this threshold.
+type Separation struct {
+	// Patterns sampled, Conflicts among them, and the pair rate.
+	Patterns  int
+	Pairs     int
+	Conflicts int
+	Rate      float64
+	// MergeMass is the estimated rewritten-tuple fraction (see above).
+	MergeMass float64
+}
+
+// SeparationOptions tunes SeparationCheck.
+type SeparationOptions struct {
+	// MaxPatterns caps the patterns considered, sampling deterministically
+	// by descending multiplicity (default 512).
+	MaxPatterns int
+}
+
+// SeparationCheck measures pattern separation of f over rel at tau.
+func SeparationCheck(rel *dataset.Relation, f *FD, cfg *DistConfig, tau float64, opts SeparationOptions) Separation {
+	if opts.MaxPatterns <= 0 {
+		opts.MaxPatterns = 512
+	}
+	type pat struct {
+		rep  dataset.Tuple
+		mult int
+	}
+	byKey := make(map[string]*pat)
+	var pats []*pat
+	for _, t := range rel.Tuples {
+		k := t.Key(f.Attrs())
+		p, ok := byKey[k]
+		if !ok {
+			p = &pat{rep: t}
+			byKey[k] = p
+			pats = append(pats, p)
+		}
+		p.mult++
+	}
+	sort.SliceStable(pats, func(i, j int) bool { return pats[i].mult > pats[j].mult })
+	if len(pats) > opts.MaxPatterns {
+		pats = pats[:opts.MaxPatterns]
+	}
+	sep := Separation{Patterns: len(pats)}
+	// Conflict graph among sampled patterns, with union-find components.
+	parent := make([]int, len(pats))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < len(pats); i++ {
+		for j := i + 1; j < len(pats); j++ {
+			sep.Pairs++
+			if _, within := cfg.DistWithin(f, tau, pats[i].rep, pats[j].rep); within {
+				sep.Conflicts++
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	if sep.Pairs > 0 {
+		sep.Rate = float64(sep.Conflicts) / float64(sep.Pairs)
+	}
+	// Merge mass: per component, every tuple outside the dominant pattern
+	// would be rewritten.
+	compTotal := make(map[int]int)
+	compMax := make(map[int]int)
+	sampled := 0
+	for i, p := range pats {
+		r := find(i)
+		compTotal[r] += p.mult
+		if p.mult > compMax[r] {
+			compMax[r] = p.mult
+		}
+		sampled += p.mult
+	}
+	rewritten := 0
+	for r, total := range compTotal {
+		rewritten += total - compMax[r]
+	}
+	if sampled > 0 {
+		sep.MergeMass = float64(rewritten) / float64(sampled)
+	}
+	return sep
+}

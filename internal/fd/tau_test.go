@@ -1,0 +1,108 @@
+package fd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/gen"
+)
+
+func TestSeparationCheckSafeFD(t *testing.T) {
+	// A well-separated FD: merge mass equals the planted error fraction.
+	schema := dataset.Strings("Zip", "City")
+	rel := dataset.NewRelation(schema)
+	locs := [][2]string{{"11111", "Springfield"}, {"55555", "Lakeside"}, {"99999", "Hillview"}}
+	for i := 0; i < 30; i++ {
+		l := locs[i%3]
+		if err := rel.Append(dataset.Tuple{l[0], l[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One typo tuple.
+	if err := rel.Append(dataset.Tuple{"11112", "Springfield"}); err != nil {
+		t.Fatal(err)
+	}
+	f := fd.MustParse(schema, "Zip->City")
+	cfg, err := fd.NewDistConfig(rel, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := fd.SeparationCheck(rel, f, cfg, 0.3, fd.SeparationOptions{})
+	if sep.Patterns != 4 {
+		t.Fatalf("patterns = %d", sep.Patterns)
+	}
+	if sep.Conflicts != 1 {
+		t.Fatalf("conflicts = %d (typo vs its source)", sep.Conflicts)
+	}
+	// Merge mass: the one typo tuple out of 31.
+	if want := 1.0 / 31; sep.MergeMass != want {
+		t.Fatalf("MergeMass = %v, want %v", sep.MergeMass, want)
+	}
+}
+
+func TestSeparationCheckUnsafeFD(t *testing.T) {
+	// Near-identical codes in the LHS: every pattern conflicts, merge mass
+	// approaches 1.
+	schema := dataset.Strings("Code", "City")
+	rel := dataset.NewRelation(schema)
+	for i := 0; i < 20; i++ {
+		code := fmt.Sprintf("MC-00%d", i%10)
+		if err := rel.Append(dataset.Tuple{code, "X"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := fd.MustParse(schema, "Code->City")
+	cfg, err := fd.NewDistConfig(rel, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := fd.SeparationCheck(rel, f, cfg, 0.3, fd.SeparationOptions{})
+	if sep.MergeMass < 0.8 {
+		t.Fatalf("MergeMass = %v, want ~0.9 (one dominant pattern survives)", sep.MergeMass)
+	}
+	if sep.Rate == 0 {
+		t.Fatal("no conflicts detected on near-identical codes")
+	}
+}
+
+func TestSeparationCheckDiscriminatesOnHOSP(t *testing.T) {
+	clean := gen.HOSP{Seed: 31}.Generate(1000)
+	fds := gen.HOSPFDs(clean.Schema)
+	dirty, _ := gen.Inject(clean, fds, 0.04, 32)
+	cfg, err := fd.NewDistConfig(dirty, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every planted FD is FT-safe at the benchmark threshold.
+	for _, f := range fds {
+		sep := fd.SeparationCheck(dirty, f, cfg, 0.3, fd.SeparationOptions{})
+		if sep.MergeMass > 0.15 {
+			t.Errorf("%s flagged unsafe: merge mass %.3f", f, sep.MergeMass)
+		}
+	}
+	// An FD with a code-embedding LHS is flagged.
+	bad := fd.MustParse(clean.Schema, "StateAvg -> City")
+	sep := fd.SeparationCheck(dirty, bad, cfg, 0.3, fd.SeparationOptions{})
+	if sep.MergeMass < 0.3 {
+		t.Errorf("StateAvg->City merge mass %.3f, expected large", sep.MergeMass)
+	}
+}
+
+func TestSeparationCheckSampling(t *testing.T) {
+	clean := gen.Tax{Seed: 33}.Generate(800)
+	f := gen.TaxFDs(clean.Schema)[0]
+	cfg, err := fd.NewDistConfig(clean, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := fd.SeparationCheck(clean, f, cfg, 0.3, fd.SeparationOptions{MaxPatterns: 5})
+	if sep.Patterns != 5 {
+		t.Fatalf("sampled patterns = %d", sep.Patterns)
+	}
+	// Clean, well-separated data: nothing merges.
+	if sep.MergeMass != 0 || sep.Conflicts != 0 {
+		t.Fatalf("clean data: %+v", sep)
+	}
+}

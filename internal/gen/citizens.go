@@ -1,0 +1,74 @@
+// Package gen provides the workloads used in the paper's evaluation: the
+// running Citizens example (Table 1), synthetic HOSP- and Tax-like
+// relations with the paper's FD structure, and the noise model (LHS/RHS
+// active-domain errors and typos in equal proportions).
+package gen
+
+import (
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+)
+
+// CitizensSchema is the schema of the paper's Table 1.
+func CitizensSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Attribute{Name: "Name"},
+		dataset.Attribute{Name: "Education"},
+		dataset.Attribute{Name: "Level", Type: dataset.Numeric},
+		dataset.Attribute{Name: "City"},
+		dataset.Attribute{Name: "Street"},
+		dataset.Attribute{Name: "District"},
+		dataset.Attribute{Name: "State"},
+	)
+}
+
+// Citizens returns the dirty instance of Table 1 and its ground-truth
+// repair. Errors (per the paper): t4[State], t5[City], t6[Education],
+// t8[Level], t8[City], t9[Level], t10[Education], t10[State]. Rows are
+// zero-indexed (t1 is row 0).
+func Citizens() (dirty, clean *dataset.Relation) {
+	schema := CitizensSchema()
+	dirtyRows := [][]string{
+		{"Janaina", "Bachelors", "3", "New York", "Main", "Manhattan", "NY"},
+		{"Aloke", "Bachelors", "3", "New York", "Main", "Manhattan", "NY"},
+		{"Jieyu", "Bachelors", "3", "New York", "Western", "Queens", "NY"},
+		{"Paulo", "Masters", "4", "New York", "Western", "Queens", "MA"},
+		{"Zoe", "Masters", "4", "Boston", "Main", "Manhattan", "NY"},
+		{"Gara", "Masers", "4", "Boston", "Main", "Financial", "MA"},
+		{"Mitchell", "HS-grad", "9", "Boston", "Main", "Financial", "MA"},
+		{"Pavol", "Masters", "3", "Boton", "Arlingto", "Brookside", "MA"},
+		{"Thilo", "Bachelors", "1", "Boston", "Arlingto", "Brookside", "MA"},
+		{"Nenad", "Bachelers", "3", "Boston", "Arlingto", "Brookside", "NY"},
+	}
+	cleanRows := [][]string{
+		{"Janaina", "Bachelors", "3", "New York", "Main", "Manhattan", "NY"},
+		{"Aloke", "Bachelors", "3", "New York", "Main", "Manhattan", "NY"},
+		{"Jieyu", "Bachelors", "3", "New York", "Western", "Queens", "NY"},
+		{"Paulo", "Masters", "4", "New York", "Western", "Queens", "NY"},
+		{"Zoe", "Masters", "4", "New York", "Main", "Manhattan", "NY"},
+		{"Gara", "Masters", "4", "Boston", "Main", "Financial", "MA"},
+		{"Mitchell", "HS-grad", "9", "Boston", "Main", "Financial", "MA"},
+		{"Pavol", "Masters", "4", "Boston", "Arlingto", "Brookside", "MA"},
+		{"Thilo", "Bachelors", "3", "Boston", "Arlingto", "Brookside", "MA"},
+		{"Nenad", "Bachelors", "3", "Boston", "Arlingto", "Brookside", "MA"},
+	}
+	d, err := dataset.FromRows(schema, dirtyRows)
+	if err != nil {
+		panic(err)
+	}
+	c, err := dataset.FromRows(schema, cleanRows)
+	if err != nil {
+		panic(err)
+	}
+	return d, c
+}
+
+// CitizensFDs returns the three FDs of the running example:
+// φ1: Education→Level, φ2: City→State, φ3: City,Street→District.
+func CitizensFDs(schema *dataset.Schema) []*fd.FD {
+	return []*fd.FD{
+		fd.MustParse(schema, "phi1: Education -> Level"),
+		fd.MustParse(schema, "phi2: City -> State"),
+		fd.MustParse(schema, "phi3: City, Street -> District"),
+	}
+}

@@ -1,0 +1,191 @@
+package gen_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/gen"
+)
+
+func TestCitizensFixture(t *testing.T) {
+	dirty, clean := gen.Citizens()
+	if dirty.Len() != 10 || clean.Len() != 10 {
+		t.Fatalf("lengths: %d, %d", dirty.Len(), clean.Len())
+	}
+	cells, err := dataset.Diff(dirty, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("dirty/clean differ in %d cells, want 8 (the paper's highlighted errors)", len(cells))
+	}
+	fds := gen.CitizensFDs(dirty.Schema)
+	if len(fds) != 3 {
+		t.Fatalf("fds = %d", len(fds))
+	}
+	// The clean table satisfies every FD classically.
+	for _, f := range fds {
+		if !fd.IsConsistent(clean, f) {
+			t.Fatalf("clean Citizens violates %s", f)
+		}
+	}
+}
+
+func TestHOSPGeneratorConsistent(t *testing.T) {
+	rel := gen.HOSP{Seed: 1}.Generate(2000)
+	if rel.Len() != 2000 {
+		t.Fatalf("len = %d", rel.Len())
+	}
+	fds := gen.HOSPFDs(rel.Schema)
+	if len(fds) != 9 {
+		t.Fatalf("fds = %d", len(fds))
+	}
+	for _, f := range fds {
+		if !fd.IsConsistent(rel, f) {
+			t.Fatalf("generated HOSP violates %s", f)
+		}
+	}
+	// Skew: the most frequent provider should cover many tuples.
+	prov := rel.Schema.MustIndex("Provider")
+	counts := map[string]int{}
+	max := 0
+	for _, tp := range rel.Tuples {
+		counts[tp[prov]]++
+		if counts[tp[prov]] > max {
+			max = counts[tp[prov]]
+		}
+	}
+	if max < 20 {
+		t.Fatalf("max provider multiplicity %d; expected skew", max)
+	}
+}
+
+func TestHOSPDeterministic(t *testing.T) {
+	a := gen.HOSP{Seed: 7}.Generate(100)
+	b := gen.HOSP{Seed: 7}.Generate(100)
+	cells, err := dataset.Diff(a, b)
+	if err != nil || len(cells) != 0 {
+		t.Fatalf("same seed differs: %v %v", cells, err)
+	}
+	c := gen.HOSP{Seed: 8}.Generate(100)
+	cells, err = dataset.Diff(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTaxGeneratorConsistent(t *testing.T) {
+	rel := gen.Tax{Seed: 2}.Generate(2000)
+	fds := gen.TaxFDs(rel.Schema)
+	if len(fds) != 9 {
+		t.Fatalf("fds = %d", len(fds))
+	}
+	for _, f := range fds {
+		if !fd.IsConsistent(rel, f) {
+			t.Fatalf("generated Tax violates %s", f)
+		}
+	}
+}
+
+func TestInjectRateAndKinds(t *testing.T) {
+	clean := gen.HOSP{Seed: 3}.Generate(1000)
+	fds := gen.HOSPFDs(clean.Schema)
+	dirty, injections := gen.Inject(clean, fds, 0.04, 9)
+	cells, err := dataset.Diff(clean, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(injections) {
+		t.Fatalf("ledger %d entries, diff %d cells", len(injections), len(cells))
+	}
+	// 4% of (1000 tuples x FD-involved columns).
+	fdCols := map[int]bool{}
+	for _, f := range fds {
+		for _, c := range f.Attrs() {
+			fdCols[c] = true
+		}
+	}
+	want := int(0.04 * float64(1000*len(fdCols)))
+	if len(injections) < want*9/10 || len(injections) > want {
+		t.Fatalf("injected %d errors, want about %d", len(injections), want)
+	}
+	// Equal thirds of kinds (round-robin assignment).
+	counts := map[gen.ErrorKind]int{}
+	for _, inj := range injections {
+		counts[inj.Kind]++
+		if dirty.Get(inj.Cell) != inj.Dirty || clean.Get(inj.Cell) != inj.Clean {
+			t.Fatalf("ledger inconsistent at %+v", inj)
+		}
+		if inj.Dirty == inj.Clean {
+			t.Fatalf("no-op injection at %+v", inj)
+		}
+	}
+	for k, c := range counts {
+		if c < want/3-2 || c > want/3+2 {
+			t.Fatalf("kind %v count %d, want about %d", k, c, want/3)
+		}
+	}
+	// Input untouched.
+	if !fd.IsConsistent(clean, fds[0]) {
+		t.Fatal("clean relation mutated")
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	clean := gen.Tax{Seed: 4}.Generate(500)
+	fds := gen.TaxFDs(clean.Schema)
+	d1, i1 := gen.Inject(clean, fds, 0.05, 11)
+	d2, i2 := gen.Inject(clean, fds, 0.05, 11)
+	cells, err := dataset.Diff(d1, d2)
+	if err != nil || len(cells) != 0 || len(i1) != len(i2) {
+		t.Fatalf("same seed noise differs: %v %v (%d vs %d)", cells, err, len(i1), len(i2))
+	}
+}
+
+func TestInjectEdgeCases(t *testing.T) {
+	clean := gen.Tax{Seed: 5}.Generate(1)
+	fds := gen.TaxFDs(clean.Schema)
+	dirty, inj := gen.Inject(clean, fds, 0.5, 1)
+	if len(inj) != 0 || dirty.Len() != 1 {
+		t.Fatalf("single-tuple injection: %v", inj)
+	}
+	clean2 := gen.Tax{Seed: 5}.Generate(100)
+	_, inj2 := gen.Inject(clean2, fds, 0, 1)
+	if len(inj2) != 0 {
+		t.Fatal("zero rate injected errors")
+	}
+}
+
+func TestErrorKindString(t *testing.T) {
+	if gen.LHSError.String() != "lhs" || gen.RHSError.String() != "rhs" || gen.Typo.String() != "typo" {
+		t.Fatal("ErrorKind.String mismatch")
+	}
+}
+
+func TestGeneratorOptionsRespected(t *testing.T) {
+	rel := gen.HOSP{Seed: 61, Hospitals: 12, Measures: 6}.Generate(300)
+	prov := rel.Schema.MustIndex("Provider")
+	code := rel.Schema.MustIndex("MeasureCode")
+	provs := map[string]bool{}
+	codes := map[string]bool{}
+	for _, tp := range rel.Tuples {
+		provs[tp[prov]] = true
+		codes[tp[code]] = true
+	}
+	if len(provs) > 12 || len(codes) > 6 {
+		t.Fatalf("options ignored: %d providers, %d codes", len(provs), len(codes))
+	}
+	tax := gen.Tax{Seed: 62, Localities: 15}.Generate(300)
+	zip := tax.Schema.MustIndex("Zip")
+	zips := map[string]bool{}
+	for _, tp := range tax.Tuples {
+		zips[tp[zip]] = true
+	}
+	if len(zips) > 15 {
+		t.Fatalf("Localities ignored: %d zips", len(zips))
+	}
+}

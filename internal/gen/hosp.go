@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+)
+
+// HOSP synthesizes a hospital-quality relation shaped like the US
+// Department of Health & Human Services HOSP dataset the paper evaluates
+// on: 19 attributes, 9 FDs entangled through Provider/Zip/State (one large
+// FD-graph component) plus a Measure component. The real download is not
+// redistributable; this generator preserves the properties the experiments
+// exercise — many tuples per LHS pattern, string-heavy cells, and FDs with
+// shared attributes that force joint repair.
+type HOSP struct {
+	// Hospitals is the number of distinct providers (default 200).
+	Hospitals int
+	// Measures is the number of distinct measure codes (default 40).
+	Measures int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// HOSPSchema returns the 19-attribute hospital schema.
+func HOSPSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Attribute{Name: "Provider"},
+		dataset.Attribute{Name: "HospitalName"},
+		dataset.Attribute{Name: "Address"},
+		dataset.Attribute{Name: "City"},
+		dataset.Attribute{Name: "State"},
+		dataset.Attribute{Name: "Zip"},
+		dataset.Attribute{Name: "County"},
+		dataset.Attribute{Name: "Phone"},
+		dataset.Attribute{Name: "HospitalType"},
+		dataset.Attribute{Name: "Owner"},
+		dataset.Attribute{Name: "Emergency"},
+		dataset.Attribute{Name: "Condition"},
+		dataset.Attribute{Name: "MeasureCode"},
+		dataset.Attribute{Name: "MeasureName"},
+		dataset.Attribute{Name: "Score", Type: dataset.Numeric},
+		dataset.Attribute{Name: "Sample", Type: dataset.Numeric},
+		dataset.Attribute{Name: "StateAvg"},
+		dataset.Attribute{Name: "Payer"},
+		dataset.Attribute{Name: "Region"},
+	)
+}
+
+// HOSPFDs returns the 9 functional dependencies of the HOSP workload, in
+// the order the #-FDs sweeps take prefixes of.
+func HOSPFDs(schema *dataset.Schema) []*fd.FD {
+	specs := []string{
+		"h1: Provider -> HospitalName",
+		"h2: Provider -> Phone",
+		"h3: Zip -> City",
+		"h4: Zip -> State",
+		"h5: Provider -> Zip",
+		"h6: County -> State",
+		"h7: MeasureCode -> MeasureName",
+		"h8: MeasureCode -> Condition",
+		"h9: Provider -> Address",
+	}
+	fds := make([]*fd.FD, len(specs))
+	for i, s := range specs {
+		fds[i] = fd.MustParse(schema, s)
+	}
+	return fds
+}
+
+var (
+	hospCityPool = []struct{ city, state, region string }{
+		{"Birmingham", "AL", "South"}, {"Montgomery", "AL", "South"},
+		{"Phoenix", "AZ", "West"}, {"Scottsdale", "AZ", "West"},
+		{"Sacramento", "CA", "West"}, {"Fresno", "CA", "West"},
+		{"Denver", "CO", "West"}, {"Hartford", "CT", "Northeast"},
+		{"Tampa", "FL", "South"}, {"Atlanta", "GA", "South"},
+		{"Boise", "ID", "West"}, {"Chicago", "IL", "Midwest"},
+		{"Indianapolis", "IN", "Midwest"}, {"Wichita", "KS", "Midwest"},
+		{"Louisville", "KY", "South"}, {"Boston", "MA", "Northeast"},
+		{"Baltimore", "MD", "South"}, {"Detroit", "MI", "Midwest"},
+		{"Rochester", "MN", "Midwest"}, {"Jackson", "MS", "South"},
+		{"Billings", "MT", "West"}, {"Charlotte", "NC", "South"},
+		{"Omaha", "NE", "Midwest"}, {"Newark", "NJ", "Northeast"},
+		{"Albany", "NY", "Northeast"}, {"Columbus", "OH", "Midwest"},
+		{"Portland", "OR", "West"}, {"Memphis", "TN", "South"},
+		{"Houston", "TX", "South"}, {"Seattle", "WA", "West"},
+	}
+	hospNameParts1 = []string{"Saint", "Mercy", "General", "Memorial", "Regional", "University", "Community", "Baptist", "Providence", "Unity"}
+	hospNameParts2 = []string{"Medical Center", "Hospital", "Health System", "Clinic", "Care Center"}
+	hospStreets    = []string{"Main St", "Oak Ave", "Church Rd", "Hill Blvd", "Lake Dr", "Park Ln", "River Rd", "Cedar St", "Maple Ave", "Sunset Blvd"}
+	hospTypes      = []string{"Acute Care", "Critical Access", "Childrens"}
+	hospOwners     = []string{"Government", "Proprietary", "Voluntary non-profit", "Physician"}
+	hospPayers     = []string{"Medicare", "Medicaid", "Private", "Self"}
+	hospConditions = []string{"Heart Attack", "Heart Failure", "Pneumonia", "Surgical Infection Prevention", "Asthma"}
+	hospMeasures   = []string{"aspirin at arrival", "aspirin at discharge", "beta blocker at arrival", "ace inhibitor", "smoking cessation advice", "antibiotic timing", "oxygenation assessment", "blood culture", "fibrinolytic within 30 min", "pci within 90 min"}
+	hospVersions   = []string{"initial cohort", "expanded cohort", "pediatric cohort", "outpatient cohort"}
+)
+
+type hospital struct {
+	provider, name, address, city, state, zip, county, phone, htype, owner, emergency, region string
+}
+
+type measure struct {
+	code, name, condition string
+}
+
+// Generate produces n clean tuples. The result is consistent w.r.t. every
+// HOSP FD by construction.
+func (h HOSP) Generate(n int) *dataset.Relation {
+	if h.Hospitals <= 0 {
+		// Domain size scales with n so pattern multiplicities stay high
+		// enough to witness repairs (the paper's datasets likewise keep a
+		// bounded domain as N grows).
+		h.Hospitals = n / 40
+		if h.Hospitals < 10 {
+			h.Hospitals = 10
+		}
+		if h.Hospitals > 500 {
+			h.Hospitals = 500
+		}
+	}
+	if h.Measures <= 0 {
+		h.Measures = n / 100
+		if h.Measures < 5 {
+			h.Measures = 5
+		}
+		if h.Measures > 100 {
+			h.Measures = 100
+		}
+	}
+	rng := rand.New(rand.NewSource(h.Seed))
+	// Identifier domains are rejection-sampled for pairwise separation so
+	// legitimate keys never fall inside the FT-violation threshold of the
+	// benchmark configuration (see sampleDistinct).
+	providers := sampleDistinct(rng, h.Hospitals, 3, digits(6))
+	zips := sampleDistinct(rng, h.Hospitals, 3, digits(5))
+	phones := sampleDistinct(rng, h.Hospitals, 3, digits(10))
+	hospitals := make([]hospital, h.Hospitals)
+	for i := range hospitals {
+		loc := hospCityPool[rng.Intn(len(hospCityPool))]
+		// "Co" rather than "County": a long shared suffix dilutes the
+		// relative edit distance between legitimate same-state counties
+		// below the FT threshold ("Sacramento County" vs "Fresno County"
+		// is 7/17 = 0.41, weighted 0.29 <= tau).
+		county := loc.city + " Co"
+		hospitals[i] = hospital{
+			provider:  providers[i],
+			name:      hospNameParts1[rng.Intn(len(hospNameParts1))] + " " + loc.city + " " + hospNameParts2[rng.Intn(len(hospNameParts2))],
+			address:   fmt.Sprintf("%d %s", 100+rng.Intn(9900), hospStreets[rng.Intn(len(hospStreets))]),
+			city:      loc.city,
+			state:     loc.state,
+			zip:       zips[i], // zip is unique per hospital, so Zip -> City/State holds
+			county:    county,
+			phone:     phones[i],
+			htype:     hospTypes[rng.Intn(len(hospTypes))],
+			owner:     hospOwners[rng.Intn(len(hospOwners))],
+			emergency: []string{"Yes", "No"}[rng.Intn(2)],
+			region:    loc.region,
+		}
+	}
+	// County -> State holds: counties derive from cities, and a city name
+	// appears with exactly one state in the pool.
+	// Measure codes are separated like the other identifiers; sequential
+	// codes ("MC-001", "MC-002") would all FT-violate each other. The
+	// separation is 4 edits because the "MC" prefix stretches codes to 8
+	// runes: 0.7 * 4/8 = 0.35 keeps legitimate same-condition codes above
+	// the threshold, while 3 edits (0.2625) would not.
+	codes := sampleDistinct(rng, h.Measures, 4, digits(6))
+	measures := make([]measure, h.Measures)
+	for i := range measures {
+		cond := hospConditions[i%len(hospConditions)]
+		measures[i] = measure{
+			code:      "MC" + codes[i],
+			name:      hospMeasures[i%len(hospMeasures)] + " " + hospVersions[(i/len(hospMeasures))%len(hospVersions)],
+			condition: cond,
+		}
+	}
+	rel := dataset.NewRelation(HOSPSchema())
+	for i := 0; i < n; i++ {
+		// Zipf-ish skew: squaring biases toward low indices, giving some
+		// hospitals many records (large pattern multiplicities).
+		hi := int(float64(len(hospitals)-1) * rng.Float64() * rng.Float64())
+		mi := rng.Intn(len(measures))
+		hp, ms := hospitals[hi], measures[mi]
+		score := fmt.Sprintf("%d", 40+rng.Intn(60))
+		sample := fmt.Sprintf("%d", 10+rng.Intn(990))
+		stateAvg := ms.code + "-" + hp.state
+		if err := rel.Append(dataset.Tuple{
+			hp.provider, hp.name, hp.address, hp.city, hp.state, hp.zip,
+			hp.county, hp.phone, hp.htype, hp.owner, hp.emergency,
+			ms.condition, ms.code, ms.name, score, sample, stateAvg,
+			hospPayers[rng.Intn(len(hospPayers))], hp.region,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}

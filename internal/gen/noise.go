@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+)
+
+// ErrorKind labels how a cell was dirtied, following §6.1: active-domain
+// replacements on the left-hand or right-hand side of an FD, and random
+// typos; the three kinds are injected in equal proportions.
+type ErrorKind uint8
+
+const (
+	// LHSError replaces a left-hand-side value with a value from another
+	// tuple.
+	LHSError ErrorKind = iota
+	// RHSError replaces a right-hand-side value with a value from another
+	// tuple.
+	RHSError
+	// Typo applies a single-character edit.
+	Typo
+)
+
+// String names the error kind.
+func (k ErrorKind) String() string {
+	switch k {
+	case LHSError:
+		return "lhs"
+	case RHSError:
+		return "rhs"
+	default:
+		return "typo"
+	}
+}
+
+// Injection records one injected error for ground-truth evaluation.
+type Injection struct {
+	Cell  dataset.Cell
+	Clean string
+	Dirty string
+	Kind  ErrorKind
+}
+
+// Inject dirties rate (e.g. 0.04 for the paper's 4%) of the cells on
+// FD-involved attributes, in equal thirds of LHS errors, RHS errors and
+// typos, with replacement values drawn from other tuples (the active
+// domain). It returns the dirty copy and the injection ledger; the input is
+// untouched. Cells are dirtied at most once.
+func Inject(clean *dataset.Relation, fds []*fd.FD, rate float64, seed int64) (*dataset.Relation, []Injection) {
+	rng := rand.New(rand.NewSource(seed))
+	dirty := clean.Clone()
+	lhsCols, rhsCols := fdColumns(fds)
+	allCols := append(append([]int{}, lhsCols...), rhsCols...)
+	if len(allCols) == 0 || clean.Len() < 2 {
+		return dirty, nil
+	}
+	nCells := clean.Len() * len(uniqueInts(allCols))
+	nErrors := int(rate * float64(nCells))
+	var injections []Injection
+	used := make(map[dataset.Cell]bool)
+	attempts := 0
+	for len(injections) < nErrors && attempts < nErrors*50 {
+		attempts++
+		kind := ErrorKind(len(injections) % 3)
+		var col int
+		switch kind {
+		case LHSError:
+			col = lhsCols[rng.Intn(len(lhsCols))]
+		case RHSError:
+			col = rhsCols[rng.Intn(len(rhsCols))]
+		default:
+			col = allCols[rng.Intn(len(allCols))]
+		}
+		row := rng.Intn(clean.Len())
+		cell := dataset.Cell{Row: row, Col: col}
+		if used[cell] {
+			continue
+		}
+		orig := dirty.Get(cell)
+		var val string
+		if kind == Typo {
+			val = applyTypo(rng, orig)
+		} else {
+			// Active-domain replacement from another tuple.
+			other := rng.Intn(clean.Len())
+			val = clean.Tuples[other][col]
+		}
+		if val == orig {
+			continue
+		}
+		used[cell] = true
+		dirty.Set(cell, val)
+		injections = append(injections, Injection{Cell: cell, Clean: orig, Dirty: val, Kind: kind})
+	}
+	return dirty, injections
+}
+
+// fdColumns splits the FD-involved columns into LHS and RHS pools (a column
+// may appear in both when FDs overlap).
+func fdColumns(fds []*fd.FD) (lhs, rhs []int) {
+	ls, rs := map[int]bool{}, map[int]bool{}
+	for _, f := range fds {
+		for _, c := range f.LHS {
+			ls[c] = true
+		}
+		for _, c := range f.RHS {
+			rs[c] = true
+		}
+	}
+	for c := range ls {
+		lhs = append(lhs, c)
+	}
+	for c := range rs {
+		rhs = append(rhs, c)
+	}
+	sortInts(lhs)
+	sortInts(rhs)
+	return lhs, rhs
+}
+
+func uniqueInts(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// applyTypo performs one random character edit: substitution, insertion,
+// deletion, or transposition. Digits stay digits so numeric cells remain
+// parseable.
+func applyTypo(rng *rand.Rand, s string) string {
+	if s == "" {
+		return string(rune('a' + rng.Intn(26)))
+	}
+	r := []rune(s)
+	pos := rng.Intn(len(r))
+	randRune := func(old rune) rune {
+		if old >= '0' && old <= '9' {
+			return rune('0' + rng.Intn(10))
+		}
+		if old >= 'A' && old <= 'Z' {
+			return rune('A' + rng.Intn(26))
+		}
+		return rune('a' + rng.Intn(26))
+	}
+	switch rng.Intn(4) {
+	case 0: // substitute
+		r[pos] = randRune(r[pos])
+	case 1: // insert
+		r = append(r[:pos], append([]rune{randRune(r[pos])}, r[pos:]...)...)
+	case 2: // delete
+		if len(r) > 1 && !allDigits(s) {
+			r = append(r[:pos], r[pos+1:]...)
+		} else {
+			r[pos] = randRune(r[pos])
+		}
+	default: // transpose
+		if pos+1 < len(r) && r[pos] != r[pos+1] {
+			r[pos], r[pos+1] = r[pos+1], r[pos]
+		} else {
+			r[pos] = randRune(r[pos])
+		}
+	}
+	return string(r)
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	return strings.IndexFunc(s, func(r rune) bool { return r < '0' || r > '9' }) < 0
+}

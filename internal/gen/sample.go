@@ -1,0 +1,53 @@
+package gen
+
+import (
+	"math/rand"
+
+	"ftrepair/internal/strsim"
+)
+
+// sampleDistinct draws n strings from make, rejecting candidates within
+// minEdit-1 edits of an already-accepted one. Identifier domains (zips,
+// provider numbers, area codes) need this separation so that the
+// fault-tolerant semantics at the benchmark configuration (w_l=0.7,
+// w_r=0.3, tau=0.3) never confuses two legitimate keys: a pair of distinct
+// keys then sits at weighted distance >= 0.7*(minEdit/len), above tau,
+// while single-character typos sit far below it.
+func sampleDistinct(rng *rand.Rand, n, minEdit int, draw func(*rand.Rand) string) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		for attempt := 0; ; attempt++ {
+			cand := draw(rng)
+			ok := true
+			for j := 0; j < i; j++ {
+				if _, within := strsim.LevenshteinBounded(cand, out[j], minEdit-1); within {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[i] = cand
+				break
+			}
+			if attempt > 10000 {
+				// Domain too dense for the requested separation; accept the
+				// candidate rather than loop forever. Callers size their
+				// domains to avoid this.
+				out[i] = cand
+				break
+			}
+		}
+	}
+	return out
+}
+
+// digits produces a random fixed-width digit string.
+func digits(width int) func(*rand.Rand) string {
+	return func(rng *rand.Rand) string {
+		b := make([]byte, width)
+		for i := range b {
+			b[i] = byte('0' + rng.Intn(10))
+		}
+		return string(b)
+	}
+}

@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/strsim"
+)
+
+// Tax synthesizes the individual address-and-tax workload the paper's Tax
+// generator produces: person records whose locality attributes (Zip, City,
+// State, AreaCode) and tax attributes (exemptions, state tax) obey 9 FDs
+// entangled through Zip and State.
+type Tax struct {
+	// Localities is the number of distinct (zip, city, state) triples
+	// (default 300).
+	Localities int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// TaxSchema returns the 15-attribute tax schema.
+func TaxSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Attribute{Name: "FName"},
+		dataset.Attribute{Name: "LName"},
+		dataset.Attribute{Name: "Gender"},
+		dataset.Attribute{Name: "AreaCode"},
+		dataset.Attribute{Name: "Phone"},
+		dataset.Attribute{Name: "City"},
+		dataset.Attribute{Name: "State"},
+		dataset.Attribute{Name: "Zip"},
+		dataset.Attribute{Name: "MaritalStatus"},
+		dataset.Attribute{Name: "HasChild"},
+		dataset.Attribute{Name: "Salary", Type: dataset.Numeric},
+		dataset.Attribute{Name: "Rate", Type: dataset.Numeric},
+		dataset.Attribute{Name: "SingleExemp", Type: dataset.Numeric},
+		dataset.Attribute{Name: "ChildExemp", Type: dataset.Numeric},
+		dataset.Attribute{Name: "StateTax"},
+	)
+}
+
+// TaxFDs returns the 9 functional dependencies of the Tax workload.
+func TaxFDs(schema *dataset.Schema) []*fd.FD {
+	specs := []string{
+		"t1: Zip -> City",
+		"t2: Zip -> State",
+		"t3: AreaCode -> State",
+		"t4: Zip -> AreaCode",
+		"t5: State -> SingleExemp",
+		"t6: State, MaritalStatus -> Rate",
+		"t7: State, HasChild -> ChildExemp",
+		"t8: State -> StateTax",
+		"t9: City -> State",
+	}
+	fds := make([]*fd.FD, len(specs))
+	for i, s := range specs {
+		fds[i] = fd.MustParse(schema, s)
+	}
+	return fds
+}
+
+var (
+	taxFirst  = []string{"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen"}
+	taxLast   = []string{"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzales", "Wilson", "Anderson", "Thomas"}
+	taxStates = []string{"AL", "AZ", "CA", "CO", "FL", "GA", "IL", "MA", "NY", "TX", "WA", "OR", "NV", "UT", "OH", "MI", "PA", "NJ", "VA", "NC"}
+)
+
+type locality struct {
+	zip, city, state, area string
+}
+
+// cityNames builds a shuffled pool of synthetic city names from prefix and
+// suffix parts, large enough that every state gets several well-separated
+// names.
+func cityNames(rng *rand.Rand) []string {
+	prefixes := []string{"Spring", "River", "Lake", "Hill", "Fair", "Brook", "Ash", "Clay", "Day", "East", "Ful", "George", "Ham", "Irving", "James", "King", "Lex", "Madi", "Nor", "Oak"}
+	suffixes := []string{"field", "ton", "ville", "burg", "dale", "port", "wood", "haven", "mont", "side"}
+	var names []string
+	for _, p := range prefixes {
+		for _, s := range suffixes {
+			names = append(names, p+s)
+		}
+	}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	return names
+}
+
+func indexOf(xs []string, v string) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Generate produces n clean tuples consistent with every Tax FD.
+func (tx Tax) Generate(n int) *dataset.Relation {
+	if tx.Localities <= 0 {
+		// Scale the locality domain with n so that localities keep enough
+		// witnesses for repairs (see gen.HOSP).
+		tx.Localities = n / 30
+		if tx.Localities < 10 {
+			tx.Localities = 10
+		}
+		if tx.Localities > 400 {
+			tx.Localities = 400
+		}
+	}
+	rng := rand.New(rand.NewSource(tx.Seed))
+	// State-level tax tables: every state has fixed exemptions and tax.
+	single := make(map[string]string)
+	child := make(map[string]map[string]string)
+	rate := make(map[string]map[string]string)
+	stateTax := make(map[string]string)
+	for i, s := range taxStates {
+		single[s] = fmt.Sprintf("%d", 1000+i*250)
+		child[s] = map[string]string{
+			"Y": fmt.Sprintf("%d", 500+i*100),
+			"N": "0",
+		}
+		rate[s] = map[string]string{
+			"Single":  fmt.Sprintf("%d.%d", 3+i%5, i%10),
+			"Married": fmt.Sprintf("%d.%d", 2+i%4, (i*3)%10),
+		}
+		stateTax[s] = fmt.Sprintf("TAX-%s-%02d", s, i)
+	}
+	// Localities: city names are globally unique (City -> State must hold)
+	// and, within a state, at least 5 edits apart so that two legitimate
+	// same-state cities never fall inside the FT-violation threshold
+	// (0.7 * 5/len > 0.3 for our name lengths; cross-state pairs are
+	// already covered by the RHS distance). When a state's name budget is
+	// exhausted, an existing city is reused — several zips per city is
+	// realistic and FD-consistent.
+	zips := sampleDistinct(rng, tx.Localities, 3, digits(5))
+	areaCodes := sampleDistinct(rng, len(taxStates), 2, digits(3))
+	names := cityNames(rng)
+	usedGlobally := make(map[string]bool)
+	cityByState := make(map[string][]string)
+	pickCity := func(state string) string {
+		for _, cand := range names {
+			if usedGlobally[cand] {
+				continue
+			}
+			ok := true
+			for _, prev := range cityByState[state] {
+				if _, within := strsim.LevenshteinBounded(cand, prev, 4); within {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				usedGlobally[cand] = true
+				cityByState[state] = append(cityByState[state], cand)
+				return cand
+			}
+		}
+		// Name budget exhausted for this state: reuse an existing city.
+		cs := cityByState[state]
+		if len(cs) > 0 {
+			return cs[rng.Intn(len(cs))]
+		}
+		// No usable name at all (tiny pools in tests): fall back to a
+		// synthetic unique name.
+		c := fmt.Sprintf("Cityville %s%d", state, len(usedGlobally))
+		usedGlobally[c] = true
+		cityByState[state] = append(cityByState[state], c)
+		return c
+	}
+	locs := make([]locality, tx.Localities)
+	for i := range locs {
+		state := taxStates[rng.Intn(len(taxStates))]
+		locs[i] = locality{
+			zip:   zips[i],
+			city:  pickCity(state),
+			state: state,
+			// AreaCode -> State and Zip -> AreaCode hold: one area code
+			// per state, zips unique per locality.
+			area: areaCodes[indexOf(taxStates, state)],
+		}
+	}
+	rel := dataset.NewRelation(TaxSchema())
+	for i := 0; i < n; i++ {
+		l := locs[int(float64(len(locs)-1)*rng.Float64()*rng.Float64())]
+		marital := []string{"Single", "Married"}[rng.Intn(2)]
+		hasChild := []string{"Y", "N"}[rng.Intn(2)]
+		salary := fmt.Sprintf("%d", 20000+rng.Intn(180000))
+		if err := rel.Append(dataset.Tuple{
+			taxFirst[rng.Intn(len(taxFirst))],
+			taxLast[rng.Intn(len(taxLast))],
+			[]string{"M", "F"}[rng.Intn(2)],
+			l.area,
+			fmt.Sprintf("%s%03d%04d", l.area, 200+rng.Intn(700), rng.Intn(10000)),
+			l.city,
+			l.state,
+			l.zip,
+			marital,
+			hasChild,
+			salary,
+			rate[l.state][marital],
+			single[l.state],
+			child[l.state][hasChild],
+			stateTax[l.state],
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}

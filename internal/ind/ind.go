@@ -1,0 +1,159 @@
+// Package ind implements inclusion dependencies, the second constraint
+// class of the cost-based repair model this paper extends (Bohannon et
+// al., SIGMOD 2005, repairs with FDs and INDs): R[X] ⊆ S[Y] — every value
+// combination of X in the data must occur as a Y combination in a
+// reference relation. Detection lists orphan tuples; repair maps each
+// orphan's X values to the closest reference combination (closed world:
+// repaired values come from the reference).
+package ind
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+)
+
+// IND is an inclusion dependency from data attributes into reference
+// attributes.
+type IND struct {
+	Name string
+	// Data is the constrained relation's schema; DataAttrs its columns.
+	Data      *dataset.Schema
+	DataAttrs []int
+	// RefAttrs are the aligned columns of the reference relation Ref.
+	RefAttrs []int
+	Ref      *dataset.Relation
+}
+
+// New builds an IND from attribute names.
+func New(data *dataset.Schema, dataAttrs []string, ref *dataset.Relation, refAttrs []string, name string) (*IND, error) {
+	if len(dataAttrs) == 0 || len(dataAttrs) != len(refAttrs) {
+		return nil, fmt.Errorf("ind: %s: attribute lists must be non-empty and aligned", name)
+	}
+	d, err := data.Indices(dataAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("ind: %s: %w", name, err)
+	}
+	r, err := ref.Schema.Indices(refAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("ind: %s: %w", name, err)
+	}
+	return &IND{Name: name, Data: data, DataAttrs: d, RefAttrs: r, Ref: ref}, nil
+}
+
+// String renders the IND.
+func (d *IND) String() string {
+	names := func(s *dataset.Schema, cols []int) string {
+		out := ""
+		for i, c := range cols {
+			if i > 0 {
+				out += ","
+			}
+			out += s.Attr(c).Name
+		}
+		return out
+	}
+	s := fmt.Sprintf("[%s] subseteq ref[%s]", names(d.Data, d.DataAttrs), names(d.Ref.Schema, d.RefAttrs))
+	if d.Name != "" {
+		return d.Name + ": " + s
+	}
+	return s
+}
+
+// refKeys builds the set of reference combinations.
+func (d *IND) refKeys() map[string]int {
+	keys := make(map[string]int, d.Ref.Len())
+	for i, t := range d.Ref.Tuples {
+		k := t.Key(d.RefAttrs)
+		if _, ok := keys[k]; !ok {
+			keys[k] = i
+		}
+	}
+	return keys
+}
+
+// Orphans lists the rows of rel whose projection is absent from the
+// reference.
+func (d *IND) Orphans(rel *dataset.Relation) []int {
+	keys := d.refKeys()
+	var out []int
+	for i, t := range rel.Tuples {
+		if _, ok := keys[t.Key(d.DataAttrs)]; !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Consistent reports whether rel satisfies the IND.
+func (d *IND) Consistent(rel *dataset.Relation) bool {
+	return len(d.Orphans(rel)) == 0
+}
+
+// Repair maps every orphan's constrained values to the closest reference
+// combination under cfg's per-attribute repair distances, returning the
+// repaired copy and the number of rows touched. Orphans sharing a
+// projection repair identically (and the nearest-reference search is
+// memoized on that projection).
+func (d *IND) Repair(rel *dataset.Relation, cfg *fd.DistConfig) (*dataset.Relation, int) {
+	out := rel.Clone()
+	orphans := d.Orphans(rel)
+	if len(orphans) == 0 {
+		return out, 0
+	}
+	// Distinct reference combinations.
+	seen := make(map[string]bool)
+	var refs [][]string
+	for _, t := range d.Ref.Tuples {
+		k := t.Key(d.RefAttrs)
+		if !seen[k] {
+			seen[k] = true
+			refs = append(refs, t.Project(d.RefAttrs))
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		for i := range refs[a] {
+			if refs[a][i] != refs[b][i] {
+				return refs[a][i] < refs[b][i]
+			}
+		}
+		return false
+	})
+	memo := make(map[string][]string)
+	nearest := func(t dataset.Tuple) []string {
+		k := t.Key(d.DataAttrs)
+		if vals, ok := memo[k]; ok {
+			return vals
+		}
+		best := math.Inf(1)
+		var bestVals []string
+		for _, ref := range refs {
+			var c float64
+			for i, col := range d.DataAttrs {
+				c += cfg.RepairDist(col, t[col], ref[i])
+				if c >= best {
+					break
+				}
+			}
+			if c < best {
+				best = c
+				bestVals = ref
+			}
+		}
+		memo[k] = bestVals
+		return bestVals
+	}
+	for _, row := range orphans {
+		vals := nearest(out.Tuples[row])
+		if vals == nil {
+			continue // empty reference: nothing to map to
+		}
+		for i, col := range d.DataAttrs {
+			out.Tuples[row][col] = vals[i]
+		}
+	}
+	return out, len(orphans)
+}

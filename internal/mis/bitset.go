@@ -1,0 +1,64 @@
+package mis
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// bitset is a fixed-capacity bit vector used to represent vertex sets during
+// expansion. All sets in one expansion share the same capacity.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// intersects reports whether b and o share a bit.
+func (b bitset) intersects(o bitset) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// key is a canonical string form for deduplication.
+func (b bitset) key() string {
+	var sb strings.Builder
+	for _, w := range b {
+		sb.WriteString(strconv.FormatUint(w, 16))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// members lists the set bits in ascending order.
+func (b bitset) members() []int {
+	var out []int
+	for i, w := range b {
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			out = append(out, i*64+j)
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+// Package mis implements the independent-set machinery of §3: predicates on
+// (maximal) independent sets of a violation graph, exhaustive enumeration of
+// maximal independent sets, and the expansion-based search for the best
+// maximal independent set — the one minimizing repair cost — with the
+// paper's lower/upper-bound pruning (Theorem 4).
+package mis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftrepair/internal/vgraph"
+)
+
+// IsIndependent reports whether no two vertices of set are adjacent in g.
+func IsIndependent(g *vgraph.Graph, set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if _, ok := g.Edge(set[i], set[j]); ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximal reports whether set is a maximal independent set of g.
+func IsMaximal(g *vgraph.Graph, set []int) bool {
+	if !IsIndependent(g, set) {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := range g.Vertices {
+		if in[v] {
+			continue
+		}
+		adjacent := false
+		for _, e := range g.Neighbors(v) {
+			if in[e.To] {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			return false
+		}
+	}
+	return true
+}
+
+// RepairCost is the cost of repairing the database with the maximal
+// independent set I (§3): every vertex outside I is repaired to its
+// cheapest neighbor inside I, paying multiplicity × edge weight. It returns
+// an error when I is not a maximal independent set (some vertex would have
+// no repair target).
+func RepairCost(g *vgraph.Graph, set []int) (float64, error) {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	var total float64
+	for v := range g.Vertices {
+		if in[v] {
+			continue
+		}
+		best := math.Inf(1)
+		for _, e := range g.Neighbors(v) {
+			if in[e.To] && e.W < best {
+				best = e.W
+			}
+		}
+		if math.IsInf(best, 1) {
+			return 0, fmt.Errorf("mis: vertex %d has no neighbor in the set; set is not maximal", v)
+		}
+		total += float64(g.Vertices[v].Mult()) * best
+	}
+	return total, nil
+}
+
+// Result is the outcome of a best-MIS search.
+type Result struct {
+	Set  []int   // the best maximal independent set, sorted ascending
+	Cost float64 // repair cost of using Set
+	// NodesExplored counts expansion-tree nodes visited; Pruned counts
+	// subtrees cut by the bound test.
+	NodesExplored int
+	Pruned        int
+}
+
+// Options tunes the expansion search.
+type Options struct {
+	// DisablePruning turns off the LB/UB bound test (ablation).
+	DisablePruning bool
+	// NaturalOrder processes vertices in id order instead of the
+	// frequency-descending order §3.1 recommends (ablation).
+	NaturalOrder bool
+	// MaxNodes caps the total number of expansion nodes kept per component;
+	// 0 means 1<<20. Exceeding the cap aborts with an error: the caller
+	// should fall back to the greedy algorithm.
+	MaxNodes int
+}
+
+// ErrTooLarge is returned (wrapped) when the expansion tree exceeds
+// Options.MaxNodes.
+var ErrTooLarge = fmt.Errorf("mis: expansion tree exceeds node budget")
+
+// BestMIS finds the maximal independent set of g with minimum repair cost
+// using the expansion algorithm with pruning. The search decomposes into
+// connected components (best sets and costs add across components, since no
+// edges cross them); isolated vertices join the set for free.
+func BestMIS(g *vgraph.Graph, opts Options) (Result, error) {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 1 << 20
+	}
+	var res Result
+	for _, comp := range g.Components() {
+		if len(comp) == 1 {
+			res.Set = append(res.Set, comp[0])
+			continue
+		}
+		cr, err := bestInComponent(g, comp, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Set = append(res.Set, cr.Set...)
+		res.Cost += cr.Cost
+		res.NodesExplored += cr.NodesExplored
+		res.Pruned += cr.Pruned
+	}
+	sort.Ints(res.Set)
+	return res, nil
+}
+
+// node is one expansion-tree node: a maximal independent set of the prefix
+// processed so far.
+type node struct {
+	set bitset
+	lb  float64
+}
+
+func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) {
+	n := len(comp)
+	// Local indexing of the component.
+	local := make(map[int]int, n)
+	order := append([]int(nil), comp...)
+	if !opts.NaturalOrder {
+		sort.SliceStable(order, func(a, b int) bool {
+			ma, mb := g.Vertices[order[a]].Mult(), g.Vertices[order[b]].Mult()
+			if ma != mb {
+				return ma > mb
+			}
+			return order[a] < order[b]
+		})
+	}
+	for i, v := range order {
+		local[v] = i
+	}
+	// Local adjacency bitsets and weights.
+	adj := make([]bitset, n)
+	for i := range adj {
+		adj[i] = newBitset(n)
+	}
+	weight := make(map[[2]int]float64, n*4)
+	for i, v := range order {
+		for _, e := range g.Neighbors(v) {
+			j, ok := local[e.To]
+			if !ok {
+				continue // cannot happen: components are closed under adjacency
+			}
+			adj[i].set(j)
+			weight[[2]int{i, j}] = e.W
+		}
+	}
+	mult := make([]float64, n)
+	for i, v := range order {
+		mult[i] = float64(g.Vertices[v].Mult())
+	}
+	// minRepair[i]: cheapest possible repair of vertex i (to any neighbor),
+	// the per-vertex term of the lower bound (Eq. 5).
+	minRepair := make([]float64, n)
+	for i := range minRepair {
+		best := math.Inf(1)
+		for _, j := range adj[i].members() {
+			if w := weight[[2]int{i, j}]; w < best {
+				best = w
+			}
+		}
+		minRepair[i] = mult[i] * best
+	}
+	// costTo(i, j): cost of repairing all tuples of i to j's pattern, for
+	// any pair (Eq. 6 repairs even FT-consistent vertices into the set).
+	costTo := func(i, j int) float64 {
+		if w, ok := weight[[2]int{i, j}]; ok {
+			return mult[i] * w
+		}
+		return mult[i] * g.PatternDist(order[i], order[j])
+	}
+	// upper bound of a node: repair every vertex outside the set to its
+	// cheapest member of the set.
+	ub := func(set bitset) float64 {
+		mem := set.members()
+		var total float64
+		for i := 0; i < n; i++ {
+			if set.has(i) {
+				continue
+			}
+			best := math.Inf(1)
+			for _, j := range mem {
+				if c := costTo(i, j); c < best {
+					best = c
+				}
+			}
+			total += best
+		}
+		return total
+	}
+	lb := func(set bitset, processed int) float64 {
+		var total float64
+		for i := 0; i < processed; i++ {
+			if !set.has(i) {
+				total += minRepair[i]
+			}
+		}
+		return total
+	}
+
+	root := newBitset(n)
+	root.set(0)
+	frontier := []*node{{set: root}}
+	bestUB := math.Inf(1)
+	result := Result{NodesExplored: 1}
+
+	for level := 1; level < n; level++ {
+		// Refresh the global upper bound from the current frontier
+		// (Algorithm 1 lines 4-5).
+		if !opts.DisablePruning {
+			for _, nd := range frontier {
+				if u := ub(nd.set); u < bestUB {
+					bestUB = u
+				}
+			}
+		}
+		next := make([]*node, 0, len(frontier))
+		seen := make(map[string]bool, len(frontier))
+		appendNode := func(set bitset) {
+			k := set.key()
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			next = append(next, &node{set: set})
+			result.NodesExplored++
+		}
+		for _, nd := range frontier {
+			if !opts.DisablePruning && lb(nd.set, level) > bestUB {
+				result.Pruned++
+				continue
+			}
+			if !nd.set.intersects(adj[level]) {
+				// level-vertex is FT-consistent with the whole set: the only
+				// maximal extension adds it.
+				child := nd.set.clone()
+				child.set(level)
+				appendNode(child)
+				continue
+			}
+			// Left child: keep the set, leaving the new vertex out.
+			appendNode(nd.set.clone())
+			// Right child: consistent members plus the new vertex, if that
+			// set is maximal within the processed prefix.
+			right := newBitset(n)
+			for _, m := range nd.set.members() {
+				if !adj[level].has(m) {
+					right.set(m)
+				}
+			}
+			right.set(level)
+			if maximalInPrefix(right, adj, level+1) {
+				appendNode(right)
+			}
+		}
+		if len(next) == 0 {
+			// Everything pruned: the best known bound is achieved by the
+			// node that produced bestUB, but we no longer have it. This
+			// cannot happen because the node attaining bestUB has
+			// lb <= ub = bestUB; guard anyway.
+			return Result{}, fmt.Errorf("mis: frontier emptied unexpectedly")
+		}
+		if len(next) > opts.MaxNodes {
+			return Result{}, fmt.Errorf("%w: %d nodes at level %d (component size %d)", ErrTooLarge, len(next), level, n)
+		}
+		frontier = next
+	}
+
+	// Frontier nodes are maximal independent sets of the component; pick
+	// the cheapest by actual repair cost.
+	best := math.Inf(1)
+	var bestSet bitset
+	for _, nd := range frontier {
+		var cost float64
+		for i := 0; i < n; i++ {
+			if nd.set.has(i) {
+				continue
+			}
+			cheapest := math.Inf(1)
+			for _, j := range adj[i].members() {
+				if nd.set.has(j) {
+					if w := weight[[2]int{i, j}]; w < cheapest {
+						cheapest = w
+					}
+				}
+			}
+			cost += mult[i] * cheapest
+		}
+		if cost < best {
+			best = cost
+			bestSet = nd.set
+		}
+	}
+	if bestSet == nil {
+		return Result{}, fmt.Errorf("mis: no maximal independent set found")
+	}
+	out := Result{Cost: best, NodesExplored: result.NodesExplored, Pruned: result.Pruned}
+	for _, i := range bestSet.members() {
+		out.Set = append(out.Set, order[i])
+	}
+	sort.Ints(out.Set)
+	return out, nil
+}
+
+// maximalInPrefix reports whether set is a maximal independent set of the
+// first `prefix` local vertices: no excluded prefix vertex is non-adjacent
+// to every member.
+func maximalInPrefix(set bitset, adj []bitset, prefix int) bool {
+	for v := 0; v < prefix; v++ {
+		if set.has(v) {
+			continue
+		}
+		if !set.intersects(adj[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumerateMaximal returns every maximal independent set of g, sorted
+// ascending within each set. It uses the expansion construction without
+// pruning, so its output is exactly the leaves of the full expansion tree.
+// Intended for tests and tiny graphs; the count can be exponential.
+func EnumerateMaximal(g *vgraph.Graph) [][]int {
+	n := len(g.Vertices)
+	if n == 0 {
+		return nil
+	}
+	adj := make([]bitset, n)
+	for i := range adj {
+		adj[i] = newBitset(n)
+		for _, e := range g.Neighbors(i) {
+			adj[i].set(e.To)
+		}
+	}
+	root := newBitset(n)
+	root.set(0)
+	frontier := []bitset{root}
+	for level := 1; level < n; level++ {
+		var next []bitset
+		seen := make(map[string]bool)
+		add := func(s bitset) {
+			k := s.key()
+			if !seen[k] {
+				seen[k] = true
+				next = append(next, s)
+			}
+		}
+		for _, s := range frontier {
+			if !s.intersects(adj[level]) {
+				c := s.clone()
+				c.set(level)
+				add(c)
+				continue
+			}
+			add(s.clone())
+			right := newBitset(n)
+			for _, m := range s.members() {
+				if !adj[level].has(m) {
+					right.set(m)
+				}
+			}
+			right.set(level)
+			if maximalInPrefix(right, adj, level+1) {
+				add(right)
+			}
+		}
+		frontier = next
+	}
+	out := make([][]int, len(frontier))
+	for i, s := range frontier {
+		out[i] = s.members()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+	return out
+}

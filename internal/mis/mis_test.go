@@ -1,0 +1,302 @@
+package mis_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/gen"
+	"ftrepair/internal/mis"
+	"ftrepair/internal/vgraph"
+)
+
+func citizensPhi1Graph(t *testing.T) *vgraph.Graph {
+	t.Helper()
+	dirty, _ := gen.Citizens()
+	f := gen.CitizensFDs(dirty.Schema)[0]
+	cfg := fd.DefaultDistConfig(dirty)
+	// tau=0.2 yields the paper's Fig-2 shape: two triangles plus an
+	// isolated vertex (see vgraph tests).
+	return vgraph.Build(dirty, f, cfg, 0.2, vgraph.Options{})
+}
+
+func patternVertex(g *vgraph.Graph, edu, level string) int {
+	for i, v := range g.Vertices {
+		if v.Rep[1] == edu && v.Rep[2] == level {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestPredicates(t *testing.T) {
+	g := citizensPhi1Graph(t)
+	b3 := patternVertex(g, "Bachelors", "3")
+	b1 := patternVertex(g, "Bachelors", "1")
+	m4 := patternVertex(g, "Masters", "4")
+	hs := patternVertex(g, "HS-grad", "9")
+	if !mis.IsIndependent(g, []int{b3, m4, hs}) {
+		t.Fatal("cross-triangle set should be independent")
+	}
+	if mis.IsIndependent(g, []int{b3, b1}) {
+		t.Fatal("triangle members reported independent")
+	}
+	if !mis.IsMaximal(g, []int{b3, m4, hs}) {
+		t.Fatal("{b3,m4,hs} should be maximal")
+	}
+	if mis.IsMaximal(g, []int{b3, m4}) {
+		t.Fatal("{b3,m4} misses hs, not maximal")
+	}
+	if mis.IsMaximal(g, []int{b3, b1, hs}) {
+		t.Fatal("non-independent set reported maximal")
+	}
+}
+
+func TestEnumerateMaximalCitizens(t *testing.T) {
+	g := citizensPhi1Graph(t)
+	sets := mis.EnumerateMaximal(g)
+	// Two disjoint triangles and one isolated vertex: 3*3 = 9 maximal sets.
+	if len(sets) != 9 {
+		t.Fatalf("enumerated %d maximal sets, want 9: %v", len(sets), sets)
+	}
+	hs := patternVertex(g, "HS-grad", "9")
+	for _, s := range sets {
+		if !mis.IsMaximal(g, s) {
+			t.Fatalf("%v is not maximal", s)
+		}
+		found := false
+		for _, v := range s {
+			if v == hs {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("maximal set %v misses the isolated vertex", s)
+		}
+	}
+}
+
+// bruteMaximal enumerates maximal independent sets by subset enumeration
+// (n <= ~16).
+func bruteMaximal(g *vgraph.Graph) [][]int {
+	n := len(g.Vertices)
+	var out [][]int
+	for mask := 0; mask < 1<<n; mask++ {
+		var set []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				set = append(set, v)
+			}
+		}
+		if len(set) == 0 {
+			continue
+		}
+		if mis.IsMaximal(g, set) {
+			out = append(out, set)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+	return out
+}
+
+func randomCityGraph(rng *rand.Rand, nTuples int, tau float64) *vgraph.Graph {
+	cities := []string{"Boston", "Denton", "Dallas", "Austin"}
+	states := []string{"MA", "TX", "TX", "TX"}
+	schema := dataset.Strings("City", "State")
+	rel := dataset.NewRelation(schema)
+	for i := 0; i < nTuples; i++ {
+		k := rng.Intn(len(cities))
+		city, state := cities[k], states[k]
+		if rng.Intn(3) == 0 {
+			b := []byte(city)
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+			city = string(b)
+		}
+		if rng.Intn(4) == 0 {
+			state = states[rng.Intn(len(states))]
+		}
+		if err := rel.Append(dataset.Tuple{city, state}); err != nil {
+			panic(err)
+		}
+	}
+	f := fd.MustParse(schema, "City->State")
+	cfg := fd.DefaultDistConfig(rel)
+	return vgraph.Build(rel, f, cfg, tau, vgraph.Options{})
+}
+
+func TestEnumerateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		g := randomCityGraph(rng, 12, 0.3)
+		if len(g.Vertices) > 14 {
+			continue
+		}
+		got := mis.EnumerateMaximal(g)
+		want := bruteMaximal(g)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: enumerate = %v, brute = %v", trial, got, want)
+		}
+	}
+}
+
+func TestBestMISCitizensMatchesExample8(t *testing.T) {
+	// Example 8: the best independent set for phi1 keeps (Bachelors,3),
+	// (Masters,4) and (HS-grad,9); t6,t8 repair to t4's pattern and t9,t10
+	// to t1's.
+	g := citizensPhi1Graph(t)
+	res, err := mis.BestMIS(g, mis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{
+		patternVertex(g, "Bachelors", "3"),
+		patternVertex(g, "Masters", "4"),
+		patternVertex(g, "HS-grad", "9"),
+	}
+	got := append([]int(nil), res.Set...)
+	if len(got) != 3 {
+		t.Fatalf("best set = %v", got)
+	}
+	for _, w := range want {
+		found := false
+		for _, v := range got {
+			if v == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("best set %v missing vertex %d (%v)", got, w, g.Vertices[w].Rep)
+		}
+	}
+	// Cost: b1->b3 (2/8) + bachelers3->b3 (1/9) + m3->m4 (1/8) +
+	// masers4->m4 (1/7).
+	wantCost := 2.0/8 + 1.0/9 + 1.0/8 + 1.0/7
+	if math.Abs(res.Cost-wantCost) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", res.Cost, wantCost)
+	}
+	// RepairCost agrees.
+	c, err := mis.RepairCost(g, res.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-res.Cost) > 1e-9 {
+		t.Fatalf("RepairCost = %v, BestMIS cost = %v", c, res.Cost)
+	}
+}
+
+func bruteBestCost(g *vgraph.Graph) float64 {
+	best := math.Inf(1)
+	for _, s := range bruteMaximal(g) {
+		c, err := mis.RepairCost(g, s)
+		if err != nil {
+			continue
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func TestBestMISMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		g := randomCityGraph(rng, 14, 0.3)
+		if len(g.Vertices) > 14 {
+			continue
+		}
+		want := bruteBestCost(g)
+		for _, opts := range []mis.Options{
+			{},
+			{DisablePruning: true},
+			{NaturalOrder: true},
+			{DisablePruning: true, NaturalOrder: true},
+		} {
+			res, err := mis.BestMIS(g, opts)
+			if err != nil {
+				t.Fatalf("trial %d opts %+v: %v", trial, opts, err)
+			}
+			if math.Abs(res.Cost-want) > 1e-9 {
+				t.Fatalf("trial %d opts %+v: cost = %v, brute = %v", trial, opts, res.Cost, want)
+			}
+			if !mis.IsMaximal(g, res.Set) {
+				t.Fatalf("trial %d: BestMIS returned non-maximal set %v", trial, res.Set)
+			}
+		}
+	}
+}
+
+func TestPruningReducesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var withPruning, without int
+	for trial := 0; trial < 10; trial++ {
+		g := randomCityGraph(rng, 30, 0.3)
+		a, err := mis.BestMIS(g, mis.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mis.BestMIS(g, mis.Options{DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Cost-b.Cost) > 1e-9 {
+			t.Fatalf("pruning changed cost: %v vs %v", a.Cost, b.Cost)
+		}
+		withPruning += a.NodesExplored
+		without += b.NodesExplored
+	}
+	if withPruning > without {
+		t.Fatalf("pruning explored more nodes (%d) than no pruning (%d)", withPruning, without)
+	}
+}
+
+func TestRepairCostErrorsOnNonMaximal(t *testing.T) {
+	g := citizensPhi1Graph(t)
+	b3 := patternVertex(g, "Bachelors", "3")
+	if _, err := mis.RepairCost(g, []int{b3}); err == nil {
+		t.Fatal("RepairCost accepted a non-maximal set")
+	}
+}
+
+func TestBestMISNodeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := randomCityGraph(rng, 60, 0.45)
+	_, err := mis.BestMIS(g, mis.Options{MaxNodes: 1, DisablePruning: true})
+	if err == nil {
+		t.Skip("graph too small to exceed a 1-node budget")
+	}
+	if !errors.Is(err, mis.ErrTooLarge) {
+		t.Fatalf("error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEnumerateEmptyGraph(t *testing.T) {
+	schema := dataset.Strings("X", "Y")
+	rel := dataset.NewRelation(schema)
+	f := fd.MustParse(schema, "X->Y")
+	cfg := fd.DefaultDistConfig(rel)
+	g := vgraph.Build(rel, f, cfg, 0.3, vgraph.Options{})
+	if sets := mis.EnumerateMaximal(g); sets != nil {
+		t.Fatalf("empty graph enumerated %v", sets)
+	}
+	res, err := mis.BestMIS(g, mis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 0 || res.Cost != 0 {
+		t.Fatalf("empty graph best = %+v", res)
+	}
+}

@@ -1,0 +1,118 @@
+package repair
+
+import (
+	"sort"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/vgraph"
+)
+
+// Violation describes one fault-tolerant violation: a pair of distinct
+// patterns of one FD within the FT threshold, with the tuples carrying each
+// side. This is the error-detection half of the paper's pipeline (§1),
+// exposed independently of repairing.
+type Violation struct {
+	// FD is the violated dependency; Tau the threshold it was detected at.
+	FD  *fd.FD
+	Tau float64
+	// Left and Right are the two conflicting patterns, projected onto the
+	// FD's attributes (X then Y).
+	Left, Right []string
+	// LeftRows and RightRows are the indices of the tuples carrying each
+	// pattern.
+	LeftRows, RightRows []int
+	// Dist is the weighted Eq-2 distance that put the pair inside the
+	// threshold; Weight the unweighted Eq-3 repair cost between the
+	// patterns.
+	Dist, Weight float64
+	// Classic marks pairs that are also violations under the traditional
+	// equality semantics (equal on X, different on Y).
+	Classic bool
+}
+
+// CFDViolation describes one classic CFD violation: either a single tuple
+// disagreeing with a constant pattern, or a pair of pattern-matching tuples
+// agreeing on X and differing on Y.
+type CFDViolation struct {
+	CFD *fd.CFD
+	// Rows carries one index for constant-row violations and two for
+	// pairwise violations.
+	Rows []int
+}
+
+// DetectCFDs lists the classic violations of a set of conditional
+// functional dependencies: constant-row violations first, then pairwise
+// conflicts grouped by left-hand side.
+func DetectCFDs(rel *dataset.Relation, cfds []*fd.CFD) []CFDViolation {
+	var out []CFDViolation
+	for _, c := range cfds {
+		for i, t := range rel.Tuples {
+			if c.SingleViolates(t) {
+				out = append(out, CFDViolation{CFD: c, Rows: []int{i}})
+			}
+		}
+		byLHS := make(map[string][]int)
+		for i, t := range rel.Tuples {
+			if c.MatchRow(t) < 0 {
+				continue
+			}
+			byLHS[t.Key(c.Embedded.LHS)] = append(byLHS[t.Key(c.Embedded.LHS)], i)
+		}
+		for _, rows := range byLHS {
+			for a := 0; a < len(rows); a++ {
+				for b := a + 1; b < len(rows); b++ {
+					if c.Violates(rel.Tuples[rows[a]], rel.Tuples[rows[b]]) {
+						out = append(out, CFDViolation{CFD: c, Rows: []int{rows[a], rows[b]}})
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i].Rows) != len(out[j].Rows) {
+			return len(out[i].Rows) < len(out[j].Rows)
+		}
+		return out[i].Rows[0] < out[j].Rows[0]
+	})
+	return out
+}
+
+// Detect lists every FT-violation of rel w.r.t. the constraint set, sorted
+// by FD order, then ascending distance (most-similar — most typo-like —
+// pairs first), then by first left row for determinism.
+func Detect(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options) []Violation {
+	var out []Violation
+	for i, f := range set.FDs {
+		g := vgraph.Build(rel, f, cfg, set.Tau[i], opts.Graph)
+		attrs := f.Attrs()
+		start := len(out)
+		for u := range g.Vertices {
+			for _, e := range g.Neighbors(u) {
+				if e.To <= u {
+					continue
+				}
+				left, right := g.Vertices[u], g.Vertices[e.To]
+				out = append(out, Violation{
+					FD:        f,
+					Tau:       set.Tau[i],
+					Left:      left.Rep.Project(attrs),
+					Right:     right.Rep.Project(attrs),
+					LeftRows:  append([]int(nil), left.Rows...),
+					RightRows: append([]int(nil), right.Rows...),
+					Dist:      cfg.Dist(f, left.Rep, right.Rep),
+					Weight:    e.W,
+					Classic:   f.Violates(left.Rep, right.Rep),
+				})
+			}
+		}
+		chunk := out[start:]
+		sort.Slice(chunk, func(a, b int) bool {
+			if chunk[a].Dist != chunk[b].Dist {
+				return chunk[a].Dist < chunk[b].Dist
+			}
+			return chunk[a].LeftRows[0] < chunk[b].LeftRows[0]
+		})
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package repair_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/fd"
+	"ftrepair/internal/gen"
+	"ftrepair/internal/repair"
+)
+
+func TestDetectCitizensPhi2(t *testing.T) {
+	dirty, _ := gen.Citizens()
+	fds := gen.CitizensFDs(dirty.Schema)
+	set, err := fd.NewSet(fds[1:2], 0.5) // phi2: City -> State
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fd.DefaultDistConfig(dirty)
+	violations := repair.Detect(dirty, set, cfg, repair.Options{})
+	if len(violations) == 0 {
+		t.Fatal("no violations detected")
+	}
+	// The typo pair (Boton,MA)-(Boston,MA) must be detected — the paper's
+	// Example 3 — and as a non-classic (similarity-only) violation.
+	foundTypo := false
+	foundClassic := false
+	for _, v := range violations {
+		if (v.Left[0] == "Boton" && v.Right[0] == "Boston") || (v.Left[0] == "Boston" && v.Right[0] == "Boton") {
+			if v.Left[1] == "MA" && v.Right[1] == "MA" {
+				foundTypo = true
+				if v.Classic {
+					t.Error("typo pair flagged as classic violation")
+				}
+			}
+		}
+		if v.Classic {
+			foundClassic = true
+			if v.Left[0] != v.Right[0] {
+				t.Errorf("classic violation with different LHS: %v vs %v", v.Left, v.Right)
+			}
+		}
+		if v.Dist > v.Tau {
+			t.Errorf("violation beyond threshold: %+v", v)
+		}
+		if len(v.LeftRows) == 0 || len(v.RightRows) == 0 {
+			t.Errorf("violation without carrier rows: %+v", v)
+		}
+	}
+	if !foundTypo {
+		t.Error("(Boton,MA)-(Boston,MA) not detected")
+	}
+	if !foundClassic {
+		t.Error("no classic violation detected (e.g. (New York,NY)-(New York,MA))")
+	}
+	// Sorted ascending by distance within the FD.
+	for i := 1; i < len(violations); i++ {
+		if violations[i-1].Dist > violations[i].Dist {
+			t.Fatalf("violations not sorted by distance at %d", i)
+		}
+	}
+}
+
+func TestDetectCleanRelation(t *testing.T) {
+	_, clean := gen.Citizens()
+	fds := gen.CitizensFDs(clean.Schema)
+	set, err := fd.NewSet(fds, 0.1, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fd.DefaultDistConfig(clean)
+	if vs := repair.Detect(clean, set, cfg, repair.Options{}); len(vs) != 0 {
+		t.Fatalf("clean relation produced %d violations at tight threshold", len(vs))
+	}
+}
+
+func TestDetectMultipleFDsOrdered(t *testing.T) {
+	dirty, _ := gen.Citizens()
+	fds := gen.CitizensFDs(dirty.Schema)
+	set, err := fd.NewSet(fds, 0.2, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fd.DefaultDistConfig(dirty)
+	vs := repair.Detect(dirty, set, cfg, repair.Options{})
+	// Violations group by FD in set order.
+	lastFD := -1
+	index := map[*fd.FD]int{fds[0]: 0, fds[1]: 1, fds[2]: 2}
+	for _, v := range vs {
+		i := index[v.FD]
+		if i < lastFD {
+			t.Fatal("violations not grouped by FD order")
+		}
+		lastFD = i
+	}
+	// All three FDs have at least one violation on the dirty table.
+	seen := map[int]bool{}
+	for _, v := range vs {
+		seen[index[v.FD]] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("violations found for %d FDs, want 3", len(seen))
+	}
+}

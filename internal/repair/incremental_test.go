@@ -1,0 +1,148 @@
+package repair_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/eval"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/repair"
+)
+
+func incrementalFixture(t *testing.T) (*repair.Incremental, *fd.Set, *fd.DistConfig) {
+	t.Helper()
+	dirty, _, set, cfg := citizensSet(t)
+	res, err := repair.ExactM(dirty, set, cfg, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := repair.NewIncremental(res.Repaired, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inc, set, cfg
+}
+
+func TestNewIncrementalRejectsInconsistentBase(t *testing.T) {
+	dirty, _, set, cfg := citizensSet(t)
+	if _, err := repair.NewIncremental(dirty, set, cfg); err == nil {
+		t.Fatal("inconsistent base accepted")
+	}
+}
+
+func TestIncrementalAcceptsCleanTuple(t *testing.T) {
+	inc, set, cfg := incrementalFixture(t)
+	// A tuple matching existing patterns exactly is accepted untouched.
+	out, changed, err := inc.Add(dataset.Tuple{"Iris", "Bachelors", "3", "New York", "Main", "Manhattan", "NY"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatalf("clean tuple modified: %v", out)
+	}
+	if err := repair.VerifyFTConsistent(inc.Relation(), set, cfg); err != nil {
+		t.Fatal(err)
+	}
+	accepted, repaired := inc.Stats()
+	if accepted != 1 || repaired != 0 {
+		t.Fatalf("stats = %d/%d", accepted, repaired)
+	}
+}
+
+func TestIncrementalRepairsTypo(t *testing.T) {
+	inc, set, cfg := incrementalFixture(t)
+	// "Bostn" FT-violates the accepted (Boston, ...) patterns and repairs
+	// toward them; the tuple's own evidence (Arlingto/Brookside/MA) pins
+	// the right target.
+	out, changed, err := inc.Add(dataset.Tuple{"Uwe", "HS-grad", "9", "Bostn", "Arlingto", "Brookside", "MA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("typo tuple accepted untouched")
+	}
+	city := inc.Relation().Schema.MustIndex("City")
+	if out[city] != "Boston" {
+		t.Fatalf("City = %q, want Boston", out[city])
+	}
+	if err := repair.VerifyFTConsistent(inc.Relation(), set, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalAcceptsNovelPattern(t *testing.T) {
+	inc, set, cfg := incrementalFixture(t)
+	// A brand-new city far from everything extends the pattern sets.
+	out, changed, err := inc.Add(dataset.Tuple{"Vik", "PhD", "12", "Sacramento", "Capitol", "Midtown", "CA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatalf("novel tuple modified: %v", out)
+	}
+	// And a second tuple near the new pattern now repairs toward it.
+	out2, changed2, err := inc.Add(dataset.Tuple{"Wen", "PhD", "12", "Sacramneto", "Capitol", "Midtown", "CA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed2 {
+		t.Fatal("near-novel tuple accepted untouched")
+	}
+	city := inc.Relation().Schema.MustIndex("City")
+	if out2[city] != "Sacramento" {
+		t.Fatalf("City = %q, want Sacramento", out2[city])
+	}
+	if err := repair.VerifyFTConsistent(inc.Relation(), set, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalArityCheck(t *testing.T) {
+	inc, _, _ := incrementalFixture(t)
+	if _, _, err := inc.Add(dataset.Tuple{"too", "short"}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestIncrementalStreamStaysConsistent(t *testing.T) {
+	// Repair a HOSP prefix, then stream the (dirty) remainder through the
+	// incremental path; the result must stay FT-consistent throughout.
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 600, ErrorRate: 0.05, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := 400
+	prefix := &dataset.Relation{Schema: inst.Dirty.Schema, Tuples: inst.Dirty.Tuples[:split]}
+	res, err := repair.GreedyM(prefix, inst.Set, inst.Cfg, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := repair.NewIncremental(res.Repaired, inst.Set, inst.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range inst.Dirty.Tuples[split:] {
+		if _, _, err := inc.Add(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := repair.VerifyFTConsistent(inc.Relation(), inst.Set, inst.Cfg); err != nil {
+		t.Fatal(err)
+	}
+	accepted, repaired := inc.Stats()
+	if accepted != inst.Dirty.Len()-split {
+		t.Fatalf("accepted = %d", accepted)
+	}
+	if repaired == 0 {
+		t.Fatal("no streamed tuple needed repair despite 5% noise")
+	}
+	t.Logf("streamed %d tuples, repaired %d", accepted, repaired)
+	// Quality of the streamed region should be meaningful: most streamed
+	// dirty cells whose patterns exist in the standing data get fixed.
+	full := inc.Relation()
+	q, err := eval.Evaluate(inst.Clean, inst.Dirty, full, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overall P=%.3f R=%.3f", q.Precision, q.Recall)
+}

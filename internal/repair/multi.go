@@ -1,0 +1,558 @@
+package repair
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/mis"
+	"ftrepair/internal/targettree"
+	"ftrepair/internal/vgraph"
+)
+
+// ErrTooManyMIS is returned (wrapped) when ExactM's enumeration exceeds
+// Options.MaxMISPerFD or the combination budget; the instance should be
+// repaired with ApproM or GreedyM instead.
+var ErrTooManyMIS = fmt.Errorf("repair: too many maximal independent sets for exact repair")
+
+// maxCombos bounds the Cartesian product ExactM is willing to evaluate.
+const maxCombos = 1 << 20
+
+// ExactM repairs rel w.r.t. a set of FDs optimally (§4.2): per connected
+// component of the FD graph, it enumerates the maximal independent sets of
+// every FD's violation graph, joins each combination into targets, assigns
+// every tuple its nearest target, and keeps the cheapest combination.
+// Combinations are abandoned as soon as their accumulated cost exceeds the
+// best known one, which plays the role of the paper's bound-based pruning
+// while remaining exact.
+func ExactM(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options) (*Result, error) {
+	return multiRepair(rel, set, cfg, opts, "ExactM", exactComponent)
+}
+
+// ApproM repairs rel w.r.t. a set of FDs with the §4.3 heuristic: the
+// single-FD greedy algorithm picks one independent set per FD
+// independently; the sets are joined and every tuple repairs to its nearest
+// target.
+func ApproM(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options) (*Result, error) {
+	return multiRepair(rel, set, cfg, opts, "ApproM", approComponent)
+}
+
+// GreedyM repairs rel w.r.t. a set of FDs with the §4.4 joint greedy: the
+// per-FD independent sets grow interleaved, each step adding the globally
+// cheapest pattern where the cost includes a cross-FD synchronization term
+// (patterns conflicting on shared attributes with already-chosen patterns
+// of connected FDs are penalized by the extra repair distance they would
+// force).
+func GreedyM(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options) (*Result, error) {
+	return multiRepair(rel, set, cfg, opts, "GreedyM", greedyComponent)
+}
+
+// jointTraceHook, when set (tests only), observes every candidate score
+// evaluation of jointGreedySets' selection loop.
+var jointTraceHook func(fdIndex, vertex int, cost float64)
+
+// componentFunc repairs one connected component of the FD graph in place.
+type componentFunc func(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error
+
+func multiRepair(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options, name string, repairComp componentFunc) (*Result, error) {
+	start := time.Now()
+	out := rel.Clone()
+	stats := make(map[string]int)
+	comps := set.Components()
+	if opts.Parallel >= 2 && len(comps) > 1 {
+		if err := repairComponentsParallel(rel, out, set, cfg, opts, stats, comps, repairComp); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, comp := range comps {
+			sub := set.Subset(comp)
+			if err := repairComp(rel, out, sub, cfg, opts, stats); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return finish(rel, out, cfg, name, start, stats)
+}
+
+// repairComponentsParallel runs component repairs on up to opts.Parallel
+// goroutines. Components write disjoint attribute columns of out, so the
+// repairs commute; stats merge under a lock.
+func repairComponentsParallel(rel, out *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, comps [][]int, repairComp componentFunc) error {
+	sem := make(chan struct{}, opts.Parallel)
+	errs := make(chan error, len(comps))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, comp := range comps {
+		comp := comp
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			local := make(map[string]int)
+			err := repairComp(rel, out, set.Subset(comp), cfg, opts, local)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			for k, v := range local {
+				stats[k] += v
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs // nil when the channel is empty
+}
+
+func buildGraphs(rel *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options) []*vgraph.Graph {
+	graphs := make([]*vgraph.Graph, len(sub.FDs))
+	if opts.Parallel >= 2 && len(sub.FDs) > 1 {
+		// Per-FD graphs are independent; building them concurrently is the
+		// main parallel win inside one component.
+		sem := make(chan struct{}, opts.Parallel)
+		var wg sync.WaitGroup
+		for i, f := range sub.FDs {
+			i, f := i, f
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], opts.Graph)
+			}()
+		}
+		wg.Wait()
+		return graphs
+	}
+	for i, f := range sub.FDs {
+		graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], opts.Graph)
+	}
+	return graphs
+}
+
+// exactComponent implements Algorithm 3 for one component.
+func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error {
+	graphs := buildGraphs(rel, sub, cfg, opts)
+	if len(sub.FDs) == 1 {
+		// Single-FD component: the expansion algorithm is optimal
+		// (Theorem 5) and far cheaper than enumeration + join.
+		res, err := mis.BestMIS(graphs[0], mis.Options{
+			DisablePruning: opts.DisablePruning,
+			NaturalOrder:   opts.NaturalOrder,
+			MaxNodes:       opts.MaxNodes,
+		})
+		if err != nil {
+			return err
+		}
+		stats["nodes"] += res.NodesExplored
+		applyInPlace(out, graphs[0], repairTargets(graphs[0], res.Set))
+		return nil
+	}
+
+	families := make([][][]int, len(sub.FDs))
+	combos := 1
+	for i, g := range graphs {
+		families[i] = mis.EnumerateMaximal(g)
+		if opts.MaxMISPerFD > 0 && len(families[i]) > opts.MaxMISPerFD {
+			return fmt.Errorf("%w: %d sets for %s (cap %d)", ErrTooManyMIS, len(families[i]), sub.FDs[i], opts.MaxMISPerFD)
+		}
+		combos *= len(families[i])
+		if combos > maxCombos || combos <= 0 {
+			return fmt.Errorf("%w: combination count overflows budget", ErrTooManyMIS)
+		}
+	}
+	stats["combinations"] += combos
+
+	groups := groupTuples(rel, unionAttrs(sub.FDs))
+	best := math.Inf(1)
+	var bestTargets []*targettree.Target
+	idx := make([]int, len(families))
+	for {
+		sets := make([][]int, len(families))
+		for i, j := range idx {
+			sets[i] = families[i][j]
+		}
+		targets, cost, visited, ok := planCosts(groups, graphs, sets, cfg, opts.DisableTargetTree, best)
+		stats["treeVisited"] += visited
+		if ok && cost < best {
+			best = cost
+			bestTargets = targets
+		}
+		// Advance the mixed-radix counter.
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(families[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	if bestTargets == nil {
+		return fmt.Errorf("repair: no feasible combination of independent sets joins into targets")
+	}
+	applyPlan(out, groups, bestTargets)
+	return nil
+}
+
+// approComponent implements §4.3 for one component.
+func approComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error {
+	graphs := buildGraphs(rel, sub, cfg, opts)
+	sets := make([][]int, len(graphs))
+	for i, g := range graphs {
+		sets[i] = greedySet(g)
+	}
+	return applyJoinedSets(rel, out, sub, cfg, opts, stats, graphs, sets)
+}
+
+// greedyComponent implements §4.4 for one component.
+func greedyComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error {
+	graphs := buildGraphs(rel, sub, cfg, opts)
+	sets := jointGreedySets(rel, graphs)
+	return applyJoinedSets(rel, out, sub, cfg, opts, stats, graphs, sets)
+}
+
+// applyJoinedSets joins per-FD independent sets into targets and repairs
+// every tuple whose projections fall outside them. When the join is empty
+// (the chosen sets disagree on every shared value — possible for heuristic
+// sets), it falls back to iterated per-FD greedy repair.
+func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, graphs []*vgraph.Graph, sets [][]int) error {
+	if len(graphs) == 1 {
+		applyInPlace(out, graphs[0], repairTargets(graphs[0], sets[0]))
+		return nil
+	}
+	groups := groupTuples(rel, unionAttrs(sub.FDs))
+	targets, _, visited, ok := planCosts(groups, graphs, sets, cfg, opts.DisableTargetTree, math.Inf(1))
+	stats["treeVisited"] += visited
+	if !ok {
+		stats["joinFallback"]++
+		return sequentialFallback(out, sub, cfg, opts)
+	}
+	applyPlan(out, groups, targets)
+	return nil
+}
+
+// sequentialFallback repairs the component FD by FD with the single-FD
+// greedy algorithm, iterating until the component is FT-consistent or a
+// round budget is exhausted. It is only used when the joined independent
+// sets admit no target.
+func sequentialFallback(out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options) error {
+	const maxRounds = 5
+	for round := 0; round < maxRounds; round++ {
+		clean := true
+		for i, f := range sub.FDs {
+			g := vgraph.Build(out, f, cfg, sub.Tau[i], opts.Graph)
+			if g.NumEdges() == 0 {
+				continue
+			}
+			clean = false
+			applyInPlace(out, g, repairTargets(g, greedySet(g)))
+		}
+		if clean {
+			return nil
+		}
+	}
+	return nil // best effort; verification reports any residual violations
+}
+
+// applyInPlace is applyVertexRepairs writing directly into out (whose rows
+// align with the graph's source relation).
+func applyInPlace(out *dataset.Relation, g *vgraph.Graph, target map[int]int) {
+	for from, to := range target {
+		pattern := g.Vertices[to].Rep
+		for _, row := range g.Vertices[from].Rows {
+			for _, c := range g.FD.Attrs() {
+				out.Tuples[row][c] = pattern[c]
+			}
+		}
+	}
+}
+
+// jointGreedySets grows one independent set per FD, interleaved (§4.4,
+// Algorithm 4). Each step adds the (FD, pattern) candidate with the
+// smallest tuple cost (Eq. 12): the cost of repairing the candidate's
+// newly-doomed neighbors to their per-row best targets, where a row's best
+// target is chosen to maximize violations eliminated minus violations
+// triggered across the connected FDs (ties broken by repair weight). This
+// is what lets the same doomed pattern repair differently in different
+// tuples — (Boston, NY) becomes (New York, NY) in t5 but (Boston, MA) in
+// t10 of the running example.
+func jointGreedySets(rel *dataset.Relation, graphs []*vgraph.Graph) [][]int {
+	n := len(graphs)
+	type state struct {
+		inSet, blocked []bool
+		set            []int
+		cost           []float64 // cached Eq-12 cost per candidate
+		dirty          []bool
+	}
+	states := make([]*state, n)
+	for i, g := range graphs {
+		st := &state{
+			inSet:   make([]bool, len(g.Vertices)),
+			blocked: make([]bool, len(g.Vertices)),
+			cost:    make([]float64, len(g.Vertices)),
+			dirty:   make([]bool, len(g.Vertices)),
+		}
+		for v := range st.dirty {
+			st.dirty[v] = true
+		}
+		states[i] = st
+	}
+	// overlaps[i] lists the FDs j != i sharing an attribute with i.
+	overlaps := make([][]int, n)
+	for i := range graphs {
+		for j := range graphs {
+			if i != j && graphs[i].FD.SharesAttrs(graphs[j].FD) {
+				overlaps[i] = append(overlaps[i], j)
+			}
+		}
+	}
+	// violCache memoizes ViolatorCount per FD by projection key, since
+	// hypothetical repairs repeatedly produce the same patterns.
+	violCache := make([]map[string]int, n)
+	for i := range violCache {
+		violCache[i] = make(map[string]int)
+	}
+	violators := func(j int, t dataset.Tuple) int {
+		k := t.Key(graphs[j].FD.Attrs())
+		if c, ok := violCache[j][k]; ok {
+			return c
+		}
+		c := graphs[j].ViolatorCount(t)
+		violCache[j][k] = c
+		return c
+	}
+
+	// syncDelta scores the cross-FD effect of repairing row r's FD-i
+	// attributes to the pattern of vertex w: for every overlapping FD j,
+	// (violations of the row's new j-projection) minus (violations of its
+	// old one). The old pattern still counts as a violator of the new one
+	// unless the row was its only carrier.
+	scratch := make(dataset.Tuple, rel.Schema.Len())
+	syncDelta := func(i int, row int, w int) int {
+		delta := 0
+		rowTuple := rel.Tuples[row]
+		wRep := graphs[i].Vertices[w].Rep
+		for _, j := range overlaps[i] {
+			gj := graphs[j]
+			// Build the row's hypothetical tuple after the FD-i repair.
+			copy(scratch, rowTuple)
+			changed := false
+			for _, c := range graphs[i].FD.Attrs() {
+				if scratch[c] != wRep[c] {
+					scratch[c] = wRep[c]
+					changed = true
+				}
+			}
+			if !changed {
+				continue
+			}
+			oldV, ok := gj.Lookup(rowTuple)
+			if !ok {
+				continue // cannot happen: every row has a pattern vertex
+			}
+			// Did the j-projection actually change?
+			same := true
+			for _, c := range gj.FD.Attrs() {
+				if scratch[c] != rowTuple[c] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue
+			}
+			newViol := violators(j, scratch)
+			if gj.Vertices[oldV].Mult() == 1 && gj.FTAdjacent(scratch, oldV) {
+				// The old pattern is vacated by this repair, so it no
+				// longer counts as a triggered violation.
+				newViol--
+			}
+			delta += newViol - gj.Degree(oldV)
+		}
+		return delta
+	}
+
+	// bestRepairCost picks, per row of doomed vertex u (FD i), the target
+	// w minimizing (syncDelta, weight) among the allowed targets — the
+	// candidate v itself, members of the set, or vertices not in conflict
+	// with the set — and returns the summed repair weight (Eq. 12).
+	//
+	// Targets are additionally restricted to multiplicity at least u's own:
+	// repairs flow toward equally or more frequent patterns. Without this,
+	// the cost model's absorption property (see DESIGN.md §6) lets a
+	// one-tuple typo become the designated repair target of the
+	// high-multiplicity pattern it derives from, and the joint greedy then
+	// dooms the legitimate pattern "for free".
+	bestRepairCost := func(i, u, v int) float64 {
+		st := states[i]
+		uMult := graphs[i].Vertices[u].Mult()
+		type choice struct {
+			w  int
+			wt float64
+		}
+		var allowed []choice
+		for _, e := range graphs[i].Neighbors(u) {
+			w := e.To
+			if graphs[i].Vertices[w].Mult() < uMult {
+				continue
+			}
+			if w != v {
+				if st.blocked[w] {
+					continue // conflicts with the chosen set
+				}
+				if _, adj := graphs[i].Edge(w, v); adj {
+					continue // conflicts with the candidate
+				}
+			}
+			allowed = append(allowed, choice{w, e.W})
+		}
+		if len(allowed) == 0 {
+			// No frequent-enough target: account the doom as a repair to
+			// the candidate itself. This is what makes dooming a
+			// high-multiplicity pattern expensive for a junk candidate.
+			if w, ok := graphs[i].Edge(u, v); ok {
+				return float64(uMult) * w
+			}
+			// u is doomed but not adjacent to v (cannot happen: u comes
+			// from N(v)); fall back to the cheapest neighbor.
+			best := math.Inf(1)
+			for _, e := range graphs[i].Neighbors(u) {
+				if e.W < best {
+					best = e.W
+				}
+			}
+			return float64(uMult) * best
+		}
+		var total float64
+		for _, row := range graphs[i].Vertices[u].Rows {
+			bestWt := math.Inf(1)
+			bestSync := 1 << 30
+			for _, c := range allowed {
+				s := syncDelta(i, row, c.w)
+				if s < bestSync || (s == bestSync && c.wt < bestWt) {
+					bestSync, bestWt = s, c.wt
+				}
+			}
+			total += bestWt
+		}
+		return total
+	}
+
+	// minOmega[i][v]: the floor of v's repair cost in FD i if excluded,
+	// under the same multiplicity restriction bestRepairCost applies
+	// (falling back to the overall cheapest edge when no neighbor is
+	// frequent enough).
+	minOmega := make([][]float64, n)
+	for i, g := range graphs {
+		minOmega[i] = make([]float64, len(g.Vertices))
+		for v := range g.Vertices {
+			best := math.Inf(1)
+			restricted := math.Inf(1)
+			for _, e := range g.Neighbors(v) {
+				if e.W < best {
+					best = e.W
+				}
+				if g.Vertices[e.To].Mult() >= g.Vertices[v].Mult() && e.W < restricted {
+					restricted = e.W
+				}
+			}
+			switch {
+			case !math.IsInf(restricted, 1):
+				minOmega[i][v] = restricted
+			case !math.IsInf(best, 1):
+				minOmega[i][v] = best
+			}
+		}
+	}
+
+	// tupleCost is Eq. 12 for candidate v of FD i — the best-repair cost of
+	// every neighbor this addition newly dooms, normalized by each
+	// neighbor's unavoidable floor — minus the candidate's own avoided
+	// repair cost (the same normalization GreedyS uses; see greedySet).
+	tupleCost := func(i, v int) float64 {
+		st := states[i]
+		var total float64
+		for _, e := range graphs[i].Neighbors(v) {
+			if !st.blocked[e.To] && !st.inSet[e.To] {
+				total += bestRepairCost(i, e.To, v) - float64(graphs[i].Vertices[e.To].Mult())*minOmega[i][e.To]
+			}
+		}
+		return total - float64(graphs[i].Vertices[v].Mult())*minOmega[i][v]
+	}
+
+	add := func(i, v int) {
+		st := states[i]
+		st.inSet[v] = true
+		st.set = append(st.set, v)
+		for _, e := range graphs[i].Neighbors(v) {
+			if !st.inSet[e.To] {
+				st.blocked[e.To] = true
+			}
+		}
+		// A candidate's cost reads the blocked status of its neighbors'
+		// allowed targets — vertices up to two hops from the candidate —
+		// and blocking reaches one hop from v, so costs within three hops
+		// of v can change.
+		for _, e := range graphs[i].Neighbors(v) {
+			st.dirty[e.To] = true
+			for _, e2 := range graphs[i].Neighbors(e.To) {
+				st.dirty[e2.To] = true
+				for _, e3 := range graphs[i].Neighbors(e2.To) {
+					st.dirty[e3.To] = true
+				}
+			}
+		}
+	}
+
+	for {
+		bestI, bestV := -1, -1
+		bestCost := math.Inf(1)
+		const eps = 1e-9
+		for i := range graphs {
+			st := states[i]
+			for v := range graphs[i].Vertices {
+				if st.inSet[v] || st.blocked[v] {
+					continue
+				}
+				if st.dirty[v] {
+					st.cost[v] = tupleCost(i, v)
+					st.dirty[v] = false
+				}
+				if jointTraceHook != nil {
+					jointTraceHook(i, v, st.cost[v])
+				}
+				c := st.cost[v]
+				take := c < bestCost-eps
+				if !take && c <= bestCost+eps && bestI >= 0 {
+					// Exact ties break toward higher multiplicity (see
+					// greedySet), then FD order, then id.
+					mv, mb := graphs[i].Vertices[v].Mult(), graphs[bestI].Vertices[bestV].Mult()
+					take = mv > mb
+				}
+				if take || bestI < 0 {
+					bestI, bestV, bestCost = i, v, c
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		add(bestI, bestV)
+	}
+	sets := make([][]int, n)
+	for i, st := range states {
+		sets[i] = st.set
+	}
+	return sets
+}

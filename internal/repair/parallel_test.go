@@ -1,0 +1,47 @@
+package repair_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/eval"
+	"ftrepair/internal/repair"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 600, ErrorRate: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []multiAlgo{repair.ApproM, repair.GreedyM} {
+		seq, err := algo(inst.Dirty, inst.Set, inst.Cfg, repair.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := algo(inst.Dirty, inst.Set, inst.Cfg, repair.Options{Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, err := dataset.Diff(seq.Repaired, par.Repaired)
+		if err != nil || len(cells) != 0 {
+			t.Fatalf("%s: parallel differs from sequential at %v (%v)", seq.Algorithm, cells, err)
+		}
+		if len(seq.Changed) != len(par.Changed) {
+			t.Fatalf("%s: changed-cell counts differ: %d vs %d", seq.Algorithm, len(seq.Changed), len(par.Changed))
+		}
+	}
+}
+
+func TestParallelSingleComponentFallsBack(t *testing.T) {
+	// A set whose FD graph is one component exercises the sequential path
+	// even with Parallel set.
+	dirty, _, set, cfg := citizensSet(t)
+	sub := set.Subset([]int{1, 2})
+	res, err := repair.GreedyM(dirty, sub, cfg, repair.Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repair.VerifyFTConsistent(res.Repaired, sub, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package repair_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/repair"
+)
+
+// randomRelation builds a small two-FD relation from a bounded alphabet,
+// driven by quick's random source.
+func randomRelation(rng *rand.Rand) (*dataset.Relation, *fd.Set, *fd.DistConfig) {
+	schema := dataset.Strings("A", "B", "C")
+	keys := []string{"alpha", "bravo", "charlie", "delta"}
+	vals := []string{"red", "green", "blue"}
+	rel := dataset.NewRelation(schema)
+	n := 6 + rng.Intn(14)
+	for i := 0; i < n; i++ {
+		k := keys[rng.Intn(len(keys))]
+		v := vals[rng.Intn(len(vals))]
+		// Random dirt: typo in the key or a swapped value.
+		if rng.Intn(4) == 0 {
+			b := []byte(k)
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+			k = string(b)
+		}
+		if err := rel.Append(dataset.Tuple{k, v, k + v}); err != nil {
+			panic(err)
+		}
+	}
+	set, err := fd.NewSet([]*fd.FD{
+		fd.MustParse(schema, "A->B"),
+		fd.MustParse(schema, "A->C"),
+	}, 0.3)
+	if err != nil {
+		panic(err)
+	}
+	cfg, err := fd.NewDistConfig(rel, 0.7, 0.3)
+	if err != nil {
+		panic(err)
+	}
+	return rel, set, cfg
+}
+
+// TestRepairInvariantsQuick drives the multi-FD heuristics over random
+// instances and checks the paper's contract on every output: the repair is
+// FT-consistent, closed-world valid, costs what DatabaseCost says, and is
+// a fixpoint (repairing again changes nothing).
+func TestRepairInvariantsQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel, set, cfg := randomRelation(rng)
+		for _, algo := range []multiAlgo{repair.ApproM, repair.GreedyM} {
+			res, err := algo(rel, set, cfg, repair.Options{})
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if err := repair.VerifyFTConsistent(res.Repaired, set, cfg); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if err := repair.VerifyValid(rel, res.Repaired, set); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if got := cfg.DatabaseCost(rel, res.Repaired); got != res.Cost {
+				t.Logf("seed %d: cost mismatch %v vs %v", seed, got, res.Cost)
+				return false
+			}
+			// Fixpoint: a second repair is a no-op.
+			again, err := algo(res.Repaired, set, cfg, repair.Options{})
+			if err != nil {
+				t.Logf("seed %d: second repair: %v", seed, err)
+				return false
+			}
+			if len(again.Changed) != 0 {
+				t.Logf("seed %d: second repair changed %v", seed, again.Changed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectRepairConsistency: every pattern pair Detect reports before the
+// repair is gone afterwards.
+func TestDetectRepairConsistency(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rel, set, cfg := randomRelation(rng)
+		before := repair.Detect(rel, set, cfg, repair.Options{})
+		res, err := repair.GreedyM(rel, set, cfg, repair.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := repair.Detect(res.Repaired, set, cfg, repair.Options{})
+		if len(before) > 0 && len(after) != 0 {
+			t.Fatalf("seed %d: %d residual violations", seed, len(after))
+		}
+	}
+}

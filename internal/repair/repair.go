@@ -1,0 +1,154 @@
+// Package repair implements the paper's contribution: cost-based
+// fault-tolerant data repairing. It provides the single-FD algorithms of §3
+// (ExactS, the expansion-based optimal algorithm, and GreedyS, the greedy
+// approximation) and the multi-FD algorithms of §4 (ExactM over joined
+// maximal independent sets, ApproM joining per-FD greedy results, and
+// GreedyM, the synchronization-aware joint greedy), together with validity
+// and FT-consistency verification.
+//
+// Algorithm inventory (paper Table 2):
+//
+//	ExactS  §3.1  O(μ·|V|·|E|)    optimal, single FD
+//	GreedyS §3.2  O(|Î|·|V|)      heuristic, single FD
+//	ExactM  §4.2  O(|V|^(|Σ|+1))  optimal, multiple FDs
+//	ApproM  §4.3  O(|V|²·|Σ|)     per-FD greedy + join
+//	GreedyM §4.4  O(|Σ|·|V|²)     joint greedy with cross-FD synchronization
+package repair
+
+import (
+	"fmt"
+	"time"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/vgraph"
+)
+
+// Result reports a repair: the repaired relation plus accounting.
+type Result struct {
+	Repaired *dataset.Relation
+	// Cost is the Eq-4 repair cost between the input and the repaired
+	// database (sum of per-cell distances).
+	Cost float64
+	// Changed lists the modified cells.
+	Changed []dataset.Cell
+	// Algorithm names the algorithm that produced the repair.
+	Algorithm string
+	// Elapsed is the wall-clock repair time.
+	Elapsed time.Duration
+	// Stats carries algorithm-specific counters (expansion nodes, pruned
+	// subtrees, targets considered, ...). May be nil.
+	Stats map[string]int
+}
+
+// Options tunes the repair algorithms.
+type Options struct {
+	// Graph options (index on/off) for violation-graph construction.
+	Graph vgraph.Options
+	// DisablePruning turns off expansion-tree bound pruning (exact
+	// algorithms; ablation).
+	DisablePruning bool
+	// NaturalOrder disables the frequency-descending access order
+	// (ablation).
+	NaturalOrder bool
+	// MaxNodes caps expansion-tree width for the exact algorithms.
+	MaxNodes int
+	// DisableTargetTree makes the multi-FD algorithms search targets by
+	// linear scan instead of the §5 target tree (ablation).
+	DisableTargetTree bool
+	// MaxMISPerFD caps how many maximal independent sets ExactM enumerates
+	// per FD; 0 means unlimited. When the cap is hit ExactM returns an
+	// error (the instance needs the greedy algorithms).
+	MaxMISPerFD int
+	// Parallel repairs up to this many FD-graph components concurrently.
+	// Components have disjoint attribute sets (that is what makes them
+	// components), so their repairs commute and the result is identical to
+	// the sequential one. Values below 2 mean sequential.
+	Parallel int
+}
+
+func finish(orig *dataset.Relation, repaired *dataset.Relation, cfg *fd.DistConfig, algorithm string, start time.Time, stats map[string]int) (*Result, error) {
+	changed, err := dataset.Diff(orig, repaired)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Repaired:  repaired,
+		Cost:      cfg.DatabaseCost(orig, repaired),
+		Changed:   changed,
+		Algorithm: algorithm,
+		Elapsed:   time.Since(start),
+		Stats:     stats,
+	}, nil
+}
+
+// Partial applies only the selected repaired cells onto the original
+// relation, for human-in-the-loop workflows where a reviewer approves a
+// subset of the proposed repairs (the user-guided complement the paper
+// discusses). Cells not in res.Changed are ignored. The result may not be
+// FT-consistent — it reflects exactly the approved subset.
+func (res *Result) Partial(orig *dataset.Relation, approved []dataset.Cell) *dataset.Relation {
+	proposed := make(map[dataset.Cell]bool, len(res.Changed))
+	for _, c := range res.Changed {
+		proposed[c] = true
+	}
+	out := orig.Clone()
+	for _, c := range approved {
+		if proposed[c] {
+			out.Set(c, res.Repaired.Get(c))
+		}
+	}
+	return out
+}
+
+// VerifyFTConsistent checks that rel is FT-consistent w.r.t. every FD in
+// set, returning a descriptive error for the first violation found.
+func VerifyFTConsistent(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig) error {
+	for i, f := range set.FDs {
+		patterns := fd.DistinctProjections(rel, f)
+		for a := 0; a < len(patterns); a++ {
+			for b := a + 1; b < len(patterns); b++ {
+				if cfg.FTViolates(f, set.Tau[i], patterns[a], patterns[b]) {
+					return fmt.Errorf("repair: FT-violation of %s between %v and %v (dist %.4f, tau %.4f)",
+						f, patterns[a].Project(f.Attrs()), patterns[b].Project(f.Attrs()),
+						cfg.Dist(f, patterns[a], patterns[b]), set.Tau[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyValid checks the closed-world validity of a repair: for every tuple
+// of repaired and every FD, the projected values must occur together in some
+// tuple of the original database (§2.2, valid tuple repair).
+func VerifyValid(orig, repaired *dataset.Relation, set *fd.Set) error {
+	for _, f := range set.FDs {
+		keys := make(map[string]bool, orig.Len())
+		for _, t := range orig.Tuples {
+			keys[t.Key(f.Attrs())] = true
+		}
+		for i, t := range repaired.Tuples {
+			if !keys[t.Key(f.Attrs())] {
+				return fmt.Errorf("repair: tuple %d has projection %v on %s absent from the original database",
+					i, t.Project(f.Attrs()), f)
+			}
+		}
+	}
+	return nil
+}
+
+// applyVertexRepairs writes pattern repairs into a cloned relation: each
+// entry maps a graph vertex to the vertex whose pattern its rows adopt.
+func applyVertexRepairs(rel *dataset.Relation, g *vgraph.Graph, target map[int]int) *dataset.Relation {
+	out := rel.Clone()
+	for from, to := range target {
+		pattern := g.Vertices[to].Rep
+		for _, row := range g.Vertices[from].Rows {
+			for _, c := range g.FD.Attrs() {
+				out.Tuples[row][c] = pattern[c]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package repair
+
+import (
+	"sort"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/targettree"
+	"ftrepair/internal/vgraph"
+)
+
+// unionAttrs returns the sorted union of constraint attributes of the FDs.
+func unionAttrs(fds []*fd.FD) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, f := range fds {
+		for _, c := range f.Attrs() {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// levelsFor turns per-FD independent sets (vertex ids) into target-tree
+// levels.
+func levelsFor(graphs []*vgraph.Graph, sets [][]int) []targettree.Level {
+	levels := make([]targettree.Level, len(graphs))
+	for i, g := range graphs {
+		attrs := g.FD.Attrs()
+		l := targettree.Level{Attrs: attrs}
+		for _, v := range sets[i] {
+			l.Patterns = append(l.Patterns, g.Vertices[v].Rep.Project(attrs))
+		}
+		levels[i] = l
+	}
+	return levels
+}
+
+// tupleGroup is a set of rows sharing the same projection over the
+// component's attributes; they repair identically.
+type tupleGroup struct {
+	rep  dataset.Tuple
+	rows []int
+}
+
+// groupTuples groups the relation's rows by their projection over attrs.
+func groupTuples(rel *dataset.Relation, attrs []int) []tupleGroup {
+	byKey := make(map[string]int)
+	var groups []tupleGroup
+	for i, t := range rel.Tuples {
+		k := t.Key(attrs)
+		gi, ok := byKey[k]
+		if !ok {
+			gi = len(groups)
+			byKey[k] = gi
+			groups = append(groups, tupleGroup{rep: t})
+		}
+		groups[gi].rows = append(groups[gi].rows, i)
+	}
+	return groups
+}
+
+// chosenKeys builds, per FD, the set of projection keys of the chosen
+// independent set.
+func chosenKeys(graphs []*vgraph.Graph, sets [][]int) []map[string]bool {
+	keys := make([]map[string]bool, len(graphs))
+	for i, g := range graphs {
+		m := make(map[string]bool, len(sets[i]))
+		for _, v := range sets[i] {
+			m[g.Vertices[v].Rep.Key(g.FD.Attrs())] = true
+		}
+		keys[i] = m
+	}
+	return keys
+}
+
+// needsRepair reports whether the group's representative has a projection
+// outside some FD's chosen set.
+func needsRepair(rep dataset.Tuple, graphs []*vgraph.Graph, keys []map[string]bool) bool {
+	for i, g := range graphs {
+		if !keys[i][rep.Key(g.FD.Attrs())] {
+			return true
+		}
+	}
+	return false
+}
+
+// planCosts evaluates the total cost of repairing rel with the given per-FD
+// independent sets, also returning the chosen target per group (nil for
+// groups that keep their values). abortAbove enables early exit: when the
+// accumulated cost exceeds it, evaluation stops with ok=false.
+func planCosts(groups []tupleGroup, graphs []*vgraph.Graph, sets [][]int, cfg *fd.DistConfig, disableTree bool, abortAbove float64) (targets []*targettree.Target, cost float64, visited int, ok bool) {
+	tree, err := targettree.Build(levelsFor(graphs, sets))
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	keys := chosenKeys(graphs, sets)
+	targets = make([]*targettree.Target, len(groups))
+	for gi := range groups {
+		g := &groups[gi]
+		if !needsRepair(g.rep, graphs, keys) {
+			continue
+		}
+		var tg targettree.Target
+		var c float64
+		var v int
+		if disableTree {
+			tg, c, v = tree.NearestScan(g.rep, cfg.RepairDist)
+		} else {
+			tg, c, v = tree.Nearest(g.rep, cfg.RepairDist)
+		}
+		visited += v
+		targets[gi] = &tg
+		cost += float64(len(g.rows)) * c
+		if cost > abortAbove {
+			return nil, cost, visited, false
+		}
+	}
+	return targets, cost, visited, true
+}
+
+// applyPlan writes the chosen targets into out.
+func applyPlan(out *dataset.Relation, groups []tupleGroup, targets []*targettree.Target) {
+	for gi, tg := range targets {
+		if tg == nil {
+			continue
+		}
+		for _, row := range groups[gi].rows {
+			for i, c := range tg.Cols {
+				out.Tuples[row][c] = tg.Vals[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package report renders human-readable accounts of detection and repair
+// runs: what was violated before, what remains after, which attributes
+// changed and how, and a sample of the concrete edits. It is the surface
+// the ftrepair command prints with -report, and a convenient audit trail
+// for library users.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/repair"
+)
+
+// Options tunes report rendering.
+type Options struct {
+	// MaxSamples bounds the per-attribute sample of concrete edits
+	// (default 5).
+	MaxSamples int
+}
+
+// Write renders a full repair report to w.
+func Write(w io.Writer, orig *dataset.Relation, res *repair.Result, set *fd.Set, cfg *fd.DistConfig, opts Options) error {
+	if opts.MaxSamples <= 0 {
+		opts.MaxSamples = 5
+	}
+	rowsTouched := map[int]bool{}
+	for _, c := range res.Changed {
+		rowsTouched[c.Row] = true
+	}
+	fmt.Fprintf(w, "repair report — %s\n", res.Algorithm)
+	fmt.Fprintf(w, "  %d cells changed across %d of %d tuples, repair cost %.3f, wall time %v\n",
+		len(res.Changed), len(rowsTouched), orig.Len(), res.Cost, res.Elapsed)
+
+	// Violations before and after, per FD.
+	before := countByFD(repair.Detect(orig, set, cfg, repair.Options{}))
+	after := countByFD(repair.Detect(res.Repaired, set, cfg, repair.Options{}))
+	fmt.Fprintln(w, "\nFT-violations by constraint (pattern pairs):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  constraint\tbefore\tafter")
+	for _, f := range set.FDs {
+		fmt.Fprintf(tw, "  %s\t%d\t%d\n", f, before[f], after[f])
+	}
+	tw.Flush()
+
+	// Changes per attribute with samples.
+	byCol := map[int][]dataset.Cell{}
+	for _, c := range res.Changed {
+		byCol[c.Col] = append(byCol[c.Col], c)
+	}
+	cols := make([]int, 0, len(byCol))
+	for c := range byCol {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	fmt.Fprintln(w, "\nrepairs by attribute:")
+	for _, col := range cols {
+		cells := byCol[col]
+		fmt.Fprintf(w, "  %s: %d cells\n", orig.Schema.Attr(col).Name, len(cells))
+		for i, cell := range cells {
+			if i >= opts.MaxSamples {
+				fmt.Fprintf(w, "    ... %d more\n", len(cells)-opts.MaxSamples)
+				break
+			}
+			fmt.Fprintf(w, "    row %d: %q -> %q\n", cell.Row+1, orig.Get(cell), res.Repaired.Get(cell))
+		}
+	}
+	if len(cols) == 0 {
+		fmt.Fprintln(w, "  (none — the input was already FT-consistent)")
+	}
+	return nil
+}
+
+func countByFD(violations []repair.Violation) map[*fd.FD]int {
+	out := make(map[*fd.FD]int)
+	for _, v := range violations {
+		out[v.FD]++
+	}
+	return out
+}
+
+// WriteViolations renders a detection-only report: every FT-violation with
+// its distance, carriers, and classic/similarity classification.
+func WriteViolations(w io.Writer, violations []repair.Violation) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "constraint\tkind\tdist\tleft (rows)\tright (rows)")
+	for _, v := range violations {
+		kind := "similar"
+		if v.Classic {
+			kind = "classic"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%v %v\t%v %v\n",
+			v.FD.Name, kind, v.Dist, v.Left, oneBased(v.LeftRows), v.Right, oneBased(v.RightRows))
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "%d FT-violations\n", len(violations))
+}
+
+func oneBased(rows []int) []int {
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = r + 1
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package report_test
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"ftrepair/internal/fd"
+	"ftrepair/internal/gen"
+	"ftrepair/internal/repair"
+	"ftrepair/internal/report"
+)
+
+func TestWriteRepairReport(t *testing.T) {
+	dirty, _ := gen.Citizens()
+	set, err := fd.NewSet(gen.CitizensFDs(dirty.Schema), 0.2, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fd.DefaultDistConfig(dirty)
+	res, err := repair.ExactM(dirty, set, cfg, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := report.Write(&sb, dirty, res, set, cfg, report.Options{MaxSamples: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"repair report — ExactM",
+		"8 cells changed",
+		"FT-violations by constraint",
+		"repairs by attribute",
+		`"Masers" -> "Masters"`,
+		"phi1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The repaired database has zero residual violations (tabwriter
+	// expands tabs, so match per line).
+	if !regexp.MustCompile(`(?m)phi1.*\s0$`).MatchString(out) {
+		t.Errorf("expected zero after-count for phi1:\n%s", out)
+	}
+}
+
+func TestWriteReportNoRepairs(t *testing.T) {
+	_, clean := gen.Citizens()
+	set, err := fd.NewSet(gen.CitizensFDs(clean.Schema), 0.2, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fd.DefaultDistConfig(clean)
+	res, err := repair.GreedyM(clean, set, cfg, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := report.Write(&sb, clean, res, set, cfg, report.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "already FT-consistent") {
+		t.Errorf("noop report:\n%s", sb.String())
+	}
+}
+
+func TestWriteViolations(t *testing.T) {
+	dirty, _ := gen.Citizens()
+	set, err := fd.NewSet(gen.CitizensFDs(dirty.Schema)[1:2], 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fd.DefaultDistConfig(dirty)
+	violations := repair.Detect(dirty, set, cfg, repair.Options{})
+	var sb strings.Builder
+	report.WriteViolations(&sb, violations)
+	out := sb.String()
+	if !strings.Contains(out, "classic") || !strings.Contains(out, "similar") {
+		t.Errorf("violation kinds missing:\n%s", out)
+	}
+	if !strings.Contains(out, "FT-violations") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+}

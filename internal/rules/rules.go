@@ -1,0 +1,191 @@
+// Package rules implements the rule-based repairing the paper contrasts
+// with in §2.3: editing rules backed by master data (Fan et al., "Towards
+// certain fixes with editing rules and master data"). An editing rule says:
+// when a tuple agrees with a master-relation tuple on a key set of
+// attributes, copy the rule's target attributes from the master tuple.
+// Unlike the cost-based model, repairs are deterministic and certain — but
+// they only reach tuples whose key attributes are correct and covered by
+// master data, which is exactly the trade-off the paper describes.
+package rules
+
+import (
+	"fmt"
+
+	"ftrepair/internal/dataset"
+)
+
+// Rule is one editing rule: Match attributes identify the master tuple,
+// Copy attributes are overwritten from it. Verify attributes (optional)
+// must already agree with the master tuple for the rule to fire — the
+// editing-rules notion of a verified region, which keeps fixes certain
+// when the match key itself may be dirty: a tuple whose key was corrupted
+// toward another master key will almost never also agree on the verify
+// attributes.
+type Rule struct {
+	Name   string
+	Match  []int
+	Copy   []int
+	Verify []int
+}
+
+// WithVerify returns a copy of the rule requiring the named attributes to
+// match the master before firing.
+func (r *Rule) WithVerify(schema *dataset.Schema, attrs ...string) (*Rule, error) {
+	v, err := schema.Indices(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("rules: %s: %w", r.Name, err)
+	}
+	out := *r
+	out.Verify = v
+	return &out, nil
+}
+
+// NewRule builds a rule from attribute names over the data schema; the
+// master relation must carry the same attribute names.
+func NewRule(schema *dataset.Schema, name string, match, copyAttrs []string) (*Rule, error) {
+	if len(match) == 0 || len(copyAttrs) == 0 {
+		return nil, fmt.Errorf("rules: %s: match and copy sets must be non-empty", name)
+	}
+	m, err := schema.Indices(match...)
+	if err != nil {
+		return nil, fmt.Errorf("rules: %s: %w", name, err)
+	}
+	c, err := schema.Indices(copyAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("rules: %s: %w", name, err)
+	}
+	seen := map[int]bool{}
+	for _, col := range m {
+		seen[col] = true
+	}
+	for _, col := range c {
+		if seen[col] {
+			return nil, fmt.Errorf("rules: %s: attribute %s in both match and copy", name, schema.Attr(col).Name)
+		}
+	}
+	return &Rule{Name: name, Match: m, Copy: c}, nil
+}
+
+// Engine applies editing rules against a master relation.
+type Engine struct {
+	master *dataset.Relation
+	rules  []*Rule
+	// Per rule: the copy and verify attributes translated to master
+	// columns, the master key index (first row wins), and the keys whose
+	// copy values are ambiguous in the master data — a certain fix must be
+	// unique, so those keys never fire.
+	masterCopy   [][]int
+	masterVerify [][]int
+	index        []map[string]int
+	ambiguous    []map[string]bool
+}
+
+// NewEngine indexes the master relation for every rule. The master and the
+// data to repair must share attribute names for the rules' attributes; the
+// master schema is looked up by name so it may be narrower.
+func NewEngine(master *dataset.Relation, dataSchema *dataset.Schema, rs []*Rule) (*Engine, error) {
+	e := &Engine{master: master, rules: rs}
+	for _, r := range rs {
+		masterMatch, masterCopy, err := mapAttrs(dataSchema, master.Schema, r)
+		if err != nil {
+			return nil, err
+		}
+		ix := make(map[string]int)
+		amb := make(map[string]bool)
+		for i, t := range master.Tuples {
+			k := t.Key(masterMatch)
+			if prev, ok := ix[k]; ok {
+				for _, c := range masterCopy {
+					if master.Tuples[prev][c] != t[c] {
+						amb[k] = true
+					}
+				}
+				continue
+			}
+			ix[k] = i
+		}
+		masterVerify := make([]int, len(r.Verify))
+		for i, c := range r.Verify {
+			name := dataSchema.Attr(c).Name
+			mc, ok := master.Schema.Index(name)
+			if !ok {
+				return nil, fmt.Errorf("rules: %s: master data lacks verify attribute %q", r.Name, name)
+			}
+			masterVerify[i] = mc
+		}
+		e.masterCopy = append(e.masterCopy, masterCopy)
+		e.masterVerify = append(e.masterVerify, masterVerify)
+		e.index = append(e.index, ix)
+		e.ambiguous = append(e.ambiguous, amb)
+	}
+	return e, nil
+}
+
+// mapAttrs translates a rule's data-schema columns into master-schema
+// columns by attribute name.
+func mapAttrs(data, master *dataset.Schema, r *Rule) (match, copyAttrs []int, err error) {
+	translate := func(cols []int) ([]int, error) {
+		out := make([]int, len(cols))
+		for i, c := range cols {
+			name := data.Attr(c).Name
+			mc, ok := master.Index(name)
+			if !ok {
+				return nil, fmt.Errorf("rules: %s: master data lacks attribute %q", r.Name, name)
+			}
+			out[i] = mc
+		}
+		return out, nil
+	}
+	match, err = translate(r.Match)
+	if err != nil {
+		return nil, nil, err
+	}
+	copyAttrs, err = translate(r.Copy)
+	return match, copyAttrs, err
+}
+
+// Fix is one applied (or applicable) certain fix.
+type Fix struct {
+	Rule *Rule
+	Cell dataset.Cell
+	Old  string
+	New  string
+}
+
+// Repair applies every rule to every tuple: when the tuple's match
+// attributes hit a unique master key, the copy attributes take the master
+// values. It returns the repaired copy and the fixes applied.
+func (e *Engine) Repair(rel *dataset.Relation) (*dataset.Relation, []Fix) {
+	out := rel.Clone()
+	var fixes []Fix
+	for ri, r := range e.rules {
+		for i, t := range out.Tuples {
+			k := t.Key(r.Match)
+			if e.ambiguous[ri][k] {
+				continue
+			}
+			mi, ok := e.index[ri][k]
+			if !ok {
+				continue
+			}
+			verified := true
+			for j, c := range r.Verify {
+				if t[c] != e.master.Tuples[mi][e.masterVerify[ri][j]] {
+					verified = false
+					break
+				}
+			}
+			if !verified {
+				continue
+			}
+			for j, c := range r.Copy {
+				mv := e.master.Tuples[mi][e.masterCopy[ri][j]]
+				if t[c] != mv {
+					fixes = append(fixes, Fix{Rule: r, Cell: dataset.Cell{Row: i, Col: c}, Old: t[c], New: mv})
+					t[c] = mv
+				}
+			}
+		}
+	}
+	return out, fixes
+}

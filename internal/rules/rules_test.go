@@ -1,0 +1,200 @@
+package rules_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/gen"
+	"ftrepair/internal/rules"
+)
+
+func TestNewRuleValidation(t *testing.T) {
+	schema := dataset.Strings("Zip", "City", "State")
+	if _, err := rules.NewRule(schema, "r", nil, []string{"City"}); err == nil {
+		t.Fatal("empty match accepted")
+	}
+	if _, err := rules.NewRule(schema, "r", []string{"Zip"}, nil); err == nil {
+		t.Fatal("empty copy accepted")
+	}
+	if _, err := rules.NewRule(schema, "r", []string{"Zip"}, []string{"Zip"}); err == nil {
+		t.Fatal("overlapping match/copy accepted")
+	}
+	if _, err := rules.NewRule(schema, "r", []string{"Nope"}, []string{"City"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := rules.NewRule(schema, "r", []string{"Zip"}, []string{"City", "State"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineRepairsFromMaster(t *testing.T) {
+	dataSchema := dataset.Strings("Name", "Zip", "City", "State")
+	dirty, err := dataset.FromRows(dataSchema, [][]string{
+		{"ann", "02134", "Boston", "MA"},
+		{"bob", "02134", "Bostn", "NY"},   // both fixable via master
+		{"eve", "99999", "Nowhere", "ZZ"}, // no master coverage
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Master data is narrower (no Name) and keyed by Zip.
+	master, err := dataset.FromRows(dataset.Strings("Zip", "City", "State"), [][]string{
+		{"02134", "Boston", "MA"},
+		{"10001", "New York", "NY"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rules.NewRule(dataSchema, "zip2loc", []string{"Zip"}, []string{"City", "State"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := rules.NewEngine(master, dataSchema, []*rules.Rule{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, fixes := e.Repair(dirty)
+	if out.Tuples[1][2] != "Boston" || out.Tuples[1][3] != "MA" {
+		t.Fatalf("bob unrepaired: %v", out.Tuples[1])
+	}
+	if out.Tuples[2][2] != "Nowhere" {
+		t.Fatalf("uncovered tuple modified: %v", out.Tuples[2])
+	}
+	if len(fixes) != 2 {
+		t.Fatalf("fixes = %v", fixes)
+	}
+	for _, f := range fixes {
+		if f.Rule != r || f.Cell.Row != 1 {
+			t.Fatalf("unexpected fix %+v", f)
+		}
+	}
+	// Input untouched.
+	if dirty.Tuples[1][2] != "Bostn" {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestEngineSkipsAmbiguousMasterKeys(t *testing.T) {
+	schema := dataset.Strings("Zip", "City")
+	master, _ := dataset.FromRows(schema, [][]string{
+		{"02134", "Boston"},
+		{"02134", "Cambridge"}, // same key, different copy value
+		{"10001", "New York"},
+	})
+	r, err := rules.NewRule(schema, "r", []string{"Zip"}, []string{"City"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := rules.NewEngine(master, schema, []*rules.Rule{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := dataset.FromRows(schema, [][]string{
+		{"02134", "Wrong"},
+		{"10001", "Wrong"},
+	})
+	out, fixes := e.Repair(data)
+	if out.Tuples[0][1] != "Wrong" {
+		t.Fatal("ambiguous master key applied")
+	}
+	if out.Tuples[1][1] != "New York" || len(fixes) != 1 {
+		t.Fatalf("unique key not applied: %v %v", out.Tuples[1], fixes)
+	}
+}
+
+func TestEngineMissingMasterAttribute(t *testing.T) {
+	dataSchema := dataset.Strings("Zip", "City")
+	master, _ := dataset.FromRows(dataset.Strings("Zip"), [][]string{{"02134"}})
+	r, err := rules.NewRule(dataSchema, "r", []string{"Zip"}, []string{"City"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rules.NewEngine(master, dataSchema, []*rules.Rule{r}); err == nil {
+		t.Fatal("master without the copy attribute accepted")
+	}
+}
+
+func TestRuleRepairCoverageStory(t *testing.T) {
+	// The paper's point: rule-based repair with master data is precise but
+	// only reaches tuples whose key attributes are clean and covered. On a
+	// dirty HOSP instance with the clean data as master, Zip-keyed rules
+	// fix locality attributes but cannot touch errors in Zip itself.
+	clean := gen.HOSP{Seed: 51}.Generate(600)
+	fds := gen.HOSPFDs(clean.Schema)
+	dirty, injections := gen.Inject(clean, fds, 0.04, 52)
+	r, err := rules.NewRule(clean.Schema, "zip2loc", []string{"Zip"}, []string{"City", "State", "County"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := rules.NewEngine(clean, dirty.Schema, []*rules.Rule{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, fixes := e.Repair(dirty)
+	if len(fixes) == 0 {
+		t.Fatal("no fixes applied")
+	}
+	// A fix is only "certain" when the row's key is itself clean: rows with
+	// a swapped Zip match the wrong master tuple and get consistently wrong
+	// values — the very limitation the paper describes.
+	zip := clean.Schema.MustIndex("Zip")
+	for _, f := range fixes {
+		keyClean := dirty.Tuples[f.Cell.Row][zip] == clean.Tuples[f.Cell.Row][zip]
+		if keyClean && out.Get(f.Cell) != clean.Get(f.Cell) {
+			t.Fatalf("wrong fix despite clean key: %+v", f)
+		}
+	}
+	// And Zip errors themselves survive (keys are not repairable).
+	zipErrors := 0
+	for _, inj := range injections {
+		if inj.Cell.Col == zip && out.Get(inj.Cell) == inj.Dirty {
+			zipErrors++
+		}
+	}
+	if zipErrors == 0 {
+		t.Fatal("expected surviving Zip errors — rule repair cannot fix its own keys")
+	}
+}
+
+func TestVerifyAttributesGateFixes(t *testing.T) {
+	schema := dataset.Strings("Zip", "City", "State")
+	master, _ := dataset.FromRows(schema, [][]string{
+		{"02134", "Boston", "MA"},
+		{"10001", "New York", "NY"},
+	})
+	r, err := rules.NewRule(schema, "r", []string{"Zip"}, []string{"State"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = r.WithVerify(schema, "City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := rules.NewEngine(master, schema, []*rules.Rule{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := dataset.FromRows(schema, [][]string{
+		{"02134", "Boston", "XX"}, // verified: City agrees -> fix State
+		{"10001", "Boston", "XX"}, // corrupted zip: City disagrees -> no fix
+	})
+	out, fixes := e.Repair(data)
+	if out.Tuples[0][2] != "MA" {
+		t.Fatalf("verified fix missing: %v", out.Tuples[0])
+	}
+	if out.Tuples[1][2] != "XX" {
+		t.Fatalf("unverified row fixed: %v", out.Tuples[1])
+	}
+	if len(fixes) != 1 {
+		t.Fatalf("fixes = %v", fixes)
+	}
+	// Verify attribute must exist in the master.
+	narrow, _ := dataset.FromRows(dataset.Strings("Zip", "State"), [][]string{{"02134", "MA"}})
+	if _, err := rules.NewEngine(narrow, schema, []*rules.Rule{r}); err == nil {
+		t.Fatal("master without verify attribute accepted")
+	}
+	// WithVerify validates names.
+	if _, err := r.WithVerify(schema, "Nope"); err == nil {
+		t.Fatal("unknown verify attribute accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package strsim
+
+import "unicode/utf8"
+
+// OSA returns the optimal-string-alignment distance (Damerau-Levenshtein
+// with non-overlapping transpositions): insert, delete, substitute, and
+// adjacent transposition all cost 1. Typos frequently transpose adjacent
+// characters, which plain Levenshtein counts as two edits; OSA counts one.
+func OSA(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := runes(a), runes(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Three rolling rows: i-2, i-1, i.
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			sub := prev[j-1]
+			if ra[i-1] != rb[j-1] {
+				sub++
+			}
+			d := min3(prev[j]+1, cur[j-1]+1, sub)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t
+				}
+			}
+			cur[j] = d
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// OSABounded computes the OSA distance with early exit: (d, true) when
+// d <= maxDist, (0, false) otherwise. Banded like LevenshteinBounded.
+func OSABounded(a, b string, maxDist int) (int, bool) {
+	if maxDist < 0 {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	ra, rb := runes(a), runes(b)
+	la, lb := len(ra), len(rb)
+	if abs(la-lb) > maxDist {
+		return 0, false
+	}
+	if la == 0 {
+		return lb, lb <= maxDist
+	}
+	if lb == 0 {
+		return la, la <= maxDist
+	}
+	const inf = 1 << 30
+	rows := [3][]int{make([]int, lb+1), make([]int, lb+1), make([]int, lb+1)}
+	prev2, prev, cur := rows[0], rows[1], rows[2]
+	for j := 0; j <= lb; j++ {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+		prev2[j] = inf
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + maxDist
+		if hi > lb {
+			hi = lb
+		}
+		if lo > hi {
+			return 0, false
+		}
+		for j := 0; j <= lb; j++ {
+			cur[j] = inf
+		}
+		if lo == 1 && i <= maxDist {
+			cur[0] = i
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			sub := prev[j-1]
+			if sub < inf && ra[i-1] != rb[j-1] {
+				sub++
+			}
+			d := inf
+			if prev[j] < inf && prev[j]+1 < d {
+				d = prev[j] + 1
+			}
+			if cur[j-1] < inf && cur[j-1]+1 < d {
+				d = cur[j-1] + 1
+			}
+			if sub < d {
+				d = sub
+			}
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] && prev2[j-2] < inf {
+				if t := prev2[j-2] + 1; t < d {
+					d = t
+				}
+			}
+			cur[j] = d
+			if d < rowMin {
+				rowMin = d
+			}
+		}
+		if rowMin > maxDist {
+			return 0, false
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	d := prev[lb]
+	if d > maxDist {
+		return 0, false
+	}
+	return d, true
+}
+
+// NormalizedOSA is the OSA distance divided by the longer length, in [0,1].
+func NormalizedOSA(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(OSA(a, b)) / float64(m)
+}
+
+// NormalizedOSAWithin reports whether the normalized OSA distance is at
+// most t, with early exit.
+func NormalizedOSAWithin(a, b string, t float64) (float64, bool) {
+	if t < 0 {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0, true
+	}
+	d, ok := OSABounded(a, b, int(t*float64(m)))
+	if !ok {
+		return 0, false
+	}
+	nd := float64(d) / float64(m)
+	if nd > t {
+		return 0, false
+	}
+	return nd, true
+}

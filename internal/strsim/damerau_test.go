@@ -1,0 +1,130 @@
+package strsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOSAKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"ab", "ba", 1},     // transposition
+		{"abcd", "acbd", 1}, // inner transposition
+		{"ca", "abc", 3},    // the classic OSA-vs-full-Damerau case
+		{"kitten", "sitting", 3},
+		{"Boston", "Botson", 1},
+		{"Boston", "Boton", 1},
+		{"a", "", 1},
+		{"", "xyz", 3},
+	}
+	for _, c := range cases {
+		if got := OSA(c.a, c.b); got != c.want {
+			t.Errorf("OSA(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := OSA(c.b, c.a); got != c.want {
+			t.Errorf("OSA(%q,%q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// slowOSA is a reference implementation with the full matrix.
+func slowOSA(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	d := make([][]int, la+1)
+	for i := range d {
+		d[i] = make([]int, lb+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= lb; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			sub := d[i-1][j-1]
+			if ra[i-1] != rb[j-1] {
+				sub++
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, sub)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := d[i-2][j-2] + 1; t < d[i][j] {
+					d[i][j] = t
+				}
+			}
+		}
+	}
+	return d[la][lb]
+}
+
+func TestOSAMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for i := 0; i < 500; i++ {
+		a, b := randomWord(r, 10), randomWord(r, 10)
+		if got, want := OSA(a, b), slowOSA(a, b); got != want {
+			t.Fatalf("OSA(%q,%q) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestOSABoundedMatchesFull(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	for i := 0; i < 1000; i++ {
+		a, b := randomWord(r, 9), randomWord(r, 9)
+		k := r.Intn(5)
+		want := OSA(a, b)
+		d, ok := OSABounded(a, b, k)
+		if want <= k {
+			if !ok || d != want {
+				t.Fatalf("OSABounded(%q,%q,%d) = %d,%v want %d,true", a, b, k, d, ok, want)
+			}
+		} else if ok {
+			t.Fatalf("OSABounded(%q,%q,%d) = %d,true want false (full=%d)", a, b, k, d, want)
+		}
+	}
+	if _, ok := OSABounded("a", "b", -1); ok {
+		t.Fatal("negative bound accepted")
+	}
+	if d, ok := OSABounded("", "ab", 3); !ok || d != 2 {
+		t.Fatal("empty-side bound failed")
+	}
+}
+
+func TestOSANeverExceedsLevenshtein(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	for i := 0; i < 500; i++ {
+		a, b := randomWord(r, 10), randomWord(r, 10)
+		if OSA(a, b) > Levenshtein(a, b) {
+			t.Fatalf("OSA(%q,%q)=%d > Levenshtein=%d", a, b, OSA(a, b), Levenshtein(a, b))
+		}
+	}
+}
+
+func TestNormalizedOSA(t *testing.T) {
+	if d := NormalizedOSA("ab", "ba"); d != 0.5 {
+		t.Fatalf("NormalizedOSA = %v", d)
+	}
+	if d := NormalizedOSA("", ""); d != 0 {
+		t.Fatalf("empty = %v", d)
+	}
+	r := rand.New(rand.NewSource(64))
+	for i := 0; i < 500; i++ {
+		a, b := randomWord(r, 8), randomWord(r, 8)
+		tt := float64(r.Intn(11)) / 10
+		want := NormalizedOSA(a, b)
+		got, ok := NormalizedOSAWithin(a, b, tt)
+		if want <= tt {
+			if !ok || got != want {
+				t.Fatalf("NormalizedOSAWithin(%q,%q,%v) = %v,%v want %v,true", a, b, tt, got, ok, want)
+			}
+		} else if ok {
+			t.Fatalf("NormalizedOSAWithin(%q,%q,%v) accepted (full=%v)", a, b, tt, want)
+		}
+	}
+	if _, ok := NormalizedOSAWithin("a", "b", -1); ok {
+		t.Fatal("negative threshold accepted")
+	}
+}

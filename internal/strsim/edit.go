@@ -1,0 +1,367 @@
+// Package strsim implements the distance functions the paper's
+// fault-tolerant violation semantics is built on: edit distance (plain,
+// normalized, and banded with early exit), Jaccard distance over q-gram
+// sets, and normalized Euclidean distance for numeric values. It also
+// provides a q-gram inverted index with a length filter so that
+// FT-violation detection does not need to compare all O(n^2) pairs.
+//
+// All normalized distances are in [0,1], with 0 meaning identical.
+package strsim
+
+import "unicode/utf8"
+
+// Levenshtein returns the unrestricted edit distance (insert, delete,
+// substitute; unit costs) between a and b, computed over runes. ASCII
+// inputs — the bulk of relational data — take an allocation-light byte
+// path.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if isASCII(a) && isASCII(b) {
+		return levenshteinBytes(a, b)
+	}
+	ra, rb := runes(a), runes(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Keep the shorter string in the inner dimension.
+	if la < lb {
+		ra, rb = rb, ra
+		la, lb = lb, la
+	}
+	prev := make([]int, lb+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur := prev[0]
+		prev[0] = i
+		for j := 1; j <= lb; j++ {
+			sub := cur
+			if ra[i-1] != rb[j-1] {
+				sub++
+			}
+			cur = prev[j]
+			prev[j] = min3(prev[j]+1, prev[j-1]+1, sub)
+		}
+	}
+	return prev[lb]
+}
+
+// levenshteinBytes is the byte-wise DP for ASCII strings: no rune slices.
+func levenshteinBytes(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	if la < lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	var stack [64]int
+	var prev []int
+	if lb+1 <= len(stack) {
+		prev = stack[:lb+1]
+	} else {
+		prev = make([]int, lb+1)
+	}
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur := prev[0]
+		prev[0] = i
+		ca := a[i-1]
+		for j := 1; j <= lb; j++ {
+			sub := cur
+			if ca != b[j-1] {
+				sub++
+			}
+			cur = prev[j]
+			prev[j] = min3(prev[j]+1, prev[j-1]+1, sub)
+		}
+	}
+	return prev[lb]
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// LevenshteinBounded computes the edit distance with early exit: it returns
+// (d, true) when the distance d <= maxDist, and (0, false) when the distance
+// exceeds maxDist. It uses a banded DP of width 2*maxDist+1, so the cost is
+// O(maxDist * max(|a|,|b|)).
+func LevenshteinBounded(a, b string, maxDist int) (int, bool) {
+	if maxDist < 0 {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	if isASCII(a) && isASCII(b) {
+		return levenshteinBoundedBytes(a, b, maxDist)
+	}
+	ra, rb := runes(a), runes(b)
+	la, lb := len(ra), len(rb)
+	if abs(la-lb) > maxDist {
+		return 0, false
+	}
+	if la == 0 {
+		return lb, lb <= maxDist
+	}
+	if lb == 0 {
+		return la, la <= maxDist
+	}
+	if la < lb {
+		ra, rb = rb, ra
+		la, lb = lb, la
+	}
+	const inf = 1 << 30
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := range prev {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + maxDist
+		if hi > lb {
+			hi = lb
+		}
+		if lo > hi {
+			return 0, false
+		}
+		cur[lo-1] = inf
+		if lo == 1 {
+			if i <= maxDist {
+				cur[0] = i
+			} else {
+				cur[0] = inf
+			}
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			sub := prev[j-1]
+			if ra[i-1] != rb[j-1] {
+				sub++
+			}
+			del := inf
+			if prev[j] < inf {
+				del = prev[j] + 1
+			}
+			ins := inf
+			if cur[j-1] < inf {
+				ins = cur[j-1] + 1
+			}
+			cur[j] = min3(del, ins, sub)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if hi < lb {
+			cur[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return 0, false
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[lb]
+	if d > maxDist {
+		return 0, false
+	}
+	return d, true
+}
+
+// levenshteinBoundedBytes is the banded DP over bytes for ASCII inputs.
+func levenshteinBoundedBytes(a, b string, maxDist int) (int, bool) {
+	la, lb := len(a), len(b)
+	if abs(la-lb) > maxDist {
+		return 0, false
+	}
+	if la == 0 {
+		return lb, lb <= maxDist
+	}
+	if lb == 0 {
+		return la, la <= maxDist
+	}
+	if la < lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	const inf = 1 << 30
+	var stack [128]int
+	var prev, cur []int
+	if 2*(lb+1) <= len(stack) {
+		prev, cur = stack[:lb+1], stack[lb+1:2*(lb+1)]
+	} else {
+		prev = make([]int, lb+1)
+		cur = make([]int, lb+1)
+	}
+	for j := range prev {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + maxDist
+		if hi > lb {
+			hi = lb
+		}
+		if lo > hi {
+			return 0, false
+		}
+		cur[lo-1] = inf
+		if lo == 1 {
+			if i <= maxDist {
+				cur[0] = i
+			} else {
+				cur[0] = inf
+			}
+		}
+		rowMin := inf
+		ca := a[i-1]
+		for j := lo; j <= hi; j++ {
+			sub := prev[j-1]
+			if ca != b[j-1] {
+				sub++
+			}
+			del := inf
+			if prev[j] < inf {
+				del = prev[j] + 1
+			}
+			ins := inf
+			if cur[j-1] < inf {
+				ins = cur[j-1] + 1
+			}
+			cur[j] = min3(del, ins, sub)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if hi < lb {
+			cur[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return 0, false
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[lb]
+	if d > maxDist {
+		return 0, false
+	}
+	return d, true
+}
+
+// NormalizedEdit returns the edit distance divided by the length (in runes)
+// of the longer string, yielding a value in [0,1]. Two empty strings have
+// distance 0.
+func NormalizedEdit(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(Levenshtein(a, b)) / float64(m)
+}
+
+// NormalizedEditWithin reports whether the normalized edit distance between
+// a and b is at most t, and if so returns it. It converts the normalized
+// threshold into an absolute band so comparisons that cannot pass are
+// abandoned early.
+func NormalizedEditWithin(a, b string, t float64) (float64, bool) {
+	if t < 0 {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0, true
+	}
+	maxDist := int(t * float64(m))
+	d, ok := LevenshteinBounded(a, b, maxDist)
+	if !ok {
+		return 0, false
+	}
+	nd := float64(d) / float64(m)
+	if nd > t {
+		return 0, false
+	}
+	return nd, true
+}
+
+func runes(s string) []rune {
+	// Fast path for ASCII, which dominates our workloads.
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		out := make([]rune, len(s))
+		for i := 0; i < len(s); i++ {
+			out[i] = rune(s[i])
+		}
+		return out
+	}
+	return []rune(s)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

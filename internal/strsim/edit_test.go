@@ -1,0 +1,175 @@
+package strsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"Boston", "Boton", 1},
+		{"Masters", "Masers", 1},
+		{"Bachelors", "Bachelers", 1},
+		{"New York", "Boston", 7},
+		{"日本語", "日本", 1},
+		{"abc", "abc", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Levenshtein(c.b, c.a); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// slowLevenshtein is an obviously correct reference implementation.
+func slowLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	d := make([][]int, len(ra)+1)
+	for i := range d {
+		d[i] = make([]int, len(rb)+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= len(rb); j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			sub := d[i-1][j-1]
+			if ra[i-1] != rb[j-1] {
+				sub++
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, sub)
+		}
+	}
+	return d[len(ra)][len(rb)]
+}
+
+func randomWord(r *rand.Rand, n int) string {
+	const alpha = "abcde"
+	b := make([]byte, r.Intn(n+1))
+	for i := range b {
+		b[i] = alpha[r.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+func TestLevenshteinMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := randomWord(r, 12), randomWord(r, 12)
+		if got, want := Levenshtein(a, b), slowLevenshtein(a, b); got != want {
+			t.Fatalf("Levenshtein(%q,%q) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestLevenshteinBoundedMatchesFull(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a, b := randomWord(r, 10), randomWord(r, 10)
+		k := r.Intn(6)
+		want := Levenshtein(a, b)
+		d, ok := LevenshteinBounded(a, b, k)
+		if want <= k {
+			if !ok || d != want {
+				t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d,%v want %d,true", a, b, k, d, ok, want)
+			}
+		} else if ok {
+			t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d,true want false (full=%d)", a, b, k, d, want)
+		}
+	}
+}
+
+func TestLevenshteinBoundedEdges(t *testing.T) {
+	if _, ok := LevenshteinBounded("a", "b", -1); ok {
+		t.Fatal("negative bound accepted")
+	}
+	if d, ok := LevenshteinBounded("same", "same", 0); !ok || d != 0 {
+		t.Fatal("equal strings under bound 0 failed")
+	}
+	if _, ok := LevenshteinBounded("abcdef", "a", 2); ok {
+		t.Fatal("length filter failed")
+	}
+	if d, ok := LevenshteinBounded("", "ab", 2); !ok || d != 2 {
+		t.Fatal("empty-string case failed")
+	}
+	if _, ok := LevenshteinBounded("ab", "", 1); ok {
+		t.Fatal("empty-string over-bound case failed")
+	}
+}
+
+func TestNormalizedEditProperties(t *testing.T) {
+	// Metric-like axioms on the normalized distance: identity, symmetry,
+	// range.
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		d := NormalizedEdit(a, b)
+		if d < 0 || d > 1 {
+			return false
+		}
+		if (d == 0) != (a == b) && !(a != b && Levenshtein(a, b) == 0) {
+			// d==0 iff equal (Levenshtein 0 iff equal strings).
+			return false
+		}
+		return NormalizedEdit(b, a) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if NormalizedEdit("", "") != 0 {
+		t.Fatal("empty strings not identical")
+	}
+}
+
+func TestNormalizedEditKnown(t *testing.T) {
+	// "Boston" vs "Boton": 1 edit over 6 runes.
+	if got := NormalizedEdit("Boston", "Boton"); got != 1.0/6.0 {
+		t.Fatalf("NormalizedEdit = %v", got)
+	}
+}
+
+func TestNormalizedEditWithin(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a, b := randomWord(r, 8), randomWord(r, 8)
+		tt := float64(r.Intn(11)) / 10
+		want := NormalizedEdit(a, b)
+		got, ok := NormalizedEditWithin(a, b, tt)
+		if want <= tt {
+			if !ok || got != want {
+				t.Fatalf("NormalizedEditWithin(%q,%q,%v) = %v,%v want %v,true", a, b, tt, got, ok, want)
+			}
+		} else if ok {
+			t.Fatalf("NormalizedEditWithin(%q,%q,%v) = %v,true want false (full=%v)", a, b, tt, got, want)
+		}
+	}
+	if _, ok := NormalizedEditWithin("a", "b", -0.1); ok {
+		t.Fatal("negative threshold accepted")
+	}
+	if d, ok := NormalizedEditWithin("", "", 0); !ok || d != 0 {
+		t.Fatal("empty equality failed")
+	}
+}
+
+func TestRunesASCIIAndUnicode(t *testing.T) {
+	if got := Levenshtein("héllo", "hello"); got != 1 {
+		t.Fatalf("unicode distance = %d", got)
+	}
+}

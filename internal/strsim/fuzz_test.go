@@ -1,0 +1,73 @@
+package strsim
+
+import "testing"
+
+// FuzzLevenshteinBounded cross-checks the banded computation against the
+// full one on arbitrary inputs. Run `go test -fuzz=FuzzLevenshteinBounded`
+// to explore; the seed corpus runs in every normal test invocation.
+func FuzzLevenshteinBounded(f *testing.F) {
+	f.Add("kitten", "sitting", 3)
+	f.Add("", "", 0)
+	f.Add("abc", "", 5)
+	f.Add("héllo", "hello", 1)
+	f.Add("aaaaaaaaaa", "bbbbbbbbbb", 2)
+	f.Fuzz(func(t *testing.T, a, b string, k int) {
+		if len(a) > 64 || len(b) > 64 || k > 64 {
+			t.Skip()
+		}
+		full := Levenshtein(a, b)
+		d, ok := LevenshteinBounded(a, b, k)
+		if k >= 0 && full <= k {
+			if !ok || d != full {
+				t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d,%v; full = %d", a, b, k, d, ok, full)
+			}
+		} else if ok {
+			t.Fatalf("LevenshteinBounded(%q,%q,%d) accepted; full = %d", a, b, k, full)
+		}
+	})
+}
+
+// FuzzOSABounded does the same for the transposition-aware distance.
+func FuzzOSABounded(f *testing.F) {
+	f.Add("ab", "ba", 1)
+	f.Add("boston", "bsoton", 2)
+	f.Add("", "xyz", 0)
+	f.Fuzz(func(t *testing.T, a, b string, k int) {
+		if len(a) > 64 || len(b) > 64 || k > 64 {
+			t.Skip()
+		}
+		full := OSA(a, b)
+		d, ok := OSABounded(a, b, k)
+		if k >= 0 && full <= k {
+			if !ok || d != full {
+				t.Fatalf("OSABounded(%q,%q,%d) = %d,%v; full = %d", a, b, k, d, ok, full)
+			}
+		} else if ok {
+			t.Fatalf("OSABounded(%q,%q,%d) accepted; full = %d", a, b, k, full)
+		}
+	})
+}
+
+// FuzzIndexSearch checks that the q-gram index never misses a true match.
+func FuzzIndexSearch(f *testing.F) {
+	f.Add("boston", "boton", "albany", 1)
+	f.Add("", "a", "ab", 2)
+	f.Fuzz(func(t *testing.T, q, s1, s2 string, k int) {
+		if len(q) > 32 || len(s1) > 32 || len(s2) > 32 || k < 0 || k > 8 {
+			t.Skip()
+		}
+		ix := NewIndex(2)
+		ix.Add(s1)
+		ix.Add(s2)
+		got := map[int]bool{}
+		for _, m := range ix.Search(q, k) {
+			got[m.ID] = true
+		}
+		for id, s := range []string{s1, s2} {
+			want := Levenshtein(q, s) <= k
+			if got[id] != want {
+				t.Fatalf("Search(%q,%d) id %d (%q): got %v want %v", q, k, id, s, got[id], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package strsim
+
+import "unicode/utf8"
+
+// Index is a q-gram inverted index over a set of strings supporting
+// edit-distance range queries. It applies the classic length filter
+// (||a|-|b|| <= k) and count filter (strings within edit distance k share at
+// least max(|a|,|b|) - q + 1 - k*q q-grams) before verifying candidates with
+// a banded edit-distance computation.
+//
+// The violation-graph builder uses it to find, for each pattern vertex, the
+// other vertices that could be within the FT-violation threshold on a probe
+// attribute, avoiding the all-pairs comparison the naive semantics implies.
+// posting records one string containing a gram and how many times the gram
+// occurs in it. The count matters: the count filter bounds the *multiset*
+// q-gram intersection, so repeated grams ("000000") must contribute their
+// multiplicity, not just their presence.
+type posting struct {
+	id  int32
+	cnt int32
+}
+
+type Index struct {
+	q     int
+	strs  []string
+	lens  []int
+	gram  map[string][]posting // gram -> strings containing it, with counts
+	short []int32              // ids of strings with < q runes (indexed whole)
+}
+
+// NewIndex creates an index over q-grams. q defaults to 2 when non-positive.
+func NewIndex(q int) *Index {
+	if q <= 0 {
+		q = 2
+	}
+	return &Index{q: q, gram: make(map[string][]posting)}
+}
+
+// Q reports the gram size.
+func (ix *Index) Q() int { return ix.q }
+
+// Len reports the number of indexed strings.
+func (ix *Index) Len() int { return len(ix.strs) }
+
+// String returns the indexed string with the given id.
+func (ix *Index) String(id int) string { return ix.strs[id] }
+
+// Add indexes s and returns its id. Duplicates are indexed independently;
+// callers that group equal values should add each distinct value once.
+func (ix *Index) Add(s string) int {
+	id := int32(len(ix.strs))
+	ix.strs = append(ix.strs, s)
+	r := runes(s)
+	ix.lens = append(ix.lens, len(r))
+	if len(r) < ix.q {
+		ix.short = append(ix.short, id)
+		return int(id)
+	}
+	counts := make(map[string]int32, len(r))
+	for i := 0; i+ix.q <= len(r); i++ {
+		counts[string(r[i:i+ix.q])]++
+	}
+	for g, c := range counts {
+		ix.gram[g] = append(ix.gram[g], posting{id: id, cnt: c})
+	}
+	return int(id)
+}
+
+// Match pairs a candidate id with its verified edit distance.
+type Match struct {
+	ID   int
+	Dist int // absolute edit distance
+}
+
+// Search returns the ids of indexed strings whose edit distance to s is at
+// most maxDist, with the distances. The query string itself, if indexed,
+// matches with distance 0. Results are in ascending id order.
+func (ix *Index) Search(s string, maxDist int) []Match {
+	if maxDist < 0 {
+		return nil
+	}
+	r := runes(s)
+	ls := len(r)
+
+	// Candidate generation. Short strings (and short queries) bypass the
+	// count filter: every short string is a candidate, and for a short
+	// query every string passing the length filter is a candidate.
+	counts := make(map[int32]int)
+	var out []Match
+	verify := func(id int32) {
+		if abs(ix.lens[id]-ls) > maxDist {
+			return
+		}
+		if d, ok := LevenshteinBounded(s, ix.strs[id], maxDist); ok {
+			out = append(out, Match{ID: int(id), Dist: d})
+		}
+	}
+
+	// When the count filter cannot exclude anything — the query is shorter
+	// than a gram, or the minimum required shared-gram count is non-positive
+	// (a candidate sharing zero grams could still be within maxDist) — fall
+	// back to scanning every string through the length filter.
+	if ls < ix.q || ls-ix.q+1-maxDist*ix.q <= 0 {
+		for id := range ix.strs {
+			verify(int32(id))
+		}
+		sortMatches(out)
+		return out
+	}
+
+	// Multiset intersection lower bound: per distinct gram, the shared
+	// count is min(query occurrences, indexed occurrences).
+	qCounts := make(map[string]int, ls)
+	for i := 0; i+ix.q <= ls; i++ {
+		qCounts[string(r[i:i+ix.q])]++
+	}
+	for g, qc := range qCounts {
+		for _, p := range ix.gram[g] {
+			shared := int(p.cnt)
+			if qc < shared {
+				shared = qc
+			}
+			counts[p.id] += shared
+		}
+	}
+	for id, c := range counts {
+		m := ls
+		if ix.lens[id] > m {
+			m = ix.lens[id]
+		}
+		need := m - ix.q + 1 - maxDist*ix.q
+		if c >= need {
+			verify(id)
+		}
+	}
+	// Short indexed strings never share grams with a long query but may
+	// still be within maxDist.
+	for _, id := range ix.short {
+		verify(id)
+	}
+	sortMatches(out)
+	return out
+}
+
+// SearchNormalized returns ids whose normalized edit distance to s is at
+// most t, with the normalized distances.
+func (ix *Index) SearchNormalized(s string, t float64) []struct {
+	ID   int
+	Dist float64
+} {
+	ls := utf8.RuneCountInString(s)
+	// The absolute bound depends on the candidate's length; use the loosest
+	// bound t*(ls+k) solved for k: k <= t*ls/(1-t) + ... simpler: distances
+	// are at most t*max(ls, lc) and lc <= ls + k, so k <= t*(ls+k) gives
+	// k <= t*ls/(1-t) for t < 1. For t >= 1 everything matches.
+	var maxDist int
+	if t >= 1 {
+		maxDist = 1 << 20
+	} else if t < 0 {
+		return nil
+	} else {
+		maxDist = int(t * float64(ls) / (1 - t))
+	}
+	raw := ix.Search(s, maxDist)
+	var out []struct {
+		ID   int
+		Dist float64
+	}
+	for _, m := range raw {
+		lc := ix.lens[m.ID]
+		mx := ls
+		if lc > mx {
+			mx = lc
+		}
+		var nd float64
+		if mx > 0 {
+			nd = float64(m.Dist) / float64(mx)
+		}
+		if nd <= t {
+			out = append(out, struct {
+				ID   int
+				Dist float64
+			}{m.ID, nd})
+		}
+	}
+	return out
+}
+
+func sortMatches(ms []Match) {
+	// Insertion sort: candidate lists are small after filtering.
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].ID < ms[j-1].ID; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}

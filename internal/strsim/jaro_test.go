@@ -1,0 +1,76 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-3 }
+
+func TestJaroKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"abc", "abc", 1},
+		{"martha", "marhta", 0.944}, // classic textbook pair
+		{"dixon", "dicksonx", 0.767},
+		{"jellyfish", "smellyfish", 0.896},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); !approx(got, c.want) {
+			t.Errorf("Jaro(%q,%q) = %.4f, want %.3f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.961},
+		{"dixon", "dicksonx", 0.813},
+		{"abc", "abc", 1},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); !approx(got, c.want) {
+			t.Errorf("JaroWinkler(%q,%q) = %.4f, want %.3f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 16 {
+			a = a[:16]
+		}
+		if len(b) > 16 {
+			b = b[:16]
+		}
+		j := Jaro(a, b)
+		if j < 0 || j > 1 {
+			return false
+		}
+		if !approx(Jaro(b, a), j) {
+			return false
+		}
+		jw := JaroWinkler(a, b)
+		if jw < j-1e-9 || jw > 1 {
+			return false // Winkler boost never lowers similarity
+		}
+		return JaroWinklerDistance(a, b) >= 0 && JaroWinklerDistance(a, b) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if Jaro("same", "same") != 1 || JaroWinklerDistance("same", "same") != 0 {
+		t.Fatal("identity failed")
+	}
+}

@@ -1,0 +1,350 @@
+// Package targettree implements the §5 index for multi-FD repairing: given
+// one independent set of patterns per FD, it organizes their join — the
+// valid repair targets — as a tree whose levels correspond to FDs (smallest
+// pattern set nearest the root) and whose root-to-leaf paths are targets.
+// Each node stores the attribute values appearing in its subtree, enabling
+// the RDIST+EDIST lower bound used by the best-first nearest-target search
+// (Algorithm 5).
+package targettree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"ftrepair/internal/dataset"
+)
+
+// Level is the input for one FD: the attribute columns its patterns cover
+// and the chosen independent set of patterns, each aligned with Attrs.
+type Level struct {
+	Attrs    []int
+	Patterns [][]string
+}
+
+// DistFunc scores one attribute repair: the distance between the tuple's
+// current value a and a candidate target value b at schema column col.
+type DistFunc func(col int, a, b string) float64
+
+type node struct {
+	parent *node
+	// assigned are the columns newly bound at this node with their values.
+	cols []int
+	vals []string
+	// children of the node (empty at leaves).
+	children []*node
+	// valueSets: for every column bound somewhere strictly below this node,
+	// the set of values occurring in the subtree. Used for EDIST.
+	valueSets map[int]map[string]struct{}
+}
+
+// Tree is the built target tree.
+type Tree struct {
+	root *node
+	// cols is the union of all level attributes, sorted.
+	cols []int
+	// levels after sorting by pattern-set size (ascending).
+	levels []Level
+	// Targets counts root-to-leaf paths (valid targets).
+	Targets int
+}
+
+// MaxNodes bounds the tree size: the worst-case space is the product of
+// the level sizes (§5.1), which explodes when the independent sets keep
+// many variants per join key (low thresholds on dirty data). Build returns
+// an error at the cap; callers fall back to per-FD repair.
+const MaxNodes = 1 << 21
+
+// Build constructs the tree. Levels are sorted by |Patterns| ascending so
+// the root has small fan-out (§5.1). Paths whose shared attributes do not
+// agree are discarded; so are partial paths that cannot reach full depth. It
+// returns an error when no valid target exists or the tree exceeds
+// MaxNodes.
+func Build(levels []Level) (*Tree, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("targettree: no levels")
+	}
+	ls := append([]Level(nil), levels...)
+	sort.SliceStable(ls, func(a, b int) bool { return len(ls[a].Patterns) < len(ls[b].Patterns) })
+
+	colSet := make(map[int]bool)
+	for _, l := range ls {
+		if len(l.Attrs) == 0 {
+			return nil, fmt.Errorf("targettree: level with no attributes")
+		}
+		for _, p := range l.Patterns {
+			if len(p) != len(l.Attrs) {
+				return nil, fmt.Errorf("targettree: pattern arity %d != %d attributes", len(p), len(l.Attrs))
+			}
+		}
+		for _, c := range l.Attrs {
+			colSet[c] = true
+		}
+	}
+	cols := make([]int, 0, len(colSet))
+	for c := range colSet {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+
+	t := &Tree{root: &node{}, cols: cols, levels: ls}
+	frontier := []*node{t.root}
+	nodes := 1
+	for _, l := range ls {
+		var next []*node
+		for _, nd := range frontier {
+			bound := pathBindings(nd)
+			for _, p := range l.Patterns {
+				if !compatible(bound, l.Attrs, p) {
+					continue
+				}
+				nodes++
+				if nodes > MaxNodes {
+					return nil, fmt.Errorf("targettree: join exceeds %d nodes; fall back to per-constraint repair", MaxNodes)
+				}
+				child := &node{parent: nd, cols: newCols(bound, l.Attrs), vals: nil}
+				// Record only newly bound columns (shared ones are already
+				// fixed by ancestors and must not be double counted).
+				for i, c := range l.Attrs {
+					if _, ok := bound[c]; !ok {
+						child.vals = append(child.vals, p[i])
+					}
+				}
+				nd.children = append(nd.children, child)
+				next = append(next, child)
+			}
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("targettree: join is empty (incompatible independent sets)")
+		}
+		frontier = next
+	}
+	t.Targets = len(frontier)
+	t.prune()
+	t.fillValueSets(t.root)
+	return t, nil
+}
+
+// pathBindings collects the column->value assignments on the path from the
+// root to nd.
+func pathBindings(nd *node) map[int]string {
+	bound := make(map[int]string)
+	for cur := nd; cur != nil; cur = cur.parent {
+		for i, c := range cur.cols {
+			bound[c] = cur.vals[i]
+		}
+	}
+	return bound
+}
+
+func compatible(bound map[int]string, attrs []int, pattern []string) bool {
+	for i, c := range attrs {
+		if v, ok := bound[c]; ok && v != pattern[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func newCols(bound map[int]string, attrs []int) []int {
+	var out []int
+	for _, c := range attrs {
+		if _, ok := bound[c]; !ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// prune removes internal nodes with no children (paths that died before
+// reaching full depth), bottom-up.
+func (t *Tree) prune() {
+	depth := len(t.levels)
+	var walk func(nd *node, d int) bool
+	walk = func(nd *node, d int) bool {
+		if d == depth {
+			return true
+		}
+		kept := nd.children[:0]
+		for _, c := range nd.children {
+			if walk(c, d+1) {
+				kept = append(kept, c)
+			}
+		}
+		nd.children = kept
+		return len(kept) > 0
+	}
+	walk(t.root, 0)
+}
+
+// fillValueSets computes, for each node, the sets of attribute values bound
+// in its strict subtree.
+func (t *Tree) fillValueSets(nd *node) {
+	nd.valueSets = make(map[int]map[string]struct{})
+	for _, c := range nd.children {
+		t.fillValueSets(c)
+		for i, col := range c.cols {
+			add(nd.valueSets, col, c.vals[i])
+		}
+		for col, vs := range c.valueSets {
+			for v := range vs {
+				add(nd.valueSets, col, v)
+			}
+		}
+	}
+}
+
+func add(m map[int]map[string]struct{}, col int, v string) {
+	s, ok := m[col]
+	if !ok {
+		s = make(map[string]struct{})
+		m[col] = s
+	}
+	s[v] = struct{}{}
+}
+
+// Target is a full assignment of the tree's columns.
+type Target struct {
+	Cols []int
+	Vals []string
+}
+
+// pqItem is a search-frontier entry.
+type pqItem struct {
+	nd    *node
+	f     float64 // RDIST + EDIST lower bound
+	rdist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// Nearest finds the target minimizing the summed attribute distance to t
+// (Algorithm 5: best-first search with RDIST/EDIST pruning). It returns the
+// target and its cost. Visited counts dequeued nodes, for the ablation
+// benchmarks.
+func (tr *Tree) Nearest(t dataset.Tuple, dist DistFunc) (Target, float64, int) {
+	q := pq{{nd: tr.root}}
+	heap.Init(&q)
+	bestCost := math.Inf(1)
+	var bestLeaf *node
+	visited := 0
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		visited++
+		if it.f >= bestCost {
+			continue // lower bound can't beat the incumbent
+		}
+		nd := it.nd
+		if len(nd.children) == 0 && nd != tr.root {
+			// Leaf: RDIST is the exact cost (every column bound).
+			if it.rdist < bestCost {
+				bestCost = it.rdist
+				bestLeaf = nd
+			}
+			continue
+		}
+		for _, c := range nd.children {
+			r := it.rdist
+			for i, col := range c.cols {
+				r += dist(col, t[col], c.vals[i])
+			}
+			f := r + edist(c, t, dist)
+			if f < bestCost {
+				heap.Push(&q, pqItem{nd: c, f: f, rdist: r})
+			}
+		}
+	}
+	if bestLeaf == nil {
+		return Target{}, math.Inf(1), visited
+	}
+	bound := pathBindings(bestLeaf)
+	out := Target{Cols: tr.cols, Vals: make([]string, len(tr.cols))}
+	for i, c := range tr.cols {
+		out.Vals[i] = bound[c]
+	}
+	return out, bestCost, visited
+}
+
+// NearestScan is the linear-scan baseline: it materializes and scores every
+// target. Used for tests and the target-tree ablation.
+func (tr *Tree) NearestScan(t dataset.Tuple, dist DistFunc) (Target, float64, int) {
+	targets := tr.All()
+	bestCost := math.Inf(1)
+	best := -1
+	for i, tg := range targets {
+		var c float64
+		for j, col := range tg.Cols {
+			c += dist(col, t[col], tg.Vals[j])
+		}
+		if c < bestCost {
+			bestCost = c
+			best = i
+		}
+	}
+	if best < 0 {
+		return Target{}, math.Inf(1), len(targets)
+	}
+	return targets[best], bestCost, len(targets)
+}
+
+// edist is the lower bound for the columns bound strictly below nd: per
+// column, the minimum distance from t's value to any value occurring in the
+// subtree.
+func edist(nd *node, t dataset.Tuple, dist DistFunc) float64 {
+	var sum float64
+	for col, vals := range nd.valueSets {
+		best := math.Inf(1)
+		for v := range vals {
+			if d := dist(col, t[col], v); d < best {
+				best = d
+				if best == 0 {
+					break
+				}
+			}
+		}
+		sum += best
+	}
+	return sum
+}
+
+// All materializes every target (root-to-leaf path) of the tree.
+func (tr *Tree) All() []Target {
+	var out []Target
+	var leaves []*node
+	var collect func(nd *node)
+	collect = func(nd *node) {
+		if len(nd.children) == 0 && nd.parent != nil {
+			leaves = append(leaves, nd)
+			return
+		}
+		for _, c := range nd.children {
+			collect(c)
+		}
+	}
+	collect(tr.root)
+	for _, leaf := range leaves {
+		bound := pathBindings(leaf)
+		tg := Target{Cols: tr.cols, Vals: make([]string, len(tr.cols))}
+		for i, c := range tr.cols {
+			tg.Vals[i] = bound[c]
+		}
+		out = append(out, tg)
+	}
+	return out
+}
+
+// Cols returns the sorted union of attribute columns covered by the tree.
+func (tr *Tree) Cols() []int { return tr.cols }

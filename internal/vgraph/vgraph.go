@@ -1,0 +1,333 @@
+// Package vgraph builds the paper's graph model (§3): for an FD φ, vertices
+// are the distinct projections of the database onto φ's attributes (tuple
+// grouping), and an undirected edge connects two vertices whose patterns are
+// an FT-violation, weighted by their distance. Repair costs between grouped
+// vertices scale the distance by the multiplicity of the vertex being
+// repaired, realizing the paper's directed grouped graph G'.
+package vgraph
+
+import (
+	"sort"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/strsim"
+)
+
+// Vertex is a pattern vertex: one distinct projection of the relation onto
+// the FD's attributes, together with the rows carrying it.
+type Vertex struct {
+	// Rep is a representative tuple holding the pattern's cell values (the
+	// first tuple encountered with this projection).
+	Rep dataset.Tuple
+	// Rows lists the indices of all tuples sharing the projection.
+	Rows []int
+}
+
+// Mult is the number of tuples grouped into the vertex.
+func (v *Vertex) Mult() int { return len(v.Rows) }
+
+// Edge is a weighted adjacency entry. W is the repair weight
+// ω(u,v) = cost(u^φ, v^φ): the unweighted Eq-3 distance summed over the
+// FD's attributes. (Edge existence is decided by the weighted Eq-2 distance
+// against τ; edge weight is the repair cost model.)
+type Edge struct {
+	To int
+	W  float64
+}
+
+// Graph is the violation graph of one FD over one relation.
+type Graph struct {
+	FD       *fd.FD
+	Cfg      *fd.DistConfig
+	Tau      float64
+	Vertices []*Vertex
+	adj      [][]Edge
+	byKey    map[string]int
+	// ungrouped marks graphs built with Options.DisableGrouping, where
+	// distinct vertices may carry equal projections and must not be
+	// connected.
+	ungrouped bool
+}
+
+// Options tunes graph construction.
+type Options struct {
+	// DisableIndex forces the all-pairs comparison, for ablation.
+	DisableIndex bool
+	// DisableGrouping gives every tuple its own vertex instead of grouping
+	// tuples with equal projections (§3 "Tuple grouping"), for the
+	// ablation quantifying how much grouping saves. Tuples with equal
+	// projections never FT-violate, so no edges connect them.
+	DisableGrouping bool
+}
+
+// Build constructs the violation graph of f over rel at threshold tau.
+func Build(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opts Options) *Graph {
+	g := &Graph{FD: f, Cfg: cfg, Tau: tau, byKey: make(map[string]int)}
+	for i, t := range rel.Tuples {
+		k := t.Key(f.Attrs())
+		vi, ok := g.byKey[k]
+		if !ok || opts.DisableGrouping {
+			vi = len(g.Vertices)
+			g.byKey[k] = vi
+			g.Vertices = append(g.Vertices, &Vertex{Rep: t})
+		}
+		g.Vertices[vi].Rows = append(g.Vertices[vi].Rows, i)
+	}
+	g.adj = make([][]Edge, len(g.Vertices))
+
+	g.ungrouped = opts.DisableGrouping
+	probe := g.chooseProbe(rel)
+	if opts.DisableIndex || probe < 0 {
+		g.buildAllPairs()
+	} else {
+		g.buildIndexed(probe)
+	}
+	for _, es := range g.adj {
+		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+	}
+	return g
+}
+
+// chooseProbe picks a string attribute of the FD to index, preferring LHS
+// attributes (their weight is usually at least the RHS weight, giving the
+// tightest per-attribute threshold). Returns -1 when no string attribute
+// exists, the per-attribute threshold would not prune (τ/w >= 1), or the
+// distance flavor is not plain Levenshtein (the q-gram index verifies with
+// Levenshtein; OSA distances can be smaller, so the filter would miss
+// candidates).
+func (g *Graph) chooseProbe(rel *dataset.Relation) int {
+	if g.Cfg.Edit != fd.EditLevenshtein {
+		return -1
+	}
+	try := func(cols []int, w float64) int {
+		if w <= 0 || g.Tau/w >= 1 {
+			return -1
+		}
+		for _, c := range cols {
+			if rel.Schema.Attr(c).Type == dataset.String {
+				return c
+			}
+		}
+		return -1
+	}
+	if c := try(g.FD.LHS, g.Cfg.WL); c >= 0 {
+		return c
+	}
+	return try(g.FD.RHS, g.Cfg.WR)
+}
+
+// distWithin evaluates the FD distance with early exit once the running sum
+// exceeds tau (see fd.DistConfig.DistWithin).
+func (g *Graph) distWithin(t1, t2 dataset.Tuple) (float64, bool) {
+	return g.Cfg.DistWithin(g.FD, g.Tau, t1, t2)
+}
+
+// PatternDist is the Eq-3 repair cost between the patterns of two vertices:
+// the unweighted sum of per-attribute distances over the FD's attributes.
+func (g *Graph) PatternDist(u, v int) float64 {
+	var sum float64
+	tu, tv := g.Vertices[u].Rep, g.Vertices[v].Rep
+	for _, c := range g.FD.Attrs() {
+		sum += g.Cfg.RepairDist(c, tu[c], tv[c])
+	}
+	return sum
+}
+
+func (g *Graph) buildAllPairs() {
+	for i := 0; i < len(g.Vertices); i++ {
+		for j := i + 1; j < len(g.Vertices); j++ {
+			if g.ungrouped && g.FD.ProjEqual(g.Vertices[i].Rep, g.Vertices[j].Rep) {
+				continue
+			}
+			if _, ok := g.distWithin(g.Vertices[i].Rep, g.Vertices[j].Rep); ok {
+				g.addEdge(i, j, g.PatternDist(i, j))
+			}
+		}
+	}
+}
+
+func (g *Graph) buildIndexed(probe int) {
+	w := g.Cfg.WL
+	if !contains(g.FD.LHS, probe) {
+		w = g.Cfg.WR
+	}
+	attrTau := g.Tau / w
+	ix := strsim.NewIndex(2)
+	// Index distinct probe values; map value -> vertices carrying it.
+	valID := make(map[string]int)
+	byVal := make(map[int][]int) // probe value id -> vertex indices
+	for vi, v := range g.Vertices {
+		val := v.Rep[probe]
+		id, ok := valID[val]
+		if !ok {
+			id = ix.Add(val)
+			valID[val] = id
+		}
+		byVal[id] = append(byVal[id], vi)
+	}
+	for val, id := range valID {
+		for _, m := range ix.SearchNormalized(val, attrTau) {
+			if m.ID < id {
+				continue // handle each value pair once (m.ID == id covers same-value vertices)
+			}
+			for _, vi := range byVal[id] {
+				for _, vj := range byVal[m.ID] {
+					if vj <= vi && m.ID == id {
+						continue // same value bucket: avoid double visits and self loops
+					}
+					if g.ungrouped && g.FD.ProjEqual(g.Vertices[vi].Rep, g.Vertices[vj].Rep) {
+						continue
+					}
+					if _, ok := g.distWithin(g.Vertices[vi].Rep, g.Vertices[vj].Rep); ok {
+						g.addEdge(vi, vj, g.PatternDist(vi, vj))
+					}
+				}
+			}
+		}
+	}
+}
+
+func contains(cols []int, c int) bool {
+	for _, x := range cols {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) addEdge(i, j int, w float64) {
+	g.adj[i] = append(g.adj[i], Edge{To: j, W: w})
+	g.adj[j] = append(g.adj[j], Edge{To: i, W: w})
+}
+
+// Neighbors returns the adjacency list of vertex u, sorted by vertex id.
+// Callers must not modify it.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// Degree is the number of FT-violation partners of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Edge reports the weight of edge (u,v) if present.
+func (g *Graph) Edge(u, v int) (float64, bool) {
+	es := g.adj[u]
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if es[mid].To < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(es) && es[lo].To == v {
+		return es[lo].W, true
+	}
+	return 0, false
+}
+
+// NumEdges counts undirected edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.adj {
+		n += len(es)
+	}
+	return n / 2
+}
+
+// RepairCost is the cost of repairing every tuple grouped in vertex `from`
+// to the pattern of vertex `to`: multiplicity times pattern distance (the
+// directed grouped-graph weight of §3).
+func (g *Graph) RepairCost(from, to int) (float64, bool) {
+	w, ok := g.Edge(from, to)
+	if !ok {
+		return 0, false
+	}
+	return float64(g.Vertices[from].Mult()) * w, true
+}
+
+// Components returns the connected components of the violation graph as
+// sorted vertex-id slices, ordered by smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.Vertices))
+	var out [][]int
+	for s := range g.Vertices {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, e := range g.adj[u] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		sort.Ints(comp)
+		out = append(out, comp)
+	}
+	return out
+}
+
+// Lookup returns the vertex carrying the same projection as t, if any.
+func (g *Graph) Lookup(t dataset.Tuple) (int, bool) {
+	v, ok := g.byKey[t.Key(g.FD.Attrs())]
+	return v, ok
+}
+
+// ViolatorCount counts the vertices whose pattern FT-violates with t's
+// projection: the projections differ and their weighted distance is within
+// the graph's threshold. t need not correspond to an existing pattern, so
+// this also scores hypothetical repairs (the "triggered violations" of
+// §4.4).
+func (g *Graph) ViolatorCount(t dataset.Tuple) int {
+	if v, ok := g.Lookup(t); ok {
+		return len(g.adj[v])
+	}
+	count := 0
+	for _, u := range g.Vertices {
+		if _, ok := g.distWithin(t, u.Rep); ok {
+			count++
+		}
+	}
+	return count
+}
+
+// FTAdjacent reports whether tuple t's projection FT-violates vertex v's
+// pattern.
+func (g *Graph) FTAdjacent(t dataset.Tuple, v int) bool {
+	if u, ok := g.Lookup(t); ok {
+		if u == v {
+			return false
+		}
+		_, adjacent := g.Edge(u, v)
+		return adjacent
+	}
+	_, within := g.distWithin(t, g.Vertices[v].Rep)
+	return within
+}
+
+// OrderByFrequency returns vertex ids sorted by multiplicity descending
+// (ties by id), the access order §3.1 recommends for the expansion
+// algorithm: high-frequency patterns reach good upper bounds early.
+func (g *Graph) OrderByFrequency() []int {
+	order := make([]int, len(g.Vertices))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ma, mb := g.Vertices[order[a]].Mult(), g.Vertices[order[b]].Mult()
+		if ma != mb {
+			return ma > mb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
