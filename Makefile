@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test short bench experiments fuzz cover examples
+.PHONY: all build test short bench experiments fuzz cover examples serve
 
 all: build test
 
@@ -19,6 +19,9 @@ bench:
 
 experiments:
 	go run ./cmd/repairbench -exp all -scale 0.2
+
+serve:
+	go run ./cmd/repaird -addr :8080
 
 fuzz:
 	go test -fuzz=FuzzLevenshteinBounded -fuzztime=30s ./internal/strsim/

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"ftrepair/internal/experiments"
@@ -43,11 +44,32 @@ func main() {
 			c.Workloads = append(c.Workloads, w)
 		}
 	}
+
+	// The first SIGINT cancels in-flight repairs through the library hook;
+	// the sweep stops at the next experiment boundary. A second SIGINT kills
+	// the process the default way.
+	cancel := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "repairbench: interrupt — canceling")
+		signal.Stop(sigCh)
+		close(cancel)
+	}()
+	c.Cancel = cancel
+
 	names := experiments.Names()
 	ran := false
 	for _, name := range names {
 		if *exp != "all" && *exp != name {
 			continue
+		}
+		select {
+		case <-cancel:
+			fmt.Fprintln(os.Stderr, "repairbench: canceled")
+			os.Exit(130)
+		default:
 		}
 		ran = true
 		fmt.Printf("# %s — %s (scale %g)\n\n", name, experiments.Describe(name), c.Scale)

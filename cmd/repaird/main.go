@@ -1,0 +1,99 @@
+// Command repaird serves the cost-based repair library over HTTP/JSON.
+//
+// Usage:
+//
+//	repaird [-addr :8080] [-workers N] [-queue N] [-quiet]
+//
+// Endpoints (see internal/server for the full surface):
+//
+//	POST   /v1/jobs                  submit a repair job
+//	GET    /v1/jobs/{id}             poll status and result
+//	DELETE /v1/jobs/{id}             cancel a queued or running job
+//	POST   /v1/sessions              open a streaming repair session
+//	POST   /v1/sessions/{id}/tuples  append tuples online
+//	GET    /healthz, GET /v1/stats   operations
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, in-flight
+// jobs get a drain window, then outstanding work is canceled through the
+// repair cancellation hook.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftrepair/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repaird", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "job queue depth (0 = 256); full queue rejects with 503")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window before canceling jobs")
+	quiet := fs.Bool("quiet", false, "suppress request and lifecycle logs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logger := log.New(stderr, "repaird: ", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Logger:     logger,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		if logger != nil {
+			logger.Printf("listening on %s", *addr)
+		}
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "repaird: serve: %v\n", err)
+		return 1
+	case sig := <-sigCh:
+		if logger != nil {
+			logger.Printf("received %v; shutting down", sig)
+		}
+	}
+	signal.Stop(sigCh)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "repaird: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "repaird: draining jobs: %v\n", err)
+		return 1
+	}
+	if logger != nil {
+		logger.Printf("shutdown complete")
+	}
+	return 0
+}

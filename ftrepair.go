@@ -36,7 +36,30 @@ import (
 	"ftrepair/internal/profile"
 	"ftrepair/internal/repair"
 	"ftrepair/internal/rules"
+	"ftrepair/internal/server"
 )
+
+// ErrCanceled reports that a repair stopped early because Options.Cancel
+// fired. The accompanying Result, when non-nil, is a partial repair: valid
+// and measured, but not FT-consistent in general. Test with errors.Is.
+var ErrCanceled = repair.ErrCanceled
+
+// Service-layer types re-exported from internal/server: an HTTP/JSON
+// daemon (cmd/repaird) over the repair library with batch jobs, streaming
+// sessions and operational endpoints.
+type (
+	// Server is the repair service behind an http.Handler.
+	Server = server.Server
+	// ServerConfig tunes the service (worker pool, queue depth, logging).
+	ServerConfig = server.Config
+	// JobSpec describes one batch repair job submitted to the service.
+	JobSpec = server.JobSpec
+	// SessionSpec describes one streaming repair session.
+	SessionSpec = server.SessionSpec
+)
+
+// NewServer builds a repair service and starts its worker pool.
+var NewServer = server.New
 
 // Re-exported core types. They alias the internal implementations so that
 // every method documented there is available on these names.
@@ -286,13 +309,17 @@ func RepairCFD(rel *Relation, c *CFD, cfg *DistConfig, tau float64, algo Algorit
 	if err != nil {
 		return nil, err
 	}
+	stats := res.Stats
+	if stats == nil {
+		stats = make(map[string]int)
+	}
 	return &Result{
 		Repaired:  out,
 		Cost:      cfg.DatabaseCost(rel, out),
 		Changed:   changed,
 		Algorithm: res.Algorithm + "+CFD",
 		Elapsed:   res.Elapsed,
-		Stats:     res.Stats,
+		Stats:     stats,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package ftrepair_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -105,12 +106,45 @@ func TestRepairCFD(t *testing.T) {
 	if len(res.Changed) != 1 {
 		t.Fatalf("changed = %v", res.Changed)
 	}
+	// Stats is always usable, even when the inner repair reported none.
+	if res.Stats == nil {
+		t.Fatal("RepairCFD returned nil Stats")
+	}
+	res.Stats["probe"] = 1 // must not panic on a guarded empty map
 	// GreedyS path and validation.
-	if _, err := ftrepair.RepairCFD(rel, c, cfg, 0.3, ftrepair.GreedyS, ftrepair.Options{}); err != nil {
+	gres, err := ftrepair.RepairCFD(rel, c, cfg, 0.3, ftrepair.GreedyS, ftrepair.Options{})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if gres.Stats == nil {
+		t.Fatal("RepairCFD(GreedyS) returned nil Stats")
 	}
 	if _, err := ftrepair.RepairCFD(rel, c, cfg, 0.3, ftrepair.ExactM, ftrepair.Options{}); err == nil {
 		t.Fatal("RepairCFD accepted a multi-FD algorithm")
+	}
+	if _, err := ftrepair.RepairCFD(rel, c, cfg, 0.3, "Bogus", ftrepair.Options{}); err == nil {
+		t.Fatal("RepairCFD accepted an unknown algorithm")
+	}
+}
+
+func TestRepairCanceledThroughFacade(t *testing.T) {
+	dirty, _ := gen.Citizens()
+	set, err := ftrepair.NewSet(gen.CitizensFDs(dirty.Schema), 0.2, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ftrepair.DefaultDistConfig(dirty)
+	cancel := make(chan struct{})
+	close(cancel)
+	res, err := ftrepair.Repair(dirty, set, cfg, ftrepair.GreedyM, ftrepair.Options{Cancel: cancel})
+	if !errors.Is(err, ftrepair.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled repair returned no partial result")
+	}
+	if len(res.Changed) != 0 {
+		t.Fatalf("pre-canceled repair changed %d cells", len(res.Changed))
 	}
 }
 

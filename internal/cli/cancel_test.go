@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// A pre-canceled run still writes output (the untouched partial repair)
+// and exits 130 so scripts can tell an interrupt from a failure.
+func TestRunCanceledWritesPartial(t *testing.T) {
+	in := "City,State\nBoston,MA\nBoston,MA\nBoston,MA\nBostn,MA\n"
+	cancel := make(chan struct{})
+	close(cancel)
+	var stdout, stderr strings.Builder
+	code := run([]string{"-in", "-", "-fd", "City -> State", "-q"},
+		strings.NewReader(in), &stdout, &stderr, cancel)
+	if code != 130 {
+		t.Fatalf("exit code = %d, want 130 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "canceled") {
+		t.Fatalf("stderr does not mention cancellation: %s", stderr.String())
+	}
+	// The partial repair of a pre-canceled run is the input unchanged.
+	if got := stdout.String(); got != in {
+		t.Fatalf("partial output = %q, want input unchanged", got)
+	}
+}
+
+// A nil cancel channel behaves exactly like before the hook existed.
+func TestRunNilCancel(t *testing.T) {
+	in := "City,State\nBoston,MA\nBoston,MA\nBoston,MA\nBostn,MA\n"
+	var stdout, stderr strings.Builder
+	code := run([]string{"-in", "-", "-fd", "City -> State", "-q"},
+		strings.NewReader(in), &stdout, &stderr, nil)
+	if code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Boston,MA\nBoston,MA\nBoston,MA\nBoston,MA\n") {
+		t.Fatalf("typo not repaired: %s", stdout.String())
+	}
+}

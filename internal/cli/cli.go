@@ -5,10 +5,12 @@
 package cli
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"ftrepair"
@@ -21,8 +23,34 @@ func (l *stringList) String() string     { return strings.Join(*l, "; ") }
 func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
 
 // Main runs the ftrepair command with the given arguments and streams,
-// returning the process exit code.
+// returning the process exit code. The first SIGINT cancels the running
+// repair through the library's cancellation hook; the partial repair is
+// still written and the exit code is 130. A second SIGINT kills the
+// process the default way.
 func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	cancel, stop := interruptChannel(stderr)
+	defer stop()
+	return run(args, stdin, stdout, stderr, cancel)
+}
+
+// interruptChannel converts the first SIGINT into a closed channel and
+// then restores default signal handling.
+func interruptChannel(stderr io.Writer) (<-chan struct{}, func()) {
+	cancel := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		if _, ok := <-sigCh; !ok {
+			return
+		}
+		fmt.Fprintln(stderr, "ftrepair: interrupt — canceling (partial output follows)")
+		signal.Stop(sigCh)
+		close(cancel)
+	}()
+	return cancel, func() { signal.Stop(sigCh); close(sigCh) }
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer, cancel <-chan struct{}) int {
 	var fds stringList
 	fs := flag.NewFlagSet("ftrepair", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -45,7 +73,7 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	c := command{
-		stdin: stdin, stdout: stdout, stderr: stderr,
+		stdin: stdin, stdout: stdout, stderr: stderr, cancel: cancel,
 		in: *in, out: *out, types: *types, algoName: *algo,
 		fdSpecs: fds, tau: *tau, autoTau: *autoTau, wl: *wl, wr: *wr,
 		quiet: *quiet, detect: *detect, report: *repReport,
@@ -55,6 +83,10 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = c.runDiscover()
 	} else {
 		err = c.run()
+	}
+	if errors.Is(err, ftrepair.ErrCanceled) {
+		fmt.Fprintln(stderr, "ftrepair:", err)
+		return 130
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "ftrepair:", err)
@@ -66,6 +98,7 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 type command struct {
 	stdin          io.Reader
 	stdout, stderr io.Writer
+	cancel         <-chan struct{}
 
 	in, out, types, algoName string
 	fdSpecs                  []string
@@ -176,12 +209,13 @@ func (c *command) run() error {
 	}
 
 	if c.detect {
-		report.WriteViolations(c.stdout, ftrepair.Detect(rel, set, cfg, ftrepair.Options{}))
+		report.WriteViolations(c.stdout, ftrepair.Detect(rel, set, cfg, ftrepair.Options{Cancel: c.cancel}))
 		return nil
 	}
 
-	res, err := ftrepair.Repair(rel, set, cfg, algo, ftrepair.Options{})
-	if err != nil {
+	res, err := ftrepair.Repair(rel, set, cfg, algo, ftrepair.Options{Cancel: c.cancel})
+	canceled := errors.Is(err, ftrepair.ErrCanceled)
+	if err != nil && !(canceled && res != nil) {
 		return err
 	}
 
@@ -212,6 +246,9 @@ func (c *command) run() error {
 		if err := ftrepair.VerifyFTConsistent(res.Repaired, set, cfg); err != nil {
 			fmt.Fprintf(c.stderr, "  warning: %v\n", err)
 		}
+	}
+	if canceled {
+		return fmt.Errorf("%w (wrote partial repair: %d cells)", ftrepair.ErrCanceled, len(res.Changed))
 	}
 	return nil
 }

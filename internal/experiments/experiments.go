@@ -21,6 +21,14 @@ type Config struct {
 	Workloads []string
 	Exact     bool
 	JSON      bool
+	// Cancel stops in-flight repairs early (e.g. on SIGINT); measurements
+	// taken after it fires report "repair: canceled" instead of numbers.
+	Cancel <-chan struct{}
+}
+
+// opts is the baseline repair.Options every experiment starts from.
+func (c Config) opts() repair.Options {
+	return repair.Options{Cancel: c.Cancel}
 }
 
 // paperN returns the paper's #-tuples sweep for a workload, scaled.
@@ -138,14 +146,16 @@ func xLabel(title string) string {
 }
 
 func (c Config) ourAlgos() []eval.AlgoSpec {
-	return eval.OurAlgos(c.Exact, repair.Options{})
+	return eval.OurAlgos(c.Exact, c.opts())
 }
 
 // treeContrast pairs each multi-FD heuristic with its no-tree variant, the
 // paper's X vs X-Tree series.
-func treeContrast(exact bool) []eval.AlgoSpec {
-	withTree := eval.OurAlgos(exact, repair.Options{})
-	noTree := eval.OurAlgos(exact, repair.Options{DisableTargetTree: true})
+func treeContrast(c Config) []eval.AlgoSpec {
+	withTree := eval.OurAlgos(c.Exact, c.opts())
+	noTreeOpts := c.opts()
+	noTreeOpts.DisableTargetTree = true
+	noTree := eval.OurAlgos(c.Exact, noTreeOpts)
 	var out []eval.AlgoSpec
 	for i := range withTree {
 		wt := withTree[i]
@@ -159,7 +169,7 @@ func fig5(c Config, w io.Writer) error {
 	// Single-constraint panel.
 	if err := qualitySweep(c, w, "Fig 5 single FD: quality varying #-tuples", c.paperN,
 		func(wk string, x float64) eval.Setup { return c.setup(wk, int(x), 1, 0.04) },
-		func() []eval.AlgoSpec { return eval.SingleAlgos(true, repair.Options{}) },
+		func() []eval.AlgoSpec { return eval.SingleAlgos(true, c.opts()) },
 	); err != nil {
 		return err
 	}
@@ -193,7 +203,7 @@ func fig7(c Config, w io.Writer) error {
 func fig8(c Config, w io.Writer) error {
 	return timeSweep(c, w, "Fig 8: runtime varying #-tuples", c.paperN,
 		func(wk string, x float64) eval.Setup { return c.setup(wk, int(x), 0, 0.04) },
-		func() []eval.AlgoSpec { return treeContrast(c.Exact) },
+		func() []eval.AlgoSpec { return treeContrast(c) },
 	)
 }
 
@@ -201,7 +211,7 @@ func fig9(c Config, w io.Writer) error {
 	return timeSweep(c, w, "Fig 9: runtime varying #-FDs",
 		func(string) []float64 { return fdSweep() },
 		func(wk string, x float64) eval.Setup { return c.setup(wk, c.defaultN(wk), int(x), 0.04) },
-		func() []eval.AlgoSpec { return treeContrast(c.Exact) },
+		func() []eval.AlgoSpec { return treeContrast(c) },
 	)
 }
 
@@ -209,7 +219,7 @@ func fig10(c Config, w io.Writer) error {
 	return timeSweep(c, w, "Fig 10: runtime varying error rate",
 		func(string) []float64 { return rateSweep() },
 		func(wk string, x float64) eval.Setup { return c.setup(wk, c.defaultN(wk), 0, x) },
-		func() []eval.AlgoSpec { return treeContrast(c.Exact) },
+		func() []eval.AlgoSpec { return treeContrast(c) },
 	)
 }
 
@@ -288,9 +298,9 @@ func ablation(c Config, w io.Writer) error {
 	wk := c.Workloads[0]
 	n := c.defaultN(wk)
 	variants := []eval.AlgoSpec{
-		namedGreedyM("GreedyM", repair.Options{}),
-		namedGreedyM("NoIndex", repair.Options{Graph: graphNoIndex()}),
-		namedGreedyM("NoTree", repair.Options{DisableTargetTree: true}),
+		namedGreedyM("GreedyM", c.opts()),
+		namedGreedyM("NoIndex", repair.Options{Graph: graphNoIndex(), Cancel: c.Cancel}),
+		namedGreedyM("NoTree", repair.Options{DisableTargetTree: true, Cancel: c.Cancel}),
 	}
 	series, err := eval.Sweep([]float64{float64(n)},
 		func(x float64) eval.Setup { return c.setup(wk, int(x), 0, 0.04) }, variants)
@@ -334,7 +344,7 @@ func weightsAblation(c Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			p := eval.Measure(inst, eval.OurAlgos(false, repair.Options{})[0])
+			p := eval.Measure(inst, eval.OurAlgos(false, c.opts())[0])
 			if p.Err != "" {
 				fmt.Fprintf(w, "%-16s %10s %10s  (%s)\n", v.name, "-", "-", p.Err)
 				continue
@@ -371,7 +381,7 @@ func flavorAblation(c Config, w io.Writer) error {
 				return err
 			}
 			inst.Cfg.Edit = fl.flavor
-			p := eval.Measure(inst, eval.OurAlgos(false, repair.Options{})[0])
+			p := eval.Measure(inst, eval.OurAlgos(false, c.opts())[0])
 			if p.Err != "" {
 				fmt.Fprintf(w, "%-14s %10s %10s %12s  (%s)\n", fl.name, "-", "-", "-", p.Err)
 				continue
@@ -399,7 +409,7 @@ func tauAblation(c Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			p := eval.Measure(inst, eval.OurAlgos(false, repair.Options{})[0])
+			p := eval.Measure(inst, eval.OurAlgos(false, c.opts())[0])
 			if p.Err != "" {
 				fmt.Fprintf(w, "%-8.2f %10s %10s %10s  (%s)\n", tau, "-", "-", "-", p.Err)
 				continue
@@ -423,7 +433,7 @@ func detectionAblation(c Config, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "## Detection quality — %s (N=%d, e%%=4)\n", strings.ToUpper(wk), n)
 		fmt.Fprintf(w, "%-22s %10s %10s %10s %10s\n", "semantics", "precision", "recall", "flagged", "violations")
-		ft := repair.Detect(inst.Dirty, inst.Set, inst.Cfg, repair.Options{})
+		ft := repair.Detect(inst.Dirty, inst.Set, inst.Cfg, c.opts())
 		classic := eval.ClassicDetect(inst)
 		for _, row := range []struct {
 			name       string
@@ -457,7 +467,7 @@ func autotauAblation(c Config, w io.Writer) error {
 					inst.Set.Tau[i] = fd.SelectTau(inst.Dirty, f, inst.Cfg, fd.TauOptions{Fallback: eval.BenchTau})
 				}
 			}
-			p := eval.Measure(inst, eval.OurAlgos(false, repair.Options{})[0])
+			p := eval.Measure(inst, eval.OurAlgos(false, c.opts())[0])
 			if p.Err != "" {
 				fmt.Fprintf(w, "%-24s %10s %10s  (%s)\n", policy, "-", "-", p.Err)
 				continue

@@ -102,11 +102,35 @@ type Options struct {
 	// 0 means 1<<20. Exceeding the cap aborts with an error: the caller
 	// should fall back to the greedy algorithm.
 	MaxNodes int
+	// Cancel, when non-nil, aborts the search with ErrCanceled as soon as
+	// the channel is closed. The expansion loop polls it between levels and
+	// every cancelBatch nodes inside a level, so even exponential frontiers
+	// stay responsive.
+	Cancel <-chan struct{}
 }
 
 // ErrTooLarge is returned (wrapped) when the expansion tree exceeds
 // Options.MaxNodes.
 var ErrTooLarge = fmt.Errorf("mis: expansion tree exceeds node budget")
+
+// ErrCanceled is returned (wrapped) when Options.Cancel fires mid-search.
+var ErrCanceled = fmt.Errorf("mis: search canceled")
+
+// cancelBatch is how many frontier nodes are processed between cancellation
+// polls inside one expansion level.
+const cancelBatch = 256
+
+func canceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
 
 // BestMIS finds the maximal independent set of g with minimum repair cost
 // using the expansion algorithm with pruning. The search decomposes into
@@ -118,6 +142,9 @@ func BestMIS(g *vgraph.Graph, opts Options) (Result, error) {
 	}
 	var res Result
 	for _, comp := range g.Components() {
+		if canceled(opts.Cancel) {
+			return Result{}, fmt.Errorf("%w: between components", ErrCanceled)
+		}
 		if len(comp) == 1 {
 			res.Set = append(res.Set, comp[0])
 			continue
@@ -235,10 +262,16 @@ func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) 
 	result := Result{NodesExplored: 1}
 
 	for level := 1; level < n; level++ {
+		if canceled(opts.Cancel) {
+			return Result{}, fmt.Errorf("%w: at level %d of %d", ErrCanceled, level, n)
+		}
 		// Refresh the global upper bound from the current frontier
 		// (Algorithm 1 lines 4-5).
 		if !opts.DisablePruning {
-			for _, nd := range frontier {
+			for i, nd := range frontier {
+				if i%cancelBatch == 0 && canceled(opts.Cancel) {
+					return Result{}, fmt.Errorf("%w: at level %d of %d", ErrCanceled, level, n)
+				}
 				if u := ub(nd.set); u < bestUB {
 					bestUB = u
 				}
@@ -255,7 +288,10 @@ func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) 
 			next = append(next, &node{set: set})
 			result.NodesExplored++
 		}
-		for _, nd := range frontier {
+		for fi, nd := range frontier {
+			if fi%cancelBatch == 0 && canceled(opts.Cancel) {
+				return Result{}, fmt.Errorf("%w: at level %d of %d", ErrCanceled, level, n)
+			}
 			if !opts.DisablePruning && lb(nd.set, level) > bestUB {
 				result.Pruned++
 				continue
@@ -300,7 +336,10 @@ func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) 
 	// the cheapest by actual repair cost.
 	best := math.Inf(1)
 	var bestSet bitset
-	for _, nd := range frontier {
+	for fi, nd := range frontier {
+		if fi%cancelBatch == 0 && canceled(opts.Cancel) {
+			return Result{}, fmt.Errorf("%w: scoring %d maximal sets", ErrCanceled, len(frontier))
+		}
 		var cost float64
 		for i := 0; i < n; i++ {
 			if nd.set.has(i) {

@@ -1,0 +1,122 @@
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+)
+
+// pathInstance builds a relation whose violation graph under A -> B is a
+// path of n pattern vertices: A is numeric 0..n-1 with tau placed so only
+// consecutive values FT-violate. The expansion search over a path frontier
+// grows exponentially, making the instance arbitrarily slow for ExactS
+// while trivial for the greedy algorithms.
+func pathInstance(t testing.TB, n int) (*dataset.Relation, *fd.Set, *fd.DistConfig) {
+	t.Helper()
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "A", Type: dataset.Numeric},
+		dataset.Attribute{Name: "B", Type: dataset.String},
+	)
+	rel := dataset.NewRelation(schema)
+	for i := 0; i < n; i++ {
+		if err := rel.Append(dataset.Tuple{fmt.Sprintf("%d", i), "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := fd.New(schema, "", []string{"A"}, []string{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := fd.NewDistConfig(rel, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fd.NewSet([]*fd.FD{f}, 0.75/float64(n-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, set, cfg
+}
+
+func TestExactSCancel(t *testing.T) {
+	rel, set, cfg := pathInstance(t, 200)
+	cancel := make(chan struct{})
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := ExactS(rel, set.FDs[0], cfg, set.Tau[0], Options{Cancel: cancel})
+		done <- outcome{res, err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(cancel)
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", o.err)
+		}
+		if o.res == nil || o.res.Repaired == nil {
+			t.Fatal("canceled ExactS returned no partial result")
+		}
+		if o.res.Repaired.Len() != rel.Len() {
+			t.Fatalf("partial result has %d tuples, want %d", o.res.Repaired.Len(), rel.Len())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ExactS did not return within 2s of cancellation")
+	}
+}
+
+func TestExactSPreCanceled(t *testing.T) {
+	rel, set, cfg := pathInstance(t, 50)
+	cancel := make(chan struct{})
+	close(cancel)
+	_, err := ExactS(rel, set.FDs[0], cfg, set.Tau[0], Options{Cancel: cancel})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestMultiAlgorithmsPreCanceled(t *testing.T) {
+	rel, set, cfg := pathInstance(t, 60)
+	cancel := make(chan struct{})
+	close(cancel)
+	for name, run := range map[string]func() (*Result, error){
+		"GreedyM": func() (*Result, error) { return GreedyM(rel, set, cfg, Options{Cancel: cancel}) },
+		"ApproM":  func() (*Result, error) { return ApproM(rel, set, cfg, Options{Cancel: cancel}) },
+		"ExactM":  func() (*Result, error) { return ExactM(rel, set, cfg, Options{Cancel: cancel}) },
+		"GreedyS": func() (*Result, error) {
+			return GreedyS(rel, set.FDs[0], cfg, set.Tau[0], Options{Cancel: cancel})
+		},
+	} {
+		res, err := run()
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("%s: err = %v, want ErrCanceled", name, err)
+			continue
+		}
+		if res == nil || res.Repaired == nil {
+			t.Errorf("%s: canceled run returned no partial result", name)
+			continue
+		}
+		// A pre-canceled run must not have modified anything.
+		if diff, _ := dataset.Diff(rel, res.Repaired); len(diff) != 0 {
+			t.Errorf("%s: pre-canceled partial result changed %d cells", name, len(diff))
+		}
+	}
+}
+
+func TestNilCancelUnaffected(t *testing.T) {
+	rel, set, cfg := pathInstance(t, 30)
+	res, err := GreedyM(rel, set, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFTConsistent(res.Repaired, set, cfg); err != nil {
+		t.Fatalf("repair not FT-consistent: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -62,14 +63,32 @@ func multiRepair(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Op
 	out := rel.Clone()
 	stats := make(map[string]int)
 	comps := set.Components()
+	// partial finishes the result over whatever components committed before
+	// a cancellation and surfaces the typed error alongside it.
+	partial := func() (*Result, error) {
+		res, ferr := finish(rel, out, cfg, name, start, stats)
+		if ferr != nil {
+			return nil, ferr
+		}
+		return res, ErrCanceled
+	}
 	if opts.Parallel >= 2 && len(comps) > 1 {
 		if err := repairComponentsParallel(rel, out, set, cfg, opts, stats, comps, repairComp); err != nil {
+			if errors.Is(err, ErrCanceled) {
+				return partial()
+			}
 			return nil, err
 		}
 	} else {
 		for _, comp := range comps {
+			if canceled(opts.Cancel) {
+				return partial()
+			}
 			sub := set.Subset(comp)
 			if err := repairComp(rel, out, sub, cfg, opts, stats); err != nil {
+				if errors.Is(err, ErrCanceled) {
+					return partial()
+				}
 				return nil, err
 			}
 		}
@@ -107,7 +126,16 @@ func repairComponentsParallel(rel, out *dataset.Relation, set *fd.Set, cfg *fd.D
 	}
 	wg.Wait()
 	close(errs)
-	return <-errs // nil when the channel is empty
+	// Prefer a real failure over a cancellation when both occurred.
+	var firstCancel error
+	for err := range errs {
+		if errors.Is(err, ErrCanceled) {
+			firstCancel = err
+			continue
+		}
+		return err
+	}
+	return firstCancel
 }
 
 func buildGraphs(rel *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options) []*vgraph.Graph {
@@ -146,7 +174,11 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 			DisablePruning: opts.DisablePruning,
 			NaturalOrder:   opts.NaturalOrder,
 			MaxNodes:       opts.MaxNodes,
+			Cancel:         opts.Cancel,
 		})
+		if errors.Is(err, mis.ErrCanceled) {
+			return ErrCanceled
+		}
 		if err != nil {
 			return err
 		}
@@ -158,6 +190,9 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 	families := make([][][]int, len(sub.FDs))
 	combos := 1
 	for i, g := range graphs {
+		if canceled(opts.Cancel) {
+			return ErrCanceled
+		}
 		families[i] = mis.EnumerateMaximal(g)
 		if opts.MaxMISPerFD > 0 && len(families[i]) > opts.MaxMISPerFD {
 			return fmt.Errorf("%w: %d sets for %s (cap %d)", ErrTooManyMIS, len(families[i]), sub.FDs[i], opts.MaxMISPerFD)
@@ -174,6 +209,9 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 	var bestTargets []*targettree.Target
 	idx := make([]int, len(families))
 	for {
+		if canceled(opts.Cancel) {
+			return ErrCanceled
+		}
 		sets := make([][]int, len(families))
 		for i, j := range idx {
 			sets[i] = families[i][j]
@@ -210,7 +248,10 @@ func approComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 	graphs := buildGraphs(rel, sub, cfg, opts)
 	sets := make([][]int, len(graphs))
 	for i, g := range graphs {
-		sets[i] = greedySet(g)
+		sets[i] = greedySet(g, opts.Cancel)
+		if canceled(opts.Cancel) {
+			return ErrCanceled
+		}
 	}
 	return applyJoinedSets(rel, out, sub, cfg, opts, stats, graphs, sets)
 }
@@ -218,7 +259,12 @@ func approComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 // greedyComponent implements §4.4 for one component.
 func greedyComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error {
 	graphs := buildGraphs(rel, sub, cfg, opts)
-	sets := jointGreedySets(rel, graphs)
+	sets := jointGreedySets(rel, graphs, opts.Cancel)
+	if canceled(opts.Cancel) {
+		// The joint growth stopped early; leave this component untouched
+		// rather than applying a half-grown plan.
+		return ErrCanceled
+	}
 	return applyJoinedSets(rel, out, sub, cfg, opts, stats, graphs, sets)
 }
 
@@ -251,12 +297,15 @@ func sequentialFallback(out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, 
 	for round := 0; round < maxRounds; round++ {
 		clean := true
 		for i, f := range sub.FDs {
+			if canceled(opts.Cancel) {
+				return ErrCanceled
+			}
 			g := vgraph.Build(out, f, cfg, sub.Tau[i], opts.Graph)
 			if g.NumEdges() == 0 {
 				continue
 			}
 			clean = false
-			applyInPlace(out, g, repairTargets(g, greedySet(g)))
+			applyInPlace(out, g, repairTargets(g, greedySet(g, opts.Cancel)))
 		}
 		if clean {
 			return nil
@@ -287,7 +336,7 @@ func applyInPlace(out *dataset.Relation, g *vgraph.Graph, target map[int]int) {
 // is what lets the same doomed pattern repair differently in different
 // tuples — (Boston, NY) becomes (New York, NY) in t5 but (Boston, MA) in
 // t10 of the running example.
-func jointGreedySets(rel *dataset.Relation, graphs []*vgraph.Graph) [][]int {
+func jointGreedySets(rel *dataset.Relation, graphs []*vgraph.Graph, cancel <-chan struct{}) [][]int {
 	n := len(graphs)
 	type state struct {
 		inSet, blocked []bool
@@ -516,6 +565,9 @@ func jointGreedySets(rel *dataset.Relation, graphs []*vgraph.Graph) [][]int {
 	}
 
 	for {
+		if canceled(cancel) {
+			break
+		}
 		bestI, bestV := -1, -1
 		bestCost := math.Inf(1)
 		const eps = 1e-9

@@ -16,6 +16,7 @@
 package repair
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -65,6 +66,33 @@ type Options struct {
 	// components), so their repairs commute and the result is identical to
 	// the sequential one. Values below 2 mean sequential.
 	Parallel int
+	// Cancel, when non-nil, makes the algorithms abandon the computation as
+	// soon as the channel is closed: the hot loops (the ExactS/ExactM
+	// expansion search, the greedy set growth, the GreedyM joint selection)
+	// poll it and return the work committed so far together with
+	// ErrCanceled. Long-running repairs driven by servers or CLIs close the
+	// channel from a signal handler or a cancel endpoint.
+	Cancel <-chan struct{}
+}
+
+// ErrCanceled is returned when Options.Cancel fires mid-repair. The Result
+// returned alongside it is a partial repair: components (or, for the greedy
+// algorithms, set-growth steps) completed before the cancellation are
+// applied, the rest of the relation is untouched. Partial results are not
+// FT-consistent in general.
+var ErrCanceled = errors.New("repair: canceled")
+
+// canceled reports whether the cancel channel (possibly nil) has fired.
+func canceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 func finish(orig *dataset.Relation, repaired *dataset.Relation, cfg *fd.DistConfig, algorithm string, start time.Time, stats map[string]int) (*Result, error) {

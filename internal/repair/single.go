@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"errors"
 	"math"
 	"time"
 
@@ -23,7 +24,20 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 		DisablePruning: opts.DisablePruning,
 		NaturalOrder:   opts.NaturalOrder,
 		MaxNodes:       opts.MaxNodes,
+		Cancel:         opts.Cancel,
 	})
+	if errors.Is(err, mis.ErrCanceled) {
+		// Canceled mid-search: no set was chosen, so the partial repair is
+		// the untouched input.
+		partial, ferr := finish(rel, rel.Clone(), cfg, "ExactS", start, map[string]int{
+			"vertices": len(g.Vertices),
+			"edges":    g.NumEdges(),
+		})
+		if ferr != nil {
+			return nil, ferr
+		}
+		return partial, ErrCanceled
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -68,17 +82,25 @@ func repairTargets(g *vgraph.Graph, set []int) map[int]int {
 func GreedyS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opts Options) (*Result, error) {
 	start := time.Now()
 	g := vgraph.Build(rel, f, cfg, tau, opts.Graph)
-	set := greedySet(g)
+	set := greedySet(g, opts.Cancel)
 	repaired := applyVertexRepairs(rel, g, repairTargets(g, set))
-	return finish(rel, repaired, cfg, "GreedyS", start, map[string]int{
+	res, err := finish(rel, repaired, cfg, "GreedyS", start, map[string]int{
 		"vertices": len(g.Vertices),
 		"edges":    g.NumEdges(),
 		"setSize":  len(set),
 	})
+	if err == nil && canceled(opts.Cancel) {
+		// The greedy growth stopped early: excluded vertices without an
+		// in-set neighbor stay unrepaired.
+		return res, ErrCanceled
+	}
+	return res, err
 }
 
 // greedySet runs Algorithm 2 on the pattern graph and returns the chosen
-// maximal independent set.
+// maximal independent set. When cancel fires mid-growth the set built so far
+// is returned (independent, but possibly not maximal); the caller decides
+// how to surface the cancellation.
 //
 // Selection uses a normalized form of Eq. 7/8: a candidate is charged, per
 // neighbor it dooms, only the cost *above* that neighbor's unavoidable
@@ -90,7 +112,10 @@ func GreedyS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, o
 // surrounded by error patterns is charged their full — but inevitable —
 // repair cost. The normalized score keeps the paper's complexity and
 // resolves both.
-func greedySet(g *vgraph.Graph) []int {
+func greedySet(g *vgraph.Graph, cancel <-chan struct{}) []int {
+	if canceled(cancel) {
+		return nil
+	}
 	n := len(g.Vertices)
 	mult := func(v int) float64 { return float64(g.Vertices[v].Mult()) }
 
@@ -180,6 +205,9 @@ func greedySet(g *vgraph.Graph) []int {
 	add(first)
 
 	for {
+		if canceled(cancel) {
+			return set
+		}
 		// Candidates: not chosen, not blocked.
 		cand, candCost := -1, math.Inf(1)
 		for v := 0; v < n; v++ {

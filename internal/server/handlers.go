@@ -1,0 +1,209 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body with a size cap and strict fields.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/relation", s.handleSessionRelation)
+	mux.HandleFunc("POST /v1/sessions/{id}/tuples", s.handleAppendTuples)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":            true,
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	view := s.metrics.snapshot(time.Since(s.started), s.jobs.gauges(), s.sessions.count())
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if !s.decodeBody(w, r, &spec) {
+		return
+	}
+	prob, err := spec.compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+	job := s.jobs.add(spec, prob)
+	if err := s.pool.submit(job); err != nil {
+		job.complete(JobFailed, nil, err.Error())
+		code := http.StatusServiceUnavailable
+		writeError(w, code, "%v", err)
+		return
+	}
+	s.metrics.jobSubmitted()
+	writeJSON(w, http.StatusAccepted, job.View(false))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.jobs.list()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.View(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View(true))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if job.Cancel() {
+		s.logf("job %s: cancel requested", job.id)
+	}
+	writeJSON(w, http.StatusAccepted, job.View(false))
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var spec SessionSpec
+	if !s.decodeBody(w, r, &spec) {
+		return
+	}
+	sess, err := s.sessions.create(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errShuttingDown) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "invalid session: %v", err)
+		return
+	}
+	s.logf("session %s: created (%d tuples)", sess.id, sess.view().Tuples)
+	writeJSON(w, http.StatusCreated, sess.view())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
+	sessions := s.sessions.list()
+	views := make([]SessionView, 0, len(sessions))
+	for _, sess := range sessions {
+		views = append(views, sess.view())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": views})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.view())
+}
+
+func (s *Server) handleSessionRelation(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	csv, err := sess.relationCSV()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "serializing relation: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_, _ = w.Write([]byte(csv))
+}
+
+// appendRequest is the body of POST /v1/sessions/{id}/tuples.
+type appendRequest struct {
+	Rows [][]string `json:"rows"`
+}
+
+// appendResponse reports per-row outcomes of an append.
+type appendResponse struct {
+	Results  []AppendedTuple `json:"results"`
+	Repaired int             `json:"repaired"`
+}
+
+func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	var req appendRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "rows is empty")
+		return
+	}
+	results, repaired := sess.append(req.Rows)
+	s.metrics.sessionAppend(len(req.Rows), repaired)
+	writeJSON(w, http.StatusOK, appendResponse{Results: results, Repaired: repaired})
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	s.logf("session %s: closed", id)
+	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
+}

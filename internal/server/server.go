@@ -1,0 +1,125 @@
+// Package server implements repaird, the repair service daemon: an
+// HTTP/JSON API over the cost-based repair library. It offers three
+// workloads on one process:
+//
+//   - batch jobs: POST /v1/jobs submits a dirty relation plus FDs; a
+//     bounded worker pool executes the repair; GET /v1/jobs/{id} polls
+//     status and result; DELETE /v1/jobs/{id} cancels a queued or running
+//     job through the repair.Options cancellation hook.
+//   - streaming sessions: POST /v1/sessions builds repair.Incremental
+//     state over a base relation; POST /v1/sessions/{id}/tuples appends
+//     tuples online, repairing each against the accepted patterns.
+//   - operations: GET /healthz liveness, GET /v1/stats counters, request
+//     logging, and graceful shutdown with in-flight job draining.
+//
+// Everything is stdlib-only (net/http, encoding/json).
+package server
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Workers sizes the job worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the job queue; 0 means 256. A full queue rejects
+	// submissions with 503.
+	QueueDepth int
+	// MaxBodyBytes caps request bodies; 0 means 64 MiB.
+	MaxBodyBytes int64
+	// Logger receives request and lifecycle logs; nil silences them.
+	Logger *log.Logger
+}
+
+// Server is the repair service: job store, worker pool, session registry
+// and metrics behind an http.Handler.
+type Server struct {
+	cfg      Config
+	jobs     *jobStore
+	sessions *sessionRegistry
+	metrics  *metrics
+	pool     *pool
+	mux      *http.ServeMux
+	started  time.Time
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	s := &Server{
+		cfg:      cfg,
+		jobs:     newJobStore(),
+		sessions: newSessionRegistry(),
+		metrics:  newMetrics(),
+		started:  time.Now(),
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execJob)
+	s.mux = s.routes()
+	return s
+}
+
+// Handler returns the HTTP surface with request logging applied.
+func (s *Server) Handler() http.Handler {
+	return s.logRequests(s.mux)
+}
+
+// Shutdown drains the service: intake stops (submissions get 503), queued
+// and running jobs are given until ctx's deadline to finish, then every
+// outstanding job is canceled through its cancellation hook and the pool is
+// awaited briefly so workers observe the cancel.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.pool.close()
+	deadline := 5 * time.Second
+	if d, ok := ctx.Deadline(); ok {
+		deadline = time.Until(d)
+	}
+	if deadline > 0 && s.pool.wait(deadline) {
+		s.logf("shutdown: drained cleanly")
+		return nil
+	}
+	s.logf("shutdown: draining timed out; canceling outstanding jobs")
+	s.jobs.cancelAll()
+	if !s.pool.wait(5 * time.Second) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.logf("%s %s %d %v", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/repair"
+)
+
+// session is one long-lived streaming repair: an FT-consistent base
+// relation plus repair.Incremental state that keeps it consistent as tuples
+// arrive. Incremental is not safe for concurrent use, so every operation
+// holds mu — appends from concurrent clients serialize here.
+type session struct {
+	id      string
+	created time.Time
+
+	mu  sync.Mutex
+	inc *repair.Incremental
+	set *fd.Set
+	cfg *fd.DistConfig
+	// baseRepaired counts cells the base repair changed at creation.
+	baseRepaired int
+	baseAlgo     string
+}
+
+// SessionView is the JSON representation of a session.
+type SessionView struct {
+	ID      string    `json:"id"`
+	Created time.Time `json:"created"`
+	// Tuples is the current relation size (base + accepted appends).
+	Tuples int `json:"tuples"`
+	// Accepted and Repaired count appended tuples and how many of them
+	// needed repair.
+	Accepted int `json:"accepted"`
+	Repaired int `json:"repaired"`
+	// BaseRepairedCells counts cells changed to make the base consistent;
+	// BaseAlgorithm names the algorithm that did it ("" when the base was
+	// already consistent).
+	BaseRepairedCells int    `json:"baseRepairedCells"`
+	BaseAlgorithm     string `json:"baseAlgorithm,omitempty"`
+}
+
+// AppendedTuple is the per-row outcome of a tuple append.
+type AppendedTuple struct {
+	// Values is the accepted (possibly repaired) tuple.
+	Values []string `json:"values"`
+	// Repaired reports whether the tuple was modified on the way in.
+	Repaired bool `json:"repaired"`
+	// Error carries a per-row failure (wrong arity); the row was skipped.
+	Error string `json:"error,omitempty"`
+}
+
+func (s *session) view() SessionView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	accepted, repaired := s.inc.Stats()
+	return SessionView{
+		ID:                s.id,
+		Created:           s.created,
+		Tuples:            s.inc.Relation().Len(),
+		Accepted:          accepted,
+		Repaired:          repaired,
+		BaseRepairedCells: s.baseRepaired,
+		BaseAlgorithm:     s.baseAlgo,
+	}
+}
+
+// append feeds rows through the incremental repair, returning per-row
+// outcomes and how many rows were repaired.
+func (s *session) append(rows [][]string) ([]AppendedTuple, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]AppendedTuple, 0, len(rows))
+	repaired := 0
+	for _, row := range rows {
+		accepted, changed, err := s.inc.Add(dataset.Tuple(row))
+		if err != nil {
+			out = append(out, AppendedTuple{Error: err.Error()})
+			continue
+		}
+		if changed {
+			repaired++
+		}
+		out = append(out, AppendedTuple{Values: accepted, Repaired: changed})
+	}
+	return out, repaired
+}
+
+// relationCSV serializes the session's current relation.
+func (s *session) relationCSV() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf strings.Builder
+	if err := dataset.WriteCSV(&buf, s.inc.Relation()); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// sessionRegistry tracks live sessions under a mutex.
+type sessionRegistry struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	seq      int
+}
+
+func newSessionRegistry() *sessionRegistry {
+	return &sessionRegistry{sessions: make(map[string]*session)}
+}
+
+// create compiles a session spec: the base relation is repaired first when
+// it is not already FT-consistent, so NewIncremental always starts from a
+// consistent state.
+func (r *sessionRegistry) create(spec SessionSpec) (*session, error) {
+	algo, err := canonicalAlgo(spec.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := loadRelation(spec.CSV, spec.Header, spec.Rows, spec.Types)
+	if err != nil {
+		return nil, err
+	}
+	set, cfg, err := compileConstraints(rel, spec.FDs, spec.Tau, spec.AutoTau, spec.WL, spec.WR)
+	if err != nil {
+		return nil, err
+	}
+	if (algo == "ExactS" || algo == "GreedyS") && len(set.FDs) != 1 {
+		return nil, fmt.Errorf("%s repairs a single FD, spec has %d", algo, len(set.FDs))
+	}
+	base := rel
+	baseRepaired := 0
+	baseAlgo := ""
+	if repair.VerifyFTConsistent(rel, set, cfg) != nil {
+		prob := &problem{rel: rel, set: set, cfg: cfg, algo: algo}
+		res, err := prob.run(nil)
+		if err != nil {
+			return nil, fmt.Errorf("repairing session base: %w", err)
+		}
+		base = res.Repaired
+		baseRepaired = len(res.Changed)
+		baseAlgo = res.Algorithm
+	}
+	inc, err := repair.NewIncremental(base, set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	s := &session{
+		id:      fmt.Sprintf("sess-%06d", r.seq),
+		created: time.Now(),
+		inc:     inc, set: set, cfg: cfg,
+		baseRepaired: baseRepaired,
+		baseAlgo:     baseAlgo,
+	}
+	r.sessions[s.id] = s
+	return s, nil
+}
+
+func (r *sessionRegistry) get(id string) (*session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	return s, ok
+}
+
+func (r *sessionRegistry) remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[id]; !ok {
+		return false
+	}
+	delete(r.sessions, id)
+	return true
+}
+
+func (r *sessionRegistry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+func (r *sessionRegistry) list() []*session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}

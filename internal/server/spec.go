@@ -1,0 +1,247 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/profile"
+	"ftrepair/internal/repair"
+)
+
+// JobSpec is the JSON body of POST /v1/jobs: the dirty data (inline CSV or
+// header+rows), the FD set, and the repair configuration. Zero values take
+// the documented defaults, matching the ftrepair CLI.
+type JobSpec struct {
+	// CSV is the input relation as CSV text with a header row. Mutually
+	// exclusive with Header/Rows.
+	CSV string `json:"csv,omitempty"`
+	// Header and Rows carry the relation inline instead of CSV.
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+	// Types is a comma-separated attribute type spec aligned with the
+	// header (string|numeric). Empty means inferred from the data.
+	Types string `json:"types,omitempty"`
+	// FDs are dependency specs like "City,Street -> District" (required).
+	FDs []string `json:"fds"`
+	// Tau is the FT-violation threshold for every FD (default 0.3);
+	// AutoTau derives one per FD with the sudden-gap heuristic instead.
+	Tau     float64 `json:"tau,omitempty"`
+	AutoTau bool    `json:"autoTau,omitempty"`
+	// WL and WR are the LHS/RHS distance weights (default 0.7/0.3; must
+	// sum to 1 when set).
+	WL float64 `json:"wl,omitempty"`
+	WR float64 `json:"wr,omitempty"`
+	// Algorithm is one of ExactS, GreedyS, ExactM, ApproM, GreedyM
+	// (case-insensitive; default GreedyM).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Tuning knobs forwarded to repair.Options.
+	MaxNodes       int  `json:"maxNodes,omitempty"`
+	MaxMISPerFD    int  `json:"maxMisPerFd,omitempty"`
+	Parallel       int  `json:"parallel,omitempty"`
+	DisablePruning bool `json:"disablePruning,omitempty"`
+	// TimeoutMs cancels the job after this many milliseconds of run time
+	// (0 means no deadline). A timed-out job reports state "canceled".
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// Verify, when true, runs VerifyFTConsistent and VerifyValid on the
+	// repaired relation and reports the outcome in the result. Off by
+	// default: verification is quadratic in the number of patterns.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// SessionSpec is the JSON body of POST /v1/sessions. The base relation is
+// repaired with Algorithm first when it is not already FT-consistent, so the
+// session always starts from a consistent state.
+type SessionSpec struct {
+	CSV       string     `json:"csv,omitempty"`
+	Header    []string   `json:"header,omitempty"`
+	Rows      [][]string `json:"rows,omitempty"`
+	Types     string     `json:"types,omitempty"`
+	FDs       []string   `json:"fds"`
+	Tau       float64    `json:"tau,omitempty"`
+	AutoTau   bool       `json:"autoTau,omitempty"`
+	WL        float64    `json:"wl,omitempty"`
+	WR        float64    `json:"wr,omitempty"`
+	Algorithm string     `json:"algorithm,omitempty"`
+}
+
+// problem is a compiled job: the parsed relation, constraint set and
+// distance model, ready to run.
+type problem struct {
+	rel  *dataset.Relation
+	set  *fd.Set
+	cfg  *fd.DistConfig
+	algo string
+	opts repair.Options
+}
+
+// Default repair configuration, matching the ftrepair CLI flags.
+const (
+	defaultTau = 0.3
+	defaultWL  = 0.7
+	defaultWR  = 0.3
+)
+
+// canonicalAlgo normalizes an algorithm name, defaulting to GreedyM.
+func canonicalAlgo(name string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "greedym":
+		return "GreedyM", nil
+	case "exacts":
+		return "ExactS", nil
+	case "greedys":
+		return "GreedyS", nil
+	case "exactm":
+		return "ExactM", nil
+	case "approm":
+		return "ApproM", nil
+	default:
+		return "", fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// buildSchema assembles a schema from a header and an optional type spec.
+func buildSchema(header []string, types string) (*dataset.Schema, error) {
+	attrs := make([]dataset.Attribute, len(header))
+	for i, name := range header {
+		attrs[i] = dataset.Attribute{Name: name, Type: dataset.String}
+	}
+	if types != "" {
+		parts := strings.Split(types, ",")
+		if len(parts) != len(header) {
+			return nil, fmt.Errorf("types lists %d entries, header has %d", len(parts), len(header))
+		}
+		for i, p := range parts {
+			switch strings.ToLower(strings.TrimSpace(p)) {
+			case "", "string", "s", "str":
+				attrs[i].Type = dataset.String
+			case "numeric", "n", "num", "number", "float":
+				attrs[i].Type = dataset.Numeric
+			default:
+				return nil, fmt.Errorf("unknown attribute type %q", p)
+			}
+		}
+	}
+	return dataset.NewSchema(attrs...)
+}
+
+// loadRelation parses the data half of a spec: CSV text or header+rows.
+func loadRelation(csv string, header []string, rows [][]string, types string) (*dataset.Relation, error) {
+	switch {
+	case csv != "" && len(rows) > 0:
+		return nil, fmt.Errorf("provide either csv or rows, not both")
+	case csv != "":
+		rel, err := dataset.ReadCSV(strings.NewReader(csv), types)
+		if err != nil {
+			return nil, err
+		}
+		if types == "" {
+			rel = profile.Retype(rel)
+		}
+		return rel, nil
+	case len(rows) > 0:
+		if len(header) == 0 {
+			return nil, fmt.Errorf("rows requires a header")
+		}
+		schema, err := buildSchema(header, types)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := dataset.FromRows(schema, rows)
+		if err != nil {
+			return nil, err
+		}
+		if types == "" {
+			rel = profile.Retype(rel)
+		}
+		return rel, nil
+	default:
+		return nil, fmt.Errorf("no input data: provide csv or header+rows")
+	}
+}
+
+// compileConstraints parses FD specs and derives the distance model and
+// per-FD thresholds over rel.
+func compileConstraints(rel *dataset.Relation, fdSpecs []string, tau float64, autoTau bool, wl, wr float64) (*fd.Set, *fd.DistConfig, error) {
+	if len(fdSpecs) == 0 {
+		return nil, nil, fmt.Errorf("at least one FD is required")
+	}
+	parsed := make([]*fd.FD, len(fdSpecs))
+	for i, spec := range fdSpecs {
+		f, err := fd.Parse(rel.Schema, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		parsed[i] = f
+	}
+	if wl == 0 && wr == 0 {
+		wl, wr = defaultWL, defaultWR
+	}
+	cfg, err := fd.NewDistConfig(rel, wl, wr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tau == 0 {
+		tau = defaultTau
+	}
+	taus := make([]float64, len(parsed))
+	for i, f := range parsed {
+		if autoTau {
+			taus[i] = fd.SelectTau(rel, f, cfg, fd.TauOptions{Fallback: tau})
+		} else {
+			taus[i] = tau
+		}
+	}
+	set, err := fd.NewSet(parsed, taus...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, cfg, nil
+}
+
+// compile validates a job spec into a runnable problem.
+func (spec *JobSpec) compile() (*problem, error) {
+	algo, err := canonicalAlgo(spec.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := loadRelation(spec.CSV, spec.Header, spec.Rows, spec.Types)
+	if err != nil {
+		return nil, err
+	}
+	set, cfg, err := compileConstraints(rel, spec.FDs, spec.Tau, spec.AutoTau, spec.WL, spec.WR)
+	if err != nil {
+		return nil, err
+	}
+	if (algo == "ExactS" || algo == "GreedyS") && len(set.FDs) != 1 {
+		return nil, fmt.Errorf("%s repairs a single FD, spec has %d", algo, len(set.FDs))
+	}
+	return &problem{
+		rel: rel, set: set, cfg: cfg, algo: algo,
+		opts: repair.Options{
+			MaxNodes:       spec.MaxNodes,
+			MaxMISPerFD:    spec.MaxMISPerFD,
+			Parallel:       spec.Parallel,
+			DisablePruning: spec.DisablePruning,
+		},
+	}, nil
+}
+
+// run executes the compiled problem with the given cancellation channel.
+func (p *problem) run(cancel <-chan struct{}) (*repair.Result, error) {
+	opts := p.opts
+	opts.Cancel = cancel
+	switch p.algo {
+	case "ExactS":
+		return repair.ExactS(p.rel, p.set.FDs[0], p.cfg, p.set.Tau[0], opts)
+	case "GreedyS":
+		return repair.GreedyS(p.rel, p.set.FDs[0], p.cfg, p.set.Tau[0], opts)
+	case "ExactM":
+		return repair.ExactM(p.rel, p.set, p.cfg, opts)
+	case "ApproM":
+		return repair.ApproM(p.rel, p.set, p.cfg, opts)
+	default:
+		return repair.GreedyM(p.rel, p.set, p.cfg, opts)
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// AlgoStat aggregates latency for one algorithm.
+type AlgoStat struct {
+	Count   int     `json:"count"`
+	TotalMs float64 `json:"totalMs"`
+	MaxMs   float64 `json:"maxMs"`
+	MeanMs  float64 `json:"meanMs"`
+}
+
+// StatsView is the JSON body of GET /v1/stats.
+type StatsView struct {
+	UptimeSeconds  float64              `json:"uptimeSeconds"`
+	Jobs           map[JobState]int     `json:"jobs"`
+	JobsSubmitted  int                  `json:"jobsSubmitted"`
+	CellsRepaired  int                  `json:"cellsRepaired"`
+	Sessions       int                  `json:"sessions"`
+	SessionTuples  int                  `json:"sessionTuples"`
+	SessionRepairs int                  `json:"sessionRepairs"`
+	Algorithms     map[string]*AlgoStat `json:"algorithms"`
+}
+
+// metrics collects operational counters under one mutex; every counter is
+// incremented on job/session completion paths, far from the hot loops.
+type metrics struct {
+	mu             sync.Mutex
+	jobsSubmitted  int
+	cellsRepaired  int
+	sessionTuples  int
+	sessionRepairs int
+	perAlgo        map[string]*AlgoStat
+}
+
+func newMetrics() *metrics {
+	return &metrics{perAlgo: make(map[string]*AlgoStat)}
+}
+
+func (m *metrics) jobSubmitted() {
+	m.mu.Lock()
+	m.jobsSubmitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobFinished(state JobState, algo string, elapsed time.Duration, cellsRepaired int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if state == JobDone || state == JobCanceled {
+		m.cellsRepaired += cellsRepaired
+	}
+	if state == JobDone {
+		st := m.perAlgo[algo]
+		if st == nil {
+			st = &AlgoStat{}
+			m.perAlgo[algo] = st
+		}
+		ms := float64(elapsed.Microseconds()) / 1000
+		st.Count++
+		st.TotalMs += ms
+		if ms > st.MaxMs {
+			st.MaxMs = ms
+		}
+	}
+}
+
+func (m *metrics) sessionAppend(tuples, repaired int) {
+	m.mu.Lock()
+	m.sessionTuples += tuples
+	m.sessionRepairs += repaired
+	m.mu.Unlock()
+}
+
+// snapshot merges the counters with the caller-supplied gauges.
+func (m *metrics) snapshot(uptime time.Duration, jobs map[JobState]int, sessions int) StatsView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	algos := make(map[string]*AlgoStat, len(m.perAlgo))
+	for name, st := range m.perAlgo {
+		cp := *st
+		if cp.Count > 0 {
+			cp.MeanMs = cp.TotalMs / float64(cp.Count)
+		}
+		algos[name] = &cp
+	}
+	return StatsView{
+		UptimeSeconds:  uptime.Seconds(),
+		Jobs:           jobs,
+		JobsSubmitted:  m.jobsSubmitted,
+		CellsRepaired:  m.cellsRepaired,
+		Sessions:       sessions,
+		SessionTuples:  m.sessionTuples,
+		SessionRepairs: m.sessionRepairs,
+		Algorithms:     algos,
+	}
+}
