@@ -1,12 +1,17 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test short bench experiments fuzz cover examples serve
+.PHONY: all build lint test short bench experiments fuzz cover examples serve
 
-all: build test
+all: build lint test
 
 build:
 	go build ./...
 	go vet ./...
+
+lint:
+	go run ./cmd/repairlint ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 test:
 	go test ./...

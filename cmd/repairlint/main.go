@@ -1,0 +1,85 @@
+// Command repairlint runs ftrepair's project-specific static analyzers
+// (internal/analysis) over Go packages and reports findings in the usual
+// file:line:col style. It exits 1 when any finding or type error is
+// reported, so `go run ./cmd/repairlint ./...` gates CI.
+//
+//	repairlint ./...                         # whole module
+//	repairlint -analyzers cancelpoll ./...   # one analyzer
+//	repairlint -list                         # describe the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/load"
+)
+
+func main() {
+	var (
+		listFlag  = flag.Bool("list", false, "list available analyzers and exit")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	)
+	flag.Parse()
+	if *listFlag {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	findings, err := run(os.Stdout, *analyzers, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repairlint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "repairlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// run loads the packages, applies the selected analyzers, prints findings
+// to w, and returns how many were reported.
+func run(w io.Writer, analyzerSpec string, patterns []string) (int, error) {
+	var names []string
+	if analyzerSpec != "" {
+		names = strings.Split(analyzerSpec, ",")
+	}
+	selected, err := analysis.ByName(names)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(w, "%v: typecheck: %v\n", pkg.Path, terr)
+			findings++
+		}
+		for _, a := range selected {
+			a := a
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					fmt.Fprintf(w, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+					findings++
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return findings, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCleanTree is the repo's lint gate in test form: the analyzer suite
+// must report nothing on the current source tree.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var buf bytes.Buffer
+	findings, err := run(&buf, "", []string{"ftrepair/..."})
+	if err != nil {
+		t.Fatalf("repairlint driver failed: %v", err)
+	}
+	if findings != 0 {
+		t.Fatalf("repairlint reported %d finding(s) on a tree expected to be clean:\n%s", findings, buf.String())
+	}
+}
+
+// TestAnalyzerSelection exercises the -analyzers flag path.
+func TestAnalyzerSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	var buf bytes.Buffer
+	findings, err := run(&buf, "floateq,lockcopy", []string{"ftrepair/internal/fd"})
+	if err != nil {
+		t.Fatalf("repairlint driver failed: %v", err)
+	}
+	if findings != 0 {
+		t.Fatalf("unexpected findings in internal/fd:\n%s", buf.String())
+	}
+}
+
+// TestUnknownAnalyzer: a typo in -analyzers must be a driver error, not a
+// silently empty run.
+func TestUnknownAnalyzer(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(&buf, "nosuch", nil); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("want unknown-analyzer error naming it, got %v", err)
+	}
+}

@@ -58,11 +58,11 @@ func main() {
 	}
 
 	start := time.Now()
-	report("NADEEF", baselines.NADEEF(dirty, set), time.Since(start), eval.Options{})
+	report("NADEEF", baselines.NADEEF(dirty, set, nil), time.Since(start), eval.Options{})
 	start = time.Now()
-	report("URM", baselines.URM(dirty, set, baselines.URMOptions{}), time.Since(start), eval.Options{})
+	report("URM", baselines.URM(dirty, set, baselines.URMOptions{}, nil), time.Since(start), eval.Options{})
 	start = time.Now()
-	report("Llunatic", baselines.Llunatic(dirty, set), time.Since(start),
+	report("Llunatic", baselines.Llunatic(dirty, set, nil), time.Since(start),
 		eval.Options{PartialMarker: baselines.VariableMarker})
 	tw.Flush()
 }

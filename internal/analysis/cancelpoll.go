@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CancelPoll reports loops that can run unboundedly long without polling
+// the cooperative-cancellation channel.
+//
+// A function participates in cooperative cancellation when its signature
+// (receiver or parameters) carries a cancel channel: a chan struct{} in any
+// direction, or a struct — like repair.Options or mis.Options — with a
+// channel field named Cancel. Inside such functions, two loop shapes are
+// required to poll:
+//
+//   - condition-only and infinite for loops (for { ... }, for cond { ... }),
+//     whose trip count is data-dependent — the ExactS/ExactM expansion
+//     search, the greedy set growth, the best-first target search;
+//   - range loops that dispatch into cancellation-aware work: somewhere in
+//     the loop a call passes a cancel channel or a cancel-carrying options
+//     value (repairComp(..., opts, ...), greedySet(g, opts.Cancel),
+//     mis.BestMIS(g, mis.Options{Cancel: ...})). Skipping the poll in such
+//     a loop breaks end-to-end cancellation: the callee unwinds promptly
+//     but the loop marches on to the next component, FD or candidate.
+//
+// A loop nest is considered responsive when any poll appears anywhere
+// inside it: a call whose name mentions cancel (canceled(ch),
+// pollCancel(...)), a direct receive, or a select with a receive from a
+// cancel/done/quit-style channel. Bounded three-clause setup scans
+// (for i := 0; i < n; i++) and range loops doing plain per-element work
+// are exempt: their trip counts are input-sized and each iteration is
+// cheap, so flagging them would drown the signal.
+var CancelPoll = &Analyzer{
+	Name: "cancelpoll",
+	Doc:  "flags unbounded loops in cancellation-aware functions that never poll the Cancel channel",
+	Run:  runCancelPoll,
+}
+
+func runCancelPoll(pass *Pass) error {
+	for _, unit := range funcUnits(pass) {
+		if unit.sig == nil || !signatureCarriesCancel(unit.sig) {
+			continue
+		}
+		checkCancelLoops(pass, unit.body.List, nil, false)
+	}
+	return nil
+}
+
+// checkCancelLoops walks statements, tracking whether any enclosing loop's
+// nest polls (nestPolls) and whether an enclosing loop was already reported
+// (reported), and flags poll-free checked loops.
+func checkCancelLoops(pass *Pass, stmts []ast.Stmt, enclosing []ast.Stmt, reported bool) {
+	for _, s := range stmts {
+		checkCancelStmt(pass, s, enclosing, reported)
+	}
+}
+
+// checkCancelStmt dispatches one statement. enclosing holds the loop
+// statements the walk is currently inside (innermost last).
+func checkCancelStmt(pass *Pass, s ast.Stmt, enclosing []ast.Stmt, reported bool) {
+	switch st := s.(type) {
+	case *ast.ForStmt:
+		checked := st.Init == nil && st.Post == nil
+		reported = flagCancelLoop(pass, s, st.Body, "for", checked, enclosing, reported)
+		checkCancelLoops(pass, st.Body.List, append(enclosing, s), reported)
+	case *ast.RangeStmt:
+		checked := containsCancelAwareCall(pass, st.Body)
+		reported = flagCancelLoop(pass, s, st.Body, "range", checked, enclosing, reported)
+		checkCancelLoops(pass, st.Body.List, append(enclosing, s), reported)
+	case *ast.BlockStmt:
+		checkCancelLoops(pass, st.List, enclosing, reported)
+	case *ast.IfStmt:
+		checkCancelStmt(pass, st.Body, enclosing, reported)
+		if st.Else != nil {
+			checkCancelStmt(pass, st.Else, enclosing, reported)
+		}
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkCancelLoops(pass, cc.Body, enclosing, reported)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkCancelLoops(pass, cc.Body, enclosing, reported)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				checkCancelLoops(pass, cc.Body, enclosing, reported)
+			}
+		}
+	case *ast.LabeledStmt:
+		checkCancelStmt(pass, st.Stmt, enclosing, reported)
+	}
+}
+
+// flagCancelLoop reports the loop when it is a checked shape whose whole
+// nest (itself and every enclosing loop) is poll-free and nothing enclosing
+// was already reported. It returns whether the subtree now counts as
+// reported.
+func flagCancelLoop(pass *Pass, loop ast.Stmt, body *ast.BlockStmt, kind string, checked bool, enclosing []ast.Stmt, reported bool) bool {
+	if !checked || reported {
+		return reported
+	}
+	if containsCancelPoll(body) {
+		return reported
+	}
+	for _, enc := range enclosing {
+		if containsCancelPoll(enc) {
+			return reported
+		}
+	}
+	pass.Reportf(loop.Pos(), "%s loop never polls the cancel channel; poll canceled(...) or select on it so the loop stays cancelable", kind)
+	return true
+}
+
+// signatureCarriesCancel reports whether the receiver or a parameter makes
+// a cancel channel reachable.
+func signatureCarriesCancel(sig *types.Signature) bool {
+	if r := sig.Recv(); r != nil && typeCarriesCancel(r.Type()) {
+		return true
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if typeCarriesCancel(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeCarriesCancel reports whether t is a cancel channel (chan struct{} in
+// any direction) or a struct — possibly behind a pointer — with a channel
+// field named Cancel.
+func typeCarriesCancel(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		elem, ok := u.Elem().Underlying().(*types.Struct)
+		return ok && elem.NumFields() == 0
+	case *types.Pointer:
+		return typeCarriesCancel(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if f.Name() != "Cancel" {
+				continue
+			}
+			if _, ok := f.Type().Underlying().(*types.Chan); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsCancelAwareCall reports whether n contains a call that hands
+// cancellation to the callee: any argument is a cancel channel or a
+// cancel-carrying options value (per typeCarriesCancel). Such calls mark
+// the loop as part of a cancellation-aware pipeline, so the loop itself
+// must also poll — otherwise a canceled callee unwinds promptly but the
+// loop keeps dispatching the next component or candidate.
+func containsCancelAwareCall(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if strings.Contains(strings.ToLower(leafName(call.Fun)), "cancel") {
+			// Polls like canceled(opts.Cancel) are handled by
+			// containsCancelPoll; they do not make a loop "checked".
+			return true
+		}
+		for _, arg := range call.Args {
+			tv, ok := pass.Info.Types[arg]
+			if ok && tv.Type != nil && typeCarriesCancel(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsCancelPoll reports whether n contains a cancellation poll: a call
+// whose name mentions cancel, a receive from a cancel-style channel, or a
+// select with such a receive. Function literals inside n count — a poll in
+// a per-iteration closure still keeps the nest responsive.
+func containsCancelPoll(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if strings.Contains(strings.ToLower(leafName(e.Fun)), "cancel") {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" && cancelChannelName(leafName(e.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// cancelChannelName reports whether a channel identifier reads like a
+// cancellation signal.
+func cancelChannelName(name string) bool {
+	l := strings.ToLower(name)
+	for _, s := range []string{"cancel", "done", "quit", "stop"} {
+		if strings.Contains(l, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// leafName extracts the rightmost identifier of an expression chain:
+// x → x, a.b.C → C, f() → f, (x) → x.
+func leafName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return leafName(x.Fun)
+	case *ast.ParenExpr:
+		return leafName(x.X)
+	case *ast.IndexExpr:
+		return leafName(x.X)
+	}
+	return ""
+}

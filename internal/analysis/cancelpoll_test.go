@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+func TestCancelPoll(t *testing.T) {
+	analyzertest.Run(t, analysis.CancelPoll, "testdata/src/cancelpoll")
+}

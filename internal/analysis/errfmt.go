@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ErrFmt reports error-construction mistakes in fmt.Errorf and errors.New
+// calls:
+//
+//   - a fmt.Errorf that passes an error value (a sentinel like ErrCanceled,
+//     or an err from a callee) without a %w verb — the result cannot be
+//     unwrapped, so errors.Is(err, repair.ErrCanceled) silently stops
+//     matching;
+//   - error strings that start with a capitalized word or end in
+//     punctuation or a newline, which read badly when wrapped into larger
+//     messages (Go convention; acronyms and proper-noun-style all-caps
+//     words are allowed).
+var ErrFmt = &Analyzer{
+	Name: "errfmt",
+	Doc:  "flags fmt.Errorf wrapping errors without %w and capitalized/punctuated error strings",
+	Run:  runErrFmt,
+}
+
+func runErrFmt(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn := calleePkgFunc(pass, call)
+			switch {
+			case pkg == "errors" && fn == "New" && len(call.Args) == 1:
+				checkErrString(pass, call.Args[0])
+			case pkg == "fmt" && fn == "Errorf" && len(call.Args) >= 1:
+				checkErrString(pass, call.Args[0])
+				checkErrWrap(pass, call, errType)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleePkgFunc resolves a call's package path and function name for
+// package-level functions ("" when the callee is not one).
+func calleePkgFunc(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// checkErrWrap flags Errorf calls with an error-typed argument and no %w
+// in the format string.
+func checkErrWrap(pass *Pass, call *ast.CallExpr, errType *types.Interface) {
+	format, ok := stringLit(call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if types.Implements(tv.Type, errType) {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error without %%w; wrap it so errors.Is/As keep working")
+			return
+		}
+	}
+}
+
+// checkErrString flags capitalized or punctuation-terminated error string
+// literals.
+func checkErrString(pass *Pass, arg ast.Expr) {
+	s, ok := stringLit(arg)
+	if !ok || s == "" {
+		return
+	}
+	first, _ := utf8.DecodeRuneInString(s)
+	if unicode.IsUpper(first) && !allCapsWord(s) {
+		pass.Reportf(arg.Pos(), "error string starts with a capitalized word; error strings are lowercase fragments")
+	}
+	last, _ := utf8.DecodeLastRuneInString(s)
+	if last == '.' || last == '!' || last == '?' || last == '\n' {
+		pass.Reportf(arg.Pos(), "error string ends with %q; error strings are unterminated fragments", last)
+	}
+}
+
+// allCapsWord reports whether the string's first word is all uppercase —
+// an acronym like "CSV" or "FD" — which convention permits.
+func allCapsWord(s string) bool {
+	word := s
+	if i := strings.IndexFunc(s, func(r rune) bool { return r == ' ' || r == ':' || r == '-' }); i > 0 {
+		word = s[:i]
+	}
+	for _, r := range word {
+		if unicode.IsLetter(r) && !unicode.IsUpper(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// stringLit extracts a basic string literal's value.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

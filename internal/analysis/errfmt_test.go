@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+func TestErrFmt(t *testing.T) {
+	analyzertest.Run(t, analysis.ErrFmt, "testdata/src/errfmt")
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq reports == and != comparisons between floating-point values.
+//
+// Repair costs and distances are sums of normalized float64 terms; two
+// mathematically equal costs routinely differ in the last bits, so exact
+// equality silently misclassifies ties (greedy selection order, sort
+// comparators, threshold checks). Comparisons must go through the shared
+// epsilon helper fd.FloatEq (internal/fd/float.go). Ordering comparisons
+// (<, <=, >, >=) are allowed — only equality is ill-conditioned.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= comparisons on floating-point values; use fd.FloatEq instead",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass, be.X) && isFloat(pass, be.Y) {
+				pass.Reportf(be.Pos(), "%s compares floats exactly; use fd.FloatEq for epsilon comparison", be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether the expression's type is a floating-point basic
+// type (after any named-type indirection).
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+func TestFloatEq(t *testing.T) {
+	analyzertest.Run(t, analysis.FloatEq, "testdata/src/floateq")
+}

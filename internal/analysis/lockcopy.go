@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// LockCopy reports function signatures that move a lock by value: a
+// receiver, parameter or result whose type contains sync.Mutex,
+// sync.RWMutex, sync.WaitGroup, sync.Once or sync.Cond directly (not
+// behind a pointer).
+//
+// The server's session, job and pool types embed mutexes; copying one
+// forks the lock state, so two goroutines can hold "the same" lock
+// simultaneously. go vet's copylocks catches many cases, but this analyzer
+// runs in the same repairlint pass as the project-specific checks so CI
+// fails with one tool, and it also flags by-value results (a constructor
+// returning pool instead of *pool), which escape some vet configurations.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "flags receivers, parameters and results that pass lock-bearing structs by value",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) error {
+	for _, unit := range funcUnits(pass) {
+		if unit.sig == nil {
+			continue
+		}
+		if r := unit.sig.Recv(); r != nil {
+			if lock := lockInType(r.Type(), nil); lock != "" {
+				pass.Reportf(r.Pos(), "receiver of %s copies %s; use a pointer receiver", unit.name, lock)
+			}
+		}
+		tuples := []struct {
+			vars *types.Tuple
+			kind string
+		}{
+			{unit.sig.Params(), "parameter"},
+			{unit.sig.Results(), "result"},
+		}
+		for _, tp := range tuples {
+			for i := 0; i < tp.vars.Len(); i++ {
+				v := tp.vars.At(i)
+				if lock := lockInType(v.Type(), nil); lock != "" {
+					pos := v.Pos()
+					if !pos.IsValid() {
+						pos = unit.body.Pos()
+					}
+					pass.Reportf(pos, "%s %q of %s passes %s by value; use a pointer", tp.kind, v.Name(), unit.name, lock)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// lockInType returns the name of the first sync lock type contained by
+// value in t ("" when none). Pointers, slices, maps, channels and
+// interfaces are indirections and stop the walk; structs and arrays are
+// traversed. seen breaks cycles through named types.
+func lockInType(t types.Type, seen map[*types.Named]bool) string {
+	if named, ok := t.(*types.Named); ok {
+		if isSyncLock(named) {
+			return "sync." + named.Obj().Name()
+		}
+		if seen[named] {
+			return ""
+		}
+		if seen == nil {
+			seen = make(map[*types.Named]bool)
+		}
+		seen[named] = true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockInType(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockInType(u.Elem(), seen)
+	}
+	return ""
+}
+
+// isSyncLock reports whether the named type is one of the sync primitives
+// that must not be copied after first use.
+func isSyncLock(named *types.Named) bool {
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+func TestLockCopy(t *testing.T) {
+	analyzertest.Run(t, analysis.LockCopy, "testdata/src/lockcopy")
+}

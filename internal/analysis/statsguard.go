@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StatsGuard reports map writes through a Stats field that no preceding
+// statement in the same function guards against nil.
+//
+// Result.Stats (and the JobResult.Stats mirror in the server) is documented
+// as possibly nil; writing res.Stats[k] = v without first checking
+// res.Stats == nil or assigning the field panics at runtime — the exact bug
+// RepairCFD shipped with and had to be patched for. The analyzer flags
+// index assignments (including op-assign and ++/--) whose base is a
+// selector named Stats with map type, unless an earlier statement of the
+// same function either compares that selector against nil or assigns to it
+// (res.Stats = make(...)). The guard search is lexical — a guard later in
+// the function does not dominate an earlier write.
+var StatsGuard = &Analyzer{
+	Name: "statsguard",
+	Doc:  "flags writes to possibly-nil Stats maps not preceded by a nil check or assignment",
+	Run:  runStatsGuard,
+}
+
+func runStatsGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkStatsWrites(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkStatsWrites flags unguarded Stats-map writes in one function body
+// (closures included: a guard in the enclosing function is visible to its
+// literals, so the whole declaration is one guard scope).
+func checkStatsWrites(pass *Pass, body *ast.BlockStmt) {
+	// guards maps the printed base selector ("res.Stats") to the position
+	// of its first nil check or assignment.
+	guards := make(map[string]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if sel := statsSelector(pass, lhs); sel != "" {
+					recordGuard(guards, sel, st.Pos())
+				}
+			}
+		case *ast.BinaryExpr:
+			if st.Op != token.EQL && st.Op != token.NEQ {
+				return true
+			}
+			if isNilIdent(st.X) || isNilIdent(st.Y) {
+				for _, side := range []ast.Expr{st.X, st.Y} {
+					if sel := statsSelector(pass, side); sel != "" {
+						recordGuard(guards, sel, st.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				reportUnguardedStatsWrite(pass, guards, lhs, st.Pos())
+			}
+		case *ast.IncDecStmt:
+			reportUnguardedStatsWrite(pass, guards, st.X, st.Pos())
+		}
+		return true
+	})
+}
+
+// reportUnguardedStatsWrite flags lhs when it indexes a Stats-map selector
+// with no guard lexically before writePos.
+func reportUnguardedStatsWrite(pass *Pass, guards map[string]token.Pos, lhs ast.Expr, writePos token.Pos) {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	sel := statsSelector(pass, idx.X)
+	if sel == "" {
+		return
+	}
+	if pos, ok := guards[sel]; ok && pos < writePos {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to %s[...] without a preceding nil check or assignment; Stats maps may be nil", sel)
+}
+
+// statsSelector returns the printed form of e ("res.Stats") when e is a
+// selector of a field named Stats with map type, and "" otherwise.
+func statsSelector(pass *Pass, e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stats" {
+		return ""
+	}
+	tv, ok := pass.Info.Types[sel]
+	if !ok {
+		return ""
+	}
+	if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+		return ""
+	}
+	return types.ExprString(sel)
+}
+
+func recordGuard(guards map[string]token.Pos, sel string, pos token.Pos) {
+	if old, ok := guards[sel]; !ok || pos < old {
+		guards[sel] = pos
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+func TestStatsGuard(t *testing.T) {
+	analyzertest.Run(t, analysis.StatsGuard, "testdata/src/statsguard")
+}

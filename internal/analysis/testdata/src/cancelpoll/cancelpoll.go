@@ -1,0 +1,140 @@
+// Package cancelpoll exercises the cancelpoll analyzer: functions whose
+// signature carries a cancel channel must poll it inside unbounded loops
+// and inside range loops that dispatch cancellation-aware work.
+package cancelpoll
+
+// Options mirrors repair.Options: a struct carrying a cancel channel.
+type Options struct {
+	Cancel <-chan struct{}
+}
+
+// canceled is the project's poll idiom.
+func canceled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// work stands in for a cancellation-aware callee.
+func work(opts Options) int { return len(opts.Cancel) }
+
+// condLoopNoPoll: a condition-only loop with no poll in a gated function.
+func condLoopNoPoll(opts Options) int {
+	n := 0
+	for n < 1000000 { // want `never polls the cancel channel`
+		n++
+	}
+	return n
+}
+
+// condLoopPolled: the canceled(...) call keeps the loop quiet.
+func condLoopPolled(opts Options) int {
+	n := 0
+	for n < 1000000 {
+		if canceled(opts.Cancel) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// rangeDispatch: a range loop forwarding cancellation to a callee must
+// itself poll, or a canceled callee unwinds and the loop marches on.
+func rangeDispatch(items []int, opts Options) int {
+	total := 0
+	for range items { // want `never polls the cancel channel`
+		total += work(opts)
+	}
+	return total
+}
+
+// rangeDispatchPolled is the fixed version of rangeDispatch.
+func rangeDispatchPolled(items []int, opts Options) int {
+	total := 0
+	for range items {
+		if canceled(opts.Cancel) {
+			break
+		}
+		total += work(opts)
+	}
+	return total
+}
+
+// rangePlain: per-element work without cancel-aware calls is exempt.
+func rangePlain(items []int, opts Options) int {
+	sum := 0
+	for _, v := range items {
+		sum += v
+	}
+	return sum
+}
+
+// threeClause: bounded three-clause setup scans are exempt.
+func threeClause(opts Options) int {
+	sum := 0
+	for i := 0; i < 100; i++ {
+		sum += i
+	}
+	return sum
+}
+
+// notGated: functions without a cancel channel in their signature are
+// never checked.
+func notGated(items []int) {
+	for len(items) > 0 {
+		items = items[1:]
+	}
+}
+
+// selectPolled: receiving from the channel in a select counts as a poll.
+func selectPolled(cancel <-chan struct{}, ticks <-chan int) int {
+	n := 0
+	for {
+		select {
+		case <-cancel:
+			return n
+		case <-ticks:
+			n++
+		}
+	}
+}
+
+// chanParam: a bare chan struct{} parameter gates the function too.
+func chanParam(cancel <-chan struct{}) int {
+	n := 0
+	for n >= 0 { // want `never polls the cancel channel`
+		n++
+	}
+	return n
+}
+
+// litOwnSignature: function literals are separate units with their own
+// gating; this one carries its own cancel-bearing parameter.
+func litOwnSignature() func(Options) int {
+	return func(opts Options) int {
+		n := 0
+		for n < 1000 { // want `never polls the cancel channel`
+			n++
+		}
+		return n
+	}
+}
+
+// outerPollCoversNest: a poll in the enclosing loop keeps the whole nest
+// responsive.
+func outerPollCoversNest(groups [][]int, opts Options) int {
+	total := 0
+	for _, g := range groups {
+		if canceled(opts.Cancel) {
+			break
+		}
+		for range g {
+			total += work(opts)
+		}
+	}
+	return total
+}

@@ -1,0 +1,50 @@
+// Package errfmt exercises the errfmt analyzer: wrapping without %w and
+// badly shaped error strings.
+package errfmt
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base failure")
+
+// wrapped keeps the chain intact.
+func wrapped(err error) error {
+	return fmt.Errorf("reading config: %w", err)
+}
+
+// notWrapped breaks errors.Is/As on the wrapped sentinel.
+func notWrapped(err error) error {
+	return fmt.Errorf("reading config: %v", err) // want `without %w`
+}
+
+// sentinelNotWrapped: the error value need not be named err.
+func sentinelNotWrapped() error {
+	return fmt.Errorf("stage two: %s", errBase) // want `without %w`
+}
+
+// capitalized error strings read badly when wrapped.
+func capitalized() error {
+	return errors.New("Bad input row") // want `starts with a capitalized word`
+}
+
+// punctuated error strings double up when composed.
+func punctuated() error {
+	return errors.New("bad input row.") // want `ends with`
+}
+
+// acronym: all-caps leading words are conventional.
+func acronym() error {
+	return errors.New("CSV header missing")
+}
+
+// fine is the conventional shape.
+func fine() error {
+	return errors.New("bad input row")
+}
+
+// formatted non-error arguments need no %w.
+func formatted(n int) error {
+	return fmt.Errorf("row %d out of range", n)
+}

@@ -1,0 +1,37 @@
+// Package floateq exercises the floateq analyzer: == and != on floating
+// point operands (costs, distances) are flagged.
+package floateq
+
+// cost is a named float type, as repair costs tend to be.
+type cost float64
+
+func eq(a, b float64) bool {
+	return a == b // want `compares floats exactly`
+}
+
+func ne(a, b float64) bool {
+	return a != b // want `compares floats exactly`
+}
+
+func named(a, b cost) bool {
+	return a == b // want `compares floats exactly`
+}
+
+func narrow(a, b float32) bool {
+	return a != b // want `compares floats exactly`
+}
+
+// ints: integer equality is exact and fine.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// ordered comparisons carry no exact-representation trap.
+func ordered(a, b float64) bool {
+	return a <= b
+}
+
+// strings are not floats.
+func labels(a, b string) bool {
+	return a == b
+}

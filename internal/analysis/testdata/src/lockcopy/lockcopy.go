@@ -1,0 +1,56 @@
+// Package lockcopy exercises the lockcopy analyzer: signatures moving a
+// sync primitive by value fork the lock state.
+package lockcopy
+
+import "sync"
+
+// pool embeds a mutex directly, like the server's worker pool.
+type pool struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+// wrapper contains a lock transitively through a struct field.
+type wrapper struct {
+	p pool
+}
+
+// byValueReceiver copies the lock on every call.
+func (p pool) byValueReceiver() int { // want `receiver of byValueReceiver copies sync.Mutex`
+	return len(p.jobs)
+}
+
+// pointerReceiver shares the lock correctly.
+func (p *pool) pointerReceiver() int {
+	return len(p.jobs)
+}
+
+// byValueParam copies the lock into the callee.
+func byValueParam(p pool) int { // want `passes sync.Mutex by value`
+	return len(p.jobs)
+}
+
+// transitiveParam finds locks nested inside struct fields.
+func transitiveParam(w wrapper) int { // want `passes sync.Mutex by value`
+	return len(w.p.jobs)
+}
+
+// byValueResult returns a forked lock from a constructor.
+func byValueResult() pool { // want `passes sync.Mutex by value`
+	return pool{}
+}
+
+// pointerParam is the correct shape.
+func pointerParam(p *pool) int {
+	return len(p.jobs)
+}
+
+// slices are indirections, so the callee shares the elements.
+func sliceParam(ps []pool) int {
+	return len(ps)
+}
+
+// waitGroupByValue: all no-copy sync primitives are covered.
+func waitGroupByValue(wg sync.WaitGroup) { // want `passes sync.WaitGroup by value`
+	wg.Wait()
+}

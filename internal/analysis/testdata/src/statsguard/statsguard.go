@@ -1,0 +1,59 @@
+// Package statsguard exercises the statsguard analyzer: writes into a
+// Stats map must be dominated by a nil check or an assignment to the map.
+package statsguard
+
+// Result mirrors repair.Result's optional accounting map.
+type Result struct {
+	Stats map[string]int
+	Name  string
+}
+
+// Meter has a Stats field that is not a map; indexing it is out of scope.
+type Meter struct {
+	Stats [4]int
+}
+
+// unguarded writes into a possibly-nil Stats map.
+func unguarded(r *Result) {
+	r.Stats["certainFixes"]++ // want `without a preceding nil check`
+}
+
+// unguardedAssign is the assignment form of the same bug.
+func unguardedAssign(r *Result) {
+	r.Stats["rounds"] = 3 // want `without a preceding nil check`
+}
+
+// guarded initializes the map when nil before writing.
+func guarded(r *Result) {
+	if r.Stats == nil {
+		r.Stats = make(map[string]int)
+	}
+	r.Stats["certainFixes"]++
+}
+
+// assigned writes only after assigning a fresh map.
+func assigned() *Result {
+	r := &Result{}
+	r.Stats = make(map[string]int)
+	r.Stats["rounds"] = 1
+	return r
+}
+
+// otherReceiver: a guard on one value does not cover another.
+func otherReceiver(a, b *Result) {
+	if a.Stats == nil {
+		a.Stats = make(map[string]int)
+	}
+	a.Stats["ok"] = 1
+	b.Stats["ok"] = 1 // want `without a preceding nil check`
+}
+
+// nonMapStats: indexing a non-map Stats field cannot panic on nil.
+func nonMapStats(m *Meter) {
+	m.Stats[0] = 7
+}
+
+// notStats: other map fields are out of scope for this analyzer.
+func notStats(counts map[string]int) {
+	counts["x"]++
+}

@@ -42,12 +42,17 @@ const maxRounds = 5
 // NADEEF repairs rel with equality-based equivalence classes: for every FD
 // and every LHS group whose RHS values conflict, all the group's RHS cells
 // take the group's most frequent RHS value (ties break lexicographically).
-func NADEEF(rel *dataset.Relation, set *fd.Set) *dataset.Relation {
+// A fired cancel channel (nil = never) stops the chase early and returns
+// the partially repaired relation.
+func NADEEF(rel *dataset.Relation, set *fd.Set, cancel <-chan struct{}) *dataset.Relation {
 	out := rel.Clone()
 	for round := 0; round < maxRounds; round++ {
 		changed := false
 		for _, f := range set.FDs {
-			if repairGroupsToMode(out, f, nil) {
+			if canceled(cancel) {
+				return out
+			}
+			if repairGroupsToMode(out, f, nil, cancel) {
 				changed = true
 			}
 		}
@@ -61,8 +66,8 @@ func NADEEF(rel *dataset.Relation, set *fd.Set) *dataset.Relation {
 // Llunatic repairs rel like NADEEF but with the frequency cost-manager's
 // confidence rule: a group repairs to its modal RHS only when the mode
 // covers a strict majority of the group; otherwise every conflicting RHS
-// cell becomes a fresh variable.
-func Llunatic(rel *dataset.Relation, set *fd.Set) *dataset.Relation {
+// cell becomes a fresh variable. Cancellation behaves as in NADEEF.
+func Llunatic(rel *dataset.Relation, set *fd.Set, cancel <-chan struct{}) *dataset.Relation {
 	out := rel.Clone()
 	fresh := 0
 	nextVar := func() string {
@@ -72,7 +77,10 @@ func Llunatic(rel *dataset.Relation, set *fd.Set) *dataset.Relation {
 	for round := 0; round < maxRounds; round++ {
 		changed := false
 		for _, f := range set.FDs {
-			if repairGroupsToMode(out, f, nextVar) {
+			if canceled(cancel) {
+				return out
+			}
+			if repairGroupsToMode(out, f, nextVar, cancel) {
 				changed = true
 			}
 		}
@@ -86,8 +94,9 @@ func Llunatic(rel *dataset.Relation, set *fd.Set) *dataset.Relation {
 // repairGroupsToMode applies one equivalence-class sweep for f. When
 // nextVar is nil the modal value always wins (NADEEF); otherwise the mode
 // must cover a strict majority, and groups without one get a variable
-// (Llunatic). It reports whether anything changed.
-func repairGroupsToMode(out *dataset.Relation, f *fd.FD, nextVar func() string) bool {
+// (Llunatic). It reports whether anything changed; a fired cancel channel
+// stops the sweep between groups.
+func repairGroupsToMode(out *dataset.Relation, f *fd.FD, nextVar func() string, cancel <-chan struct{}) bool {
 	groups := make(map[string][]int) // LHS key -> rows
 	for i, t := range out.Tuples {
 		k := t.Key(f.LHS)
@@ -100,6 +109,9 @@ func repairGroupsToMode(out *dataset.Relation, f *fd.FD, nextVar func() string) 
 	sort.Strings(keys) // deterministic sweep order
 	changed := false
 	for _, k := range keys {
+		if canceled(cancel) {
+			return changed
+		}
 		rows := groups[k]
 		counts := make(map[string]int)
 		for _, r := range rows {
@@ -166,8 +178,9 @@ type URMOptions struct {
 // threshold become core; every deviant pattern rewrites all its attributes
 // to the nearest core pattern, provided the rewrite is close enough to
 // shorten the description length. The same deviant always maps to the same
-// core, whatever tuple carries it.
-func URM(rel *dataset.Relation, set *fd.Set, opts URMOptions) *dataset.Relation {
+// core, whatever tuple carries it. A fired cancel channel (nil = never)
+// stops between FDs and returns the partially repaired relation.
+func URM(rel *dataset.Relation, set *fd.Set, opts URMOptions, cancel <-chan struct{}) *dataset.Relation {
 	if opts.CoreFactor <= 0 {
 		opts.CoreFactor = 1
 	}
@@ -176,6 +189,9 @@ func URM(rel *dataset.Relation, set *fd.Set, opts URMOptions) *dataset.Relation 
 	}
 	out := rel.Clone()
 	for _, f := range set.FDs {
+		if canceled(cancel) {
+			return out
+		}
 		attrs := f.Attrs()
 		freq := make(map[string]int)
 		rep := make(map[string][]string)
@@ -230,6 +246,17 @@ func URM(rel *dataset.Relation, set *fd.Set, opts URMOptions) *dataset.Relation 
 		}
 	}
 	return out
+}
+
+// canceled reports whether the cancel channel has fired; a nil channel
+// never cancels.
+func canceled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // patternDist is the mean normalized edit distance between two aligned

@@ -30,7 +30,7 @@ func TestNADEEFCitizens(t *testing.T) {
 	// (Masters-group minority is 3 vs... depends on group), and wrongly
 	// repairs t5[State] to MA — the paper's Example 2.
 	dirty, clean, set := citizens(t)
-	out := baselines.NADEEF(dirty, set)
+	out := baselines.NADEEF(dirty, set, nil)
 	schema := dirty.Schema
 	state := schema.MustIndex("State")
 	lvl := schema.MustIndex("Level")
@@ -66,7 +66,7 @@ func TestNADEEFCitizens(t *testing.T) {
 
 func TestLlunaticCitizens(t *testing.T) {
 	dirty, clean, set := citizens(t)
-	out := baselines.Llunatic(dirty, set)
+	out := baselines.Llunatic(dirty, set, nil)
 	state := dirty.Schema.MustIndex("State")
 	// Boston group States: {NY(t5), MA(t6), MA(t7), MA(t9), NY(t10)} — MA
 	// is a strict majority (3/5), so the group repairs to MA.
@@ -97,13 +97,13 @@ func TestLlunaticEmitsVariables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := baselines.Llunatic(rel, set)
+	out := baselines.Llunatic(rel, set, nil)
 	v0, v1 := out.Tuples[0][1], out.Tuples[1][1]
 	if !strings.HasPrefix(v0, baselines.VariableMarker) || v0 != v1 {
 		t.Fatalf("variables = %q, %q", v0, v1)
 	}
 	// NADEEF picks the lexicographically smaller mode on ties.
-	nOut := baselines.NADEEF(rel, set)
+	nOut := baselines.NADEEF(rel, set, nil)
 	if nOut.Tuples[0][1] != "1" || nOut.Tuples[1][1] != "1" {
 		t.Fatalf("NADEEF tie repair = %q, %q", nOut.Tuples[0][1], nOut.Tuples[1][1])
 	}
@@ -111,7 +111,7 @@ func TestLlunaticEmitsVariables(t *testing.T) {
 
 func TestURMCitizens(t *testing.T) {
 	dirty, clean, set := citizens(t)
-	out := baselines.URM(dirty, set, baselines.URMOptions{})
+	out := baselines.URM(dirty, set, baselines.URMOptions{}, nil)
 	edu := dirty.Schema.MustIndex("Education")
 	// URM handles typos when the deviant pattern is close to a core
 	// pattern: (Masers,4) x1 is deviant, (Masters,4) x2 is core-ish.
@@ -124,7 +124,7 @@ func TestURMCitizens(t *testing.T) {
 	}
 	// URM catches more than NADEEF (it sees LHS deviants) but is
 	// frequency-driven, so precision suffers.
-	nQ, err := eval.Evaluate(clean, dirty, baselines.NADEEF(dirty, set), eval.Options{})
+	nQ, err := eval.Evaluate(clean, dirty, baselines.NADEEF(dirty, set, nil), eval.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestURMDeviantTooFarStays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := baselines.URM(rel, set, baselines.URMOptions{})
+	out := baselines.URM(rel, set, baselines.URMOptions{}, nil)
 	if out.Tuples[3][0] != "zzzz" {
 		t.Fatalf("far deviant rewritten to %q", out.Tuples[3][0])
 	}
@@ -152,7 +152,7 @@ func TestURMDeviantTooFarStays(t *testing.T) {
 		{"aaaa", "1"}, {"aaaa", "1"}, {"aaaa", "1"},
 		{"aaab", "1"},
 	})
-	out2 := baselines.URM(rel2, set, baselines.URMOptions{})
+	out2 := baselines.URM(rel2, set, baselines.URMOptions{}, nil)
 	if out2.Tuples[3][0] != "aaaa" {
 		t.Fatalf("close deviant = %q, want aaaa", out2.Tuples[3][0])
 	}
@@ -161,18 +161,18 @@ func TestURMDeviantTooFarStays(t *testing.T) {
 func TestBaselinesDeterministicAndNonMutating(t *testing.T) {
 	dirty, _, set := citizens(t)
 	orig := dirty.Clone()
-	a := baselines.NADEEF(dirty, set)
-	b := baselines.NADEEF(dirty, set)
+	a := baselines.NADEEF(dirty, set, nil)
+	b := baselines.NADEEF(dirty, set, nil)
 	if cells, err := dataset.Diff(a, b); err != nil || len(cells) != 0 {
 		t.Fatalf("NADEEF nondeterministic: %v %v", cells, err)
 	}
-	u1 := baselines.URM(dirty, set, baselines.URMOptions{})
-	u2 := baselines.URM(dirty, set, baselines.URMOptions{})
+	u1 := baselines.URM(dirty, set, baselines.URMOptions{}, nil)
+	u2 := baselines.URM(dirty, set, baselines.URMOptions{}, nil)
 	if cells, err := dataset.Diff(u1, u2); err != nil || len(cells) != 0 {
 		t.Fatalf("URM nondeterministic: %v %v", cells, err)
 	}
-	l1 := baselines.Llunatic(dirty, set)
-	l2 := baselines.Llunatic(dirty, set)
+	l1 := baselines.Llunatic(dirty, set, nil)
+	l2 := baselines.Llunatic(dirty, set, nil)
 	if cells, err := dataset.Diff(l1, l2); err != nil || len(cells) != 0 {
 		t.Fatalf("Llunatic nondeterministic: %v %v", cells, err)
 	}
@@ -201,9 +201,9 @@ func TestBaselinesVsFTModelOnHOSP(t *testing.T) {
 		out  *dataset.Relation
 		opts eval.Options
 	}{
-		{"NADEEF", baselines.NADEEF(inst.Dirty, inst.Set), eval.Options{}},
-		{"URM", baselines.URM(inst.Dirty, inst.Set, baselines.URMOptions{}), eval.Options{}},
-		{"Llunatic", baselines.Llunatic(inst.Dirty, inst.Set), eval.Options{PartialMarker: baselines.VariableMarker}},
+		{"NADEEF", baselines.NADEEF(inst.Dirty, inst.Set, nil), eval.Options{}},
+		{"URM", baselines.URM(inst.Dirty, inst.Set, baselines.URMOptions{}, nil), eval.Options{}},
+		{"Llunatic", baselines.Llunatic(inst.Dirty, inst.Set, nil), eval.Options{PartialMarker: baselines.VariableMarker}},
 	} {
 		q, err := eval.Evaluate(inst.Clean, inst.Dirty, b.out, b.opts)
 		if err != nil {
@@ -212,6 +212,27 @@ func TestBaselinesVsFTModelOnHOSP(t *testing.T) {
 		t.Logf("%-8s P=%.3f R=%.3f (ours: P=%.3f R=%.3f)", b.name, q.Precision, q.Recall, oursQ.Precision, oursQ.Recall)
 		if q.Recall >= oursQ.Recall {
 			t.Errorf("%s recall %.3f >= ours %.3f", b.name, q.Recall, oursQ.Recall)
+		}
+	}
+}
+
+func TestBaselinesCanceled(t *testing.T) {
+	dirty, _, set := citizens(t)
+	cancel := make(chan struct{})
+	close(cancel)
+	// A fired channel stops each baseline before it repairs anything; the
+	// result is an untouched clone of the input.
+	for name, out := range map[string]*dataset.Relation{
+		"NADEEF":   baselines.NADEEF(dirty, set, cancel),
+		"Llunatic": baselines.Llunatic(dirty, set, cancel),
+		"URM":      baselines.URM(dirty, set, baselines.URMOptions{}, cancel),
+	} {
+		changed, err := dataset.Diff(dirty, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(changed) != 0 {
+			t.Fatalf("%s repaired %d cells despite cancellation", name, len(changed))
 		}
 	}
 }

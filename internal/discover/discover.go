@@ -39,10 +39,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxError < 0 {
 		o.MaxError = 0
-	} else if o.MaxError == 0 {
+	} else if fd.FloatEq(o.MaxError, 0) {
 		o.MaxError = 0.01
 	}
-	if o.MinSupport == 0 {
+	if fd.FloatEq(o.MinSupport, 0) {
 		o.MinSupport = 0.05
 	}
 	return o
@@ -128,10 +128,10 @@ func FDs(rel *dataset.Relation, opts Options) []Result {
 	}
 
 	sort.SliceStable(results, func(i, j int) bool {
-		if results[i].Error != results[j].Error {
+		if !fd.FloatEq(results[i].Error, results[j].Error) {
 			return results[i].Error < results[j].Error
 		}
-		if results[i].Support != results[j].Support {
+		if !fd.FloatEq(results[i].Support, results[j].Support) {
 			return results[i].Support > results[j].Support
 		}
 		return lessAttrs(results[i].FD, results[j].FD)

@@ -163,7 +163,7 @@ func Prepare(s Setup) (*Instance, error) {
 	}
 	dirty, injections := gen.Inject(clean, fds, s.ErrorRate, s.Seed+1)
 	wl, wr, tau := BenchWL, BenchWR, BenchTau
-	if s.WL != 0 || s.WR != 0 {
+	if !fd.FloatEq(s.WL, 0) || !fd.FloatEq(s.WR, 0) {
 		wl, wr, tau = s.WL, s.WR, s.Tau
 	}
 	set, err := fd.NewSet(fds, tau)

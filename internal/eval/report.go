@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"text/tabwriter"
+
+	"ftrepair/internal/fd"
 )
 
 // Point is one measurement in a sweep: the swept parameter value, the
@@ -94,7 +96,7 @@ func xValues(series []Series) []float64 {
 
 func pointAt(s Series, x float64) (Point, bool) {
 	for _, p := range s.Points {
-		if p.X == x {
+		if fd.FloatEq(p.X, x) {
 			return p, true
 		}
 	}

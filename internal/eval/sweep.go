@@ -87,13 +87,13 @@ func SingleAlgos(exact bool, opts repair.Options) []AlgoSpec {
 func BaselineAlgos() []AlgoSpec {
 	return []AlgoSpec{
 		{Name: "NADEEF", Run: func(inst *Instance) (*dataset.Relation, error) {
-			return baselines.NADEEF(inst.Dirty, inst.Set), nil
+			return baselines.NADEEF(inst.Dirty, inst.Set, nil), nil
 		}},
 		{Name: "URM", Run: func(inst *Instance) (*dataset.Relation, error) {
-			return baselines.URM(inst.Dirty, inst.Set, baselines.URMOptions{}), nil
+			return baselines.URM(inst.Dirty, inst.Set, baselines.URMOptions{}, nil), nil
 		}},
 		{Name: "Llunatic", Partial: true, Run: func(inst *Instance) (*dataset.Relation, error) {
-			return baselines.Llunatic(inst.Dirty, inst.Set), nil
+			return baselines.Llunatic(inst.Dirty, inst.Set, nil), nil
 		}},
 		{Name: "Holistic", Run: func(inst *Instance) (*dataset.Relation, error) {
 			var dcs []*dc.DC

@@ -31,6 +31,18 @@ func (c Config) opts() repair.Options {
 	return repair.Options{Cancel: c.Cancel}
 }
 
+// canceled reports whether the cancel channel has fired; a nil channel
+// never cancels. Ablation sweeps poll it between measurements so a SIGINT
+// stops the whole experiment, not just the repair in flight.
+func canceled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
 // paperN returns the paper's #-tuples sweep for a workload, scaled.
 func (c Config) paperN(workload string) []float64 {
 	var xs []int
@@ -325,6 +337,9 @@ func namedGreedyM(name string, opts repair.Options) eval.AlgoSpec {
 // dependencies. Every variant sees the same dirty instance.
 func weightsAblation(c Config, w io.Writer) error {
 	for _, wk := range c.Workloads {
+		if canceled(c.Cancel) {
+			return repair.ErrCanceled
+		}
 		n := c.defaultN(wk)
 		variants := []struct {
 			name        string
@@ -365,6 +380,9 @@ func graphNoIndex() vgraph.Options {
 // matching a quarter of the injected typos), and Jaccard over 2-grams.
 func flavorAblation(c Config, w io.Writer) error {
 	for _, wk := range c.Workloads {
+		if canceled(c.Cancel) {
+			return repair.ErrCanceled
+		}
 		n := c.defaultN(wk)
 		fmt.Fprintf(w, "## Edit-flavor ablation — %s (N=%d, e%%=4, GreedyM)\n", strings.ToUpper(wk), n)
 		fmt.Fprintf(w, "%-14s %10s %10s %12s\n", "flavor", "precision", "recall", "time(ms)")
@@ -398,6 +416,9 @@ func flavorAblation(c Config, w io.Writer) error {
 // patterns (tau too large).
 func tauAblation(c Config, w io.Writer) error {
 	for _, wk := range c.Workloads {
+		if canceled(c.Cancel) {
+			return repair.ErrCanceled
+		}
 		n := c.defaultN(wk)
 		fmt.Fprintf(w, "## Tau sensitivity — %s (N=%d, e%%=4, w=0.7/0.3, GreedyM)\n", strings.ToUpper(wk), n)
 		fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "tau", "precision", "recall", "repairs")
@@ -426,6 +447,9 @@ func tauAblation(c Config, w io.Writer) error {
 // the revised semantics detects errors equality cannot see (t8's Boton).
 func detectionAblation(c Config, w io.Writer) error {
 	for _, wk := range c.Workloads {
+		if canceled(c.Cancel) {
+			return repair.ErrCanceled
+		}
 		n := c.defaultN(wk)
 		inst, err := eval.Prepare(eval.Setup{Workload: wk, N: n, ErrorRate: 0.04, Seed: c.Seed})
 		if err != nil {
@@ -454,6 +478,9 @@ func detectionAblation(c Config, w io.Writer) error {
 // per-FD SelectTau vs the fixed benchmark threshold.
 func autotauAblation(c Config, w io.Writer) error {
 	for _, wk := range c.Workloads {
+		if canceled(c.Cancel) {
+			return repair.ErrCanceled
+		}
 		n := c.defaultN(wk)
 		fmt.Fprintf(w, "## Auto-tau vs fixed — %s (N=%d, e%%=4, GreedyM)\n", strings.ToUpper(wk), n)
 		fmt.Fprintf(w, "%-24s %10s %10s\n", "threshold policy", "precision", "recall")
@@ -501,6 +528,9 @@ func Describe(name string) string {
 // Run executes one experiment by name.
 func Run(name string, c Config, w io.Writer) error {
 	for _, e := range list() {
+		if canceled(c.Cancel) {
+			return repair.ErrCanceled
+		}
 		if e.name == name {
 			return e.run(c, w)
 		}

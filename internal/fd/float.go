@@ -1,0 +1,18 @@
+package fd
+
+// Eps is the shared tolerance for floating-point cost and distance
+// comparisons. Repair costs are sums of normalized per-attribute distances
+// in [0,1]; after a handful of additions two mathematically equal costs can
+// differ in the last few bits, so every equality decision on costs or
+// distances goes through FloatEq (and the greedy tie-breaking compares
+// against Eps margins) instead of ==. The repairlint floateq analyzer
+// enforces this repo-wide.
+const Eps = 1e-9
+
+// FloatEq reports whether two costs or distances are equal within Eps. It
+// deliberately avoids == so that it is itself clean under the floateq
+// analyzer; NaN compares unequal to everything, matching ==.
+func FloatEq(a, b float64) bool {
+	d := a - b
+	return d <= Eps && d >= -Eps
+}

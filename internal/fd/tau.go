@@ -86,7 +86,7 @@ func SelectTau(rel *dataset.Relation, f *FD, cfg *DistConfig, opts TauOptions) f
 	if bestTau < 0 || bestScore < 2 { // no sudden gap: distances are smooth
 		return opts.Fallback * opts.Shrink
 	}
-	if bestTau == 0 {
+	if FloatEq(bestTau, 0) {
 		// All low-end pairs were identical projections (shouldn't happen
 		// with distinct patterns, but weights can zero out a side).
 		return opts.Fallback * opts.Shrink

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -84,11 +85,14 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 			return nil, err
 		}
 		res, err := GreedyM(out, fdSet, cfg, opts)
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrCanceled) {
 			return nil, err
 		}
 		out = res.Repaired
 		stats["plainFDRepairs"] = len(res.Changed)
+		if err != nil {
+			return finishCanceled(rel, out, cfg, "CFDSet", start, stats)
+		}
 	}
 
 	const maxRounds = 4
@@ -102,12 +106,15 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 		// Variable-RHS conditional repairs: restrict and run the greedy
 		// single-FD repair on the matching sub-relation.
 		for i, c := range conditional {
+			if canceled(opts.Cancel) {
+				return finishCanceled(rel, out, cfg, "CFDSet", start, stats)
+			}
 			sub, rows := c.Restrict(out)
 			if sub.Len() < 2 {
 				continue
 			}
 			res, err := GreedyS(sub, c.Embedded, cfg, condTaus[i], opts)
-			if err != nil {
+			if err != nil && !errors.Is(err, ErrCanceled) {
 				return nil, err
 			}
 			for j, row := range rows {
@@ -118,6 +125,9 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 					}
 				}
 			}
+			if err != nil {
+				return finishCanceled(rel, out, cfg, "CFDSet", start, stats)
+			}
 		}
 		stats["cfdRounds"]++
 		if changed == 0 {
@@ -125,6 +135,17 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 		}
 	}
 	return finish(rel, out, cfg, "CFDSet", start, stats)
+}
+
+// finishCanceled packages the work done so far as a partial result paired
+// with ErrCanceled, matching the partial-on-cancel contract of GreedyS and
+// GreedyM.
+func finishCanceled(rel, out *dataset.Relation, cfg *fd.DistConfig, name string, start time.Time, stats map[string]int) (*Result, error) {
+	res, err := finish(rel, out, cfg, name, start, stats)
+	if err != nil {
+		return nil, err
+	}
+	return res, ErrCanceled
 }
 
 // applyConstantRows enforces constant RHS patterns and returns the number

@@ -108,7 +108,7 @@ func Detect(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options
 		}
 		chunk := out[start:]
 		sort.Slice(chunk, func(a, b int) bool {
-			if chunk[a].Dist != chunk[b].Dist {
+			if !fd.FloatEq(chunk[a].Dist, chunk[b].Dist) {
 				return chunk[a].Dist < chunk[b].Dist
 			}
 			return chunk[a].LeftRows[0] < chunk[b].LeftRows[0]

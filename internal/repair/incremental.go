@@ -141,7 +141,7 @@ func (c *incComponent) accept(set *fd.Set, cfg *fd.DistConfig, t dataset.Tuple) 
 		c.tree = tree
 		c.treeDirty = false
 	}
-	tg, _, _ := c.tree.Nearest(t, cfg.RepairDist)
+	tg, _, _ := c.tree.Nearest(t, cfg.RepairDist, nil)
 	changed := false
 	for j, col := range tg.Cols {
 		if t[col] != tg.Vals[j] {

@@ -105,6 +105,11 @@ func repairComponentsParallel(rel, out *dataset.Relation, set *fd.Set, cfg *fd.D
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, comp := range comps {
+		if canceled(opts.Cancel) {
+			// Stop submitting; in-flight workers observe the same channel
+			// and unwind on their own.
+			break
+		}
 		comp := comp
 		wg.Add(1)
 		sem <- struct{}{}
@@ -134,6 +139,11 @@ func repairComponentsParallel(rel, out *dataset.Relation, set *fd.Set, cfg *fd.D
 			continue
 		}
 		return err
+	}
+	if firstCancel == nil && canceled(opts.Cancel) {
+		// The submission loop stopped before any worker noticed; surface
+		// the cancellation instead of a silently partial repair.
+		firstCancel = ErrCanceled
 	}
 	return firstCancel
 }
@@ -216,7 +226,7 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 		for i, j := range idx {
 			sets[i] = families[i][j]
 		}
-		targets, cost, visited, ok := planCosts(groups, graphs, sets, cfg, opts.DisableTargetTree, best)
+		targets, cost, visited, ok := planCosts(groups, graphs, sets, cfg, opts.DisableTargetTree, opts.Cancel, best)
 		stats["treeVisited"] += visited
 		if ok && cost < best {
 			best = cost
@@ -278,8 +288,11 @@ func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig
 		return nil
 	}
 	groups := groupTuples(rel, unionAttrs(sub.FDs))
-	targets, _, visited, ok := planCosts(groups, graphs, sets, cfg, opts.DisableTargetTree, math.Inf(1))
+	targets, _, visited, ok := planCosts(groups, graphs, sets, cfg, opts.DisableTargetTree, opts.Cancel, math.Inf(1))
 	stats["treeVisited"] += visited
+	if canceled(opts.Cancel) {
+		return ErrCanceled
+	}
 	if !ok {
 		stats["joinFallback"]++
 		return sequentialFallback(out, sub, cfg, opts)
@@ -570,7 +583,6 @@ func jointGreedySets(rel *dataset.Relation, graphs []*vgraph.Graph, cancel <-cha
 		}
 		bestI, bestV := -1, -1
 		bestCost := math.Inf(1)
-		const eps = 1e-9
 		for i := range graphs {
 			st := states[i]
 			for v := range graphs[i].Vertices {
@@ -585,8 +597,8 @@ func jointGreedySets(rel *dataset.Relation, graphs []*vgraph.Graph, cancel <-cha
 					jointTraceHook(i, v, st.cost[v])
 				}
 				c := st.cost[v]
-				take := c < bestCost-eps
-				if !take && c <= bestCost+eps && bestI >= 0 {
+				take := c < bestCost-fd.Eps
+				if !take && c <= bestCost+fd.Eps && bestI >= 0 {
 					// Exact ties break toward higher multiplicity (see
 					// greedySet), then FD order, then id.
 					mv, mb := graphs[i].Vertices[v].Mult(), graphs[bestI].Vertices[bestV].Mult()

@@ -174,11 +174,10 @@ func greedySet(g *vgraph.Graph, cancel <-chan struct{}) []int {
 	// source's avoided cost) break toward higher multiplicity, then lower
 	// id for determinism.
 	better := func(cost float64, v int, bestCost float64, bestV int) bool {
-		const eps = 1e-9
-		if cost < bestCost-eps {
+		if cost < bestCost-fd.Eps {
 			return true
 		}
-		if cost > bestCost+eps {
+		if cost > bestCost+fd.Eps {
 			return false
 		}
 		if bestV < 0 {

@@ -92,8 +92,9 @@ func needsRepair(rep dataset.Tuple, graphs []*vgraph.Graph, keys []map[string]bo
 // planCosts evaluates the total cost of repairing rel with the given per-FD
 // independent sets, also returning the chosen target per group (nil for
 // groups that keep their values). abortAbove enables early exit: when the
-// accumulated cost exceeds it, evaluation stops with ok=false.
-func planCosts(groups []tupleGroup, graphs []*vgraph.Graph, sets [][]int, cfg *fd.DistConfig, disableTree bool, abortAbove float64) (targets []*targettree.Target, cost float64, visited int, ok bool) {
+// accumulated cost exceeds it, evaluation stops with ok=false. A fired
+// cancel channel also stops evaluation with ok=false.
+func planCosts(groups []tupleGroup, graphs []*vgraph.Graph, sets [][]int, cfg *fd.DistConfig, disableTree bool, cancel <-chan struct{}, abortAbove float64) (targets []*targettree.Target, cost float64, visited int, ok bool) {
 	tree, err := targettree.Build(levelsFor(graphs, sets))
 	if err != nil {
 		return nil, 0, 0, false
@@ -101,6 +102,9 @@ func planCosts(groups []tupleGroup, graphs []*vgraph.Graph, sets [][]int, cfg *f
 	keys := chosenKeys(graphs, sets)
 	targets = make([]*targettree.Target, len(groups))
 	for gi := range groups {
+		if canceled(cancel) {
+			return nil, cost, visited, false
+		}
 		g := &groups[gi]
 		if !needsRepair(g.rep, graphs, keys) {
 			continue
@@ -109,9 +113,9 @@ func planCosts(groups []tupleGroup, graphs []*vgraph.Graph, sets [][]int, cfg *f
 		var c float64
 		var v int
 		if disableTree {
-			tg, c, v = tree.NearestScan(g.rep, cfg.RepairDist)
+			tg, c, v = tree.NearestScan(g.rep, cfg.RepairDist, cancel)
 		} else {
-			tg, c, v = tree.Nearest(g.rep, cfg.RepairDist)
+			tg, c, v = tree.Nearest(g.rep, cfg.RepairDist, cancel)
 		}
 		visited += v
 		targets[gi] = &tg

@@ -175,14 +175,14 @@ func compileConstraints(rel *dataset.Relation, fdSpecs []string, tau float64, au
 		}
 		parsed[i] = f
 	}
-	if wl == 0 && wr == 0 {
+	if fd.FloatEq(wl, 0) && fd.FloatEq(wr, 0) {
 		wl, wr = defaultWL, defaultWR
 	}
 	cfg, err := fd.NewDistConfig(rel, wl, wr)
 	if err != nil {
 		return nil, nil, err
 	}
-	if tau == 0 {
+	if fd.FloatEq(tau, 0) {
 		tau = defaultTau
 	}
 	taus := make([]float64, len(parsed))

@@ -50,7 +50,8 @@ func Euclidean(a, b, span float64) float64 {
 		d = -d
 	}
 	if span <= 0 {
-		if d == 0 {
+		// d is an absolute difference, so <= 0 means exactly equal.
+		if d <= 0 {
 			return 0
 		}
 		return 1

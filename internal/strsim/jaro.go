@@ -69,7 +69,8 @@ func Jaro(a, b string) float64 {
 // is a similarity in [0,1].
 func JaroWinkler(a, b string) float64 {
 	j := Jaro(a, b)
-	if j == 0 {
+	// Jaro similarities are non-negative, so <= 0 means exactly zero.
+	if j <= 0 {
 		return 0
 	}
 	ra, rb := runes(a), runes(b)

@@ -234,14 +234,19 @@ func (p *pq) Pop() interface{} {
 // Nearest finds the target minimizing the summed attribute distance to t
 // (Algorithm 5: best-first search with RDIST/EDIST pruning). It returns the
 // target and its cost. Visited counts dequeued nodes, for the ablation
-// benchmarks.
-func (tr *Tree) Nearest(t dataset.Tuple, dist DistFunc) (Target, float64, int) {
+// benchmarks. The search polls cancel (nil = never) every few dozen nodes
+// and, once it fires, returns the best incumbent found so far — callers
+// that need the exact optimum must check cancellation themselves.
+func (tr *Tree) Nearest(t dataset.Tuple, dist DistFunc, cancel <-chan struct{}) (Target, float64, int) {
 	q := pq{{nd: tr.root}}
 	heap.Init(&q)
 	bestCost := math.Inf(1)
 	var bestLeaf *node
 	visited := 0
 	for q.Len() > 0 {
+		if visited&63 == 0 && canceled(cancel) {
+			break
+		}
 		it := heap.Pop(&q).(pqItem)
 		visited++
 		if it.f >= bestCost {
@@ -279,12 +284,16 @@ func (tr *Tree) Nearest(t dataset.Tuple, dist DistFunc) (Target, float64, int) {
 }
 
 // NearestScan is the linear-scan baseline: it materializes and scores every
-// target. Used for tests and the target-tree ablation.
-func (tr *Tree) NearestScan(t dataset.Tuple, dist DistFunc) (Target, float64, int) {
+// target. Used for tests and the target-tree ablation. Like Nearest, it
+// stops at the best incumbent when cancel fires.
+func (tr *Tree) NearestScan(t dataset.Tuple, dist DistFunc, cancel <-chan struct{}) (Target, float64, int) {
 	targets := tr.All()
 	bestCost := math.Inf(1)
 	best := -1
 	for i, tg := range targets {
+		if i&63 == 0 && canceled(cancel) {
+			break
+		}
 		var c float64
 		for j, col := range tg.Cols {
 			c += dist(col, t[col], tg.Vals[j])
@@ -300,6 +309,17 @@ func (tr *Tree) NearestScan(t dataset.Tuple, dist DistFunc) (Target, float64, in
 	return targets[best], bestCost, len(targets)
 }
 
+// canceled reports whether the cancel channel has fired; a nil channel
+// never cancels.
+func canceled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
 // edist is the lower bound for the columns bound strictly below nd: per
 // column, the minimum distance from t's value to any value occurring in the
 // subtree.
@@ -310,7 +330,9 @@ func edist(nd *node, t dataset.Tuple, dist DistFunc) float64 {
 		for v := range vals {
 			if d := dist(col, t[col], v); d < best {
 				best = d
-				if best == 0 {
+				// Distances are non-negative; the per-column minimum
+				// cannot improve past zero.
+				if best <= 0 {
 					break
 				}
 			}

@@ -84,7 +84,7 @@ func TestNearestExample14(t *testing.T) {
 	dirty, _ := gen.Citizens()
 	dist := citizensDist()
 	t4 := dirty.Tuples[3]
-	tg, cost, visited := tr.Nearest(t4, dist)
+	tg, cost, visited := tr.Nearest(t4, dist, nil)
 	if tg.Vals[0] != "New York" || tg.Vals[1] != "Western" || tg.Vals[2] != "Queens" || tg.Vals[3] != "NY" {
 		t.Fatalf("nearest = %v", tg.Vals)
 	}
@@ -98,7 +98,7 @@ func TestNearestExample14(t *testing.T) {
 	// t5 = (Boston, Main, Manhattan, NY) resolves to the Manhattan target:
 	// repairing City is cheapest and fixes both FDs (Example 3).
 	t5 := dirty.Tuples[4]
-	tg5, _, _ := tr.Nearest(t5, dist)
+	tg5, _, _ := tr.Nearest(t5, dist, nil)
 	if tg5.Vals[0] != "New York" || tg5.Vals[2] != "Manhattan" {
 		t.Fatalf("t5 nearest = %v", tg5.Vals)
 	}
@@ -153,8 +153,8 @@ func TestNearestMatchesScan(t *testing.T) {
 			vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))],
 			vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))],
 		}
-		tgFast, costFast, visitedFast := tr.Nearest(tuple, dist)
-		tgSlow, costSlow, scanned := tr.NearestScan(tuple, dist)
+		tgFast, costFast, visitedFast := tr.Nearest(tuple, dist, nil)
+		tgSlow, costSlow, scanned := tr.NearestScan(tuple, dist, nil)
 		if math.Abs(costFast-costSlow) > 1e-9 {
 			t.Fatalf("trial %d: Nearest = %v (%v), scan = %v (%v)", trial, costFast, tgFast.Vals, costSlow, tgSlow.Vals)
 		}
@@ -210,7 +210,7 @@ func TestDeadBranchPruned(t *testing.T) {
 		}
 		return 1
 	}
-	_, cost, _ := tr.Nearest(dataset.Tuple{"a", "1", "x"}, dist)
+	_, cost, _ := tr.Nearest(dataset.Tuple{"a", "1", "x"}, dist, nil)
 	if cost != 0 {
 		t.Fatalf("cost = %v", cost)
 	}
@@ -233,8 +233,27 @@ func TestSingleLevelTree(t *testing.T) {
 		}
 		return 1
 	}
-	tg, cost, _ := tr.Nearest(dataset.Tuple{"", "", "r", "", "", "zzz"}, dist)
+	tg, cost, _ := tr.Nearest(dataset.Tuple{"", "", "r", "", "", "zzz"}, dist, nil)
 	if tg.Vals[0] != "r" || cost != 1 {
 		t.Fatalf("nearest = %v cost %v", tg.Vals, cost)
+	}
+}
+
+func TestNearestCanceled(t *testing.T) {
+	tr, err := targettree.Build(paperLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, _ := gen.Citizens()
+	dist := citizensDist()
+	cancel := make(chan struct{})
+	close(cancel)
+	// A fired channel stops the search before any node is dequeued, so no
+	// incumbent exists and the cost is +Inf.
+	if _, cost, _ := tr.Nearest(dirty.Tuples[3], dist, cancel); !math.IsInf(cost, 1) {
+		t.Fatalf("canceled Nearest returned cost %v, want +Inf", cost)
+	}
+	if _, cost, _ := tr.NearestScan(dirty.Tuples[3], dist, cancel); !math.IsInf(cost, 1) {
+		t.Fatalf("canceled NearestScan returned cost %v, want +Inf", cost)
 	}
 }
