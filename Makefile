@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint test short bench experiments fuzz cover examples serve
+.PHONY: all build lint test short bench bench-json experiments fuzz cover examples serve
 
 all: build lint test
 
@@ -21,6 +21,11 @@ short:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Runs the vgraph/detect construction-phase benchmark family and writes
+# BENCH_vgraph.json (ns/op, edges/s, cache hit rate, speedups).
+bench-json:
+	go run ./cmd/repairbench -exp graphbench -benchout BENCH_vgraph.json
 
 experiments:
 	go run ./cmd/repairbench -exp all -scale 0.2

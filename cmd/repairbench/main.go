@@ -30,15 +30,16 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (all, fig5..fig16, table3, ablation, weights, flavors, tau, detection, autotau)")
+		exp       = flag.String("exp", "all", "experiment to run (all, fig5..fig16, table3, ablation, weights, flavors, tau, detection, autotau, graphbench)")
 		scale     = flag.Float64("scale", 0.2, "fraction of the paper's data sizes")
 		seed      = flag.Int64("seed", 7, "base RNG seed")
 		workloads = flag.String("workloads", "hosp,tax", "comma-separated workloads (hosp, tax)")
 		exact     = flag.Bool("exact", false, "include the exponential exact algorithms (small scales only)")
 		format    = flag.String("format", "text", "output format: text or json")
+		benchOut  = flag.String("benchout", "", "path for the graphbench JSON output (e.g. BENCH_vgraph.json); empty disables the file")
 	)
 	flag.Parse()
-	c := experiments.Config{Scale: *scale, Seed: *seed, Exact: *exact, JSON: *format == "json"}
+	c := experiments.Config{Scale: *scale, Seed: *seed, Exact: *exact, JSON: *format == "json", BenchOut: *benchOut}
 	for _, w := range strings.Split(*workloads, ",") {
 		if w = strings.TrimSpace(strings.ToLower(w)); w != "" {
 			c.Workloads = append(c.Workloads, w)

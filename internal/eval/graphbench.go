@@ -1,0 +1,226 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ftrepair/internal/fd"
+	"ftrepair/internal/repair"
+	"ftrepair/internal/vgraph"
+)
+
+// GraphBenchConfig selects the construction-phase benchmark instance.
+type GraphBenchConfig struct {
+	// Workload is "hosp" or "tax"; N the tuple count.
+	Workload string
+	N        int
+	Seed     int64
+	// MinTime is the minimum measured wall-clock per entry; each entry
+	// repeats its operation until it elapses. Defaults to 200ms.
+	MinTime time.Duration
+	Cancel  <-chan struct{}
+}
+
+// GraphBenchEntry is one measured build configuration.
+type GraphBenchEntry struct {
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"` // allpairs, indexed, or detect
+	Workers      int     `json:"workers"`
+	Cache        bool    `json:"cache"`
+	Iters        int     `json:"iters"`
+	NsPerOp      float64 `json:"nsPerOp"`
+	Vertices     int     `json:"vertices"`
+	Edges        int     `json:"edges"`
+	EdgesPerSec  float64 `json:"edgesPerSec"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+}
+
+// GraphBenchDoc is the BENCH_vgraph.json payload: the vgraph/detect timing
+// family on one instance, plus derived speedup ratios.
+type GraphBenchDoc struct {
+	Workload   string            `json:"workload"`
+	N          int               `json:"n"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Entries    []GraphBenchEntry `json:"entries"`
+	// Speedups are ns/op ratios: "<mode>-cache" (cache off → on, sequential),
+	// "<mode>-workers" (1 → GOMAXPROCS workers, cached), "<mode>-combined".
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// benchCanceled polls the cancellation channel between timed iterations.
+func benchCanceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// GraphBench times violation-graph construction (all-pairs and indexed, with
+// the distance cache on/off and the worker pool at 1 and GOMAXPROCS) plus
+// end-to-end multi-FD detection on a generated instance. Each entry uses a
+// fresh cache that persists across its iterations — the pipeline reality,
+// where the cache built during graph construction keeps serving repair-cost
+// and target-search queries.
+func GraphBench(c GraphBenchConfig) (*GraphBenchDoc, error) {
+	if c.MinTime <= 0 {
+		c.MinTime = 200 * time.Millisecond
+	}
+	single, err := Prepare(Setup{Workload: c.Workload, N: c.N, FDs: 1, ErrorRate: 0.04, Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	full, err := Prepare(Setup{Workload: c.Workload, N: c.N, ErrorRate: 0.04, Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	doc := &GraphBenchDoc{
+		Workload:   c.Workload,
+		N:          c.N,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Speedups:   make(map[string]float64),
+	}
+
+	f, tau := single.Set.FDs[0], single.Set.Tau[0]
+	measureBuild := func(mode string, workers int, useCache bool) error {
+		cfg := *single.Cfg // shallow copy: only the cache differs per entry
+		if useCache {
+			cfg.Cache = fd.NewDistCache()
+		} else {
+			cfg.Cache = nil
+		}
+		opts := vgraph.Options{DisableIndex: mode == "allpairs", Workers: workers, Cancel: c.Cancel}
+		var g *vgraph.Graph
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < c.MinTime {
+			if benchCanceled(c.Cancel) {
+				return repair.ErrCanceled
+			}
+			g = vgraph.Build(single.Dirty, f, &cfg, tau, opts)
+			iters++
+		}
+		elapsed := time.Since(start)
+		e := GraphBenchEntry{
+			Name:     fmt.Sprintf("%s/w%d/%s", mode, workers, onOff(useCache)),
+			Mode:     mode,
+			Workers:  workers,
+			Cache:    useCache,
+			Iters:    iters,
+			NsPerOp:  float64(elapsed.Nanoseconds()) / float64(iters),
+			Vertices: len(g.Vertices),
+			Edges:    g.NumEdges(),
+		}
+		if e.NsPerOp > 0 {
+			e.EdgesPerSec = float64(g.NumEdges()) / (e.NsPerOp / 1e9)
+		}
+		if useCache {
+			hits, misses := cfg.Cache.Counters()
+			if hits+misses > 0 {
+				e.CacheHitRate = float64(hits) / float64(hits+misses)
+			}
+		}
+		doc.Entries = append(doc.Entries, e)
+		return nil
+	}
+
+	for _, mode := range []string{"allpairs", "indexed"} {
+		for _, v := range []struct {
+			workers int
+			cache   bool
+		}{
+			{1, false},
+			{1, true},
+			{doc.GOMAXPROCS, true},
+		} {
+			if doc.nsPerOp(mode, v.workers, v.cache) > 0 {
+				continue // GOMAXPROCS=1: the parallel variant duplicates {1, cache}
+			}
+			if err := measureBuild(mode, v.workers, v.cache); err != nil {
+				return doc, err
+			}
+		}
+		base := doc.nsPerOp(mode, 1, false)
+		cached := doc.nsPerOp(mode, 1, true)
+		par := doc.nsPerOp(mode, doc.GOMAXPROCS, true)
+		if cached > 0 {
+			doc.Speedups[mode+"-cache"] = base / cached
+		}
+		if par > 0 {
+			doc.Speedups[mode+"-workers"] = cached / par
+			doc.Speedups[mode+"-combined"] = base / par
+		}
+	}
+
+	// End-to-end detection over the full FD set: concurrent per-FD builds +
+	// warm cache + Edge.D reuse.
+	cfg := *full.Cfg
+	cfg.Cache = fd.NewDistCache()
+	var viols []repair.Violation
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < c.MinTime {
+		if benchCanceled(c.Cancel) {
+			return doc, repair.ErrCanceled
+		}
+		viols = repair.Detect(full.Dirty, full.Set, &cfg, repair.Options{Cancel: c.Cancel})
+		iters++
+	}
+	elapsed := time.Since(start)
+	e := GraphBenchEntry{
+		Name:    fmt.Sprintf("detect/%dfds/cache", len(full.Set.FDs)),
+		Mode:    "detect",
+		Workers: doc.GOMAXPROCS,
+		Cache:   true,
+		Iters:   iters,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
+		Edges:   len(viols),
+	}
+	if hits, misses := cfg.Cache.Counters(); hits+misses > 0 {
+		e.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	doc.Entries = append(doc.Entries, e)
+	return doc, nil
+}
+
+// nsPerOp looks up the measured ns/op of one build configuration (0 when
+// absent).
+func (doc *GraphBenchDoc) nsPerOp(mode string, workers int, cache bool) float64 {
+	for _, e := range doc.Entries {
+		if e.Mode == mode && e.Workers == workers && e.Cache == cache {
+			return e.NsPerOp
+		}
+	}
+	return 0
+}
+
+func onOff(b bool) string {
+	if b {
+		return "cache"
+	}
+	return "nocache"
+}
+
+// PrintGraphBench renders the document as the text table the graphbench
+// experiment emits.
+func PrintGraphBench(w io.Writer, doc *GraphBenchDoc) {
+	fmt.Fprintf(w, "## Graph construction bench — %s (N=%d, GOMAXPROCS=%d)\n",
+		doc.Workload, doc.N, doc.GOMAXPROCS)
+	fmt.Fprintf(w, "%-24s %8s %14s %10s %14s %10s\n", "config", "iters", "ns/op", "edges", "edges/s", "hit rate")
+	for _, e := range doc.Entries {
+		fmt.Fprintf(w, "%-24s %8d %14.0f %10d %14.0f %10.3f\n",
+			e.Name, e.Iters, e.NsPerOp, e.Edges, e.EdgesPerSec, e.CacheHitRate)
+	}
+	for _, k := range []string{"allpairs-cache", "allpairs-workers", "allpairs-combined", "indexed-cache", "indexed-workers", "indexed-combined"} {
+		if v, ok := doc.Speedups[k]; ok {
+			fmt.Fprintf(w, "speedup %-20s %6.2fx\n", k, v)
+		}
+	}
+	fmt.Fprintln(w)
+}

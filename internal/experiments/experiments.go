@@ -5,9 +5,12 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
+	"time"
 
 	"ftrepair/internal/eval"
 	"ftrepair/internal/fd"
@@ -24,6 +27,9 @@ type Config struct {
 	// Cancel stops in-flight repairs early (e.g. on SIGINT); measurements
 	// taken after it fires report "repair: canceled" instead of numbers.
 	Cancel <-chan struct{}
+	// BenchOut, when non-empty, makes the graphbench experiment also write
+	// its measurements as JSON to this path (e.g. BENCH_vgraph.json).
+	BenchOut string
 }
 
 // opts is the baseline repair.Options every experiment starts from.
@@ -102,6 +108,7 @@ func list() []experiment {
 		{"tau", "FT-threshold sensitivity sweep", tauAblation},
 		{"detection", "FT vs classic error localization", detectionAblation},
 		{"autotau", "SelectTau heuristic vs fixed threshold", autotauAblation},
+		{"graphbench", "construction-phase timings: parallel + memoized graph build", graphbench},
 	}
 }
 
@@ -502,6 +509,46 @@ func autotauAblation(c Config, w io.Writer) error {
 			fmt.Fprintf(w, "%-24s %10.3f %10.3f\n", policy, p.Quality.Precision, p.Quality.Recall)
 		}
 		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// graphbench times the violation-graph construction family (all-pairs and
+// indexed builds × cache on/off × worker counts, plus end-to-end Detect)
+// and optionally writes the measurements to Config.BenchOut as JSON. The
+// instance is sized from the scale so the default run lands at N=5000 —
+// large enough for the all-pairs build to dominate.
+func graphbench(c Config, w io.Writer) error {
+	wk := c.Workloads[0]
+	n := int(25000 * c.Scale)
+	if n < 200 {
+		n = 200
+	}
+	minTime := 500 * time.Millisecond
+	if n < 1000 {
+		// Tiny scales (tests) need the shape, not stable timings.
+		minTime = 10 * time.Millisecond
+	}
+	doc, err := eval.GraphBench(eval.GraphBenchConfig{
+		Workload: wk,
+		N:        n,
+		Seed:     c.Seed,
+		MinTime:  minTime,
+		Cancel:   c.Cancel,
+	})
+	if err != nil {
+		return err
+	}
+	eval.PrintGraphBench(w, doc)
+	if c.BenchOut != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.BenchOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("experiments: writing %s: %w", c.BenchOut, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", c.BenchOut)
 	}
 	return nil
 }

@@ -1,0 +1,175 @@
+package fd
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// DistCache memoizes per-attribute normalized string distances. The same
+// value pairs recur thousands of times across a repair run — pattern pairs
+// share attribute values after tuple grouping, and PatternDist, Dist,
+// DistWithin, target-tree plan costs, and greedy rescoring all re-derive
+// the same Levenshtein distances — so caching the per-attribute result
+// removes the pipeline's dominant repeated work.
+//
+// The cache is sharded: each shard owns an independent map guarded by its
+// own RWMutex, and a key is routed to a shard by hashing, so concurrent
+// graph-construction workers contend only when they touch the same shard.
+// Distances are symmetric, so the key orders the value pair (a <= b) and
+// both argument orders hit the same entry. The key also carries the edit
+// flavor because callers mutate DistConfig.Edit between builds (flavor
+// ablations do exactly that) and a Levenshtein result must never answer an
+// OSA query.
+//
+// Entries are either exact distances or lower bounds. A bounded evaluation
+// (StringDistWithin) that *accepts* a pair yields the exact distance
+// (bitwise equal to the full computation — both evaluate d/m in float64);
+// one that *rejects* at budget t proves only that the distance exceeds t,
+// which is stored as a lower bound. A memoized lower bound b answers any
+// later bounded query with budget <= b (the distance exceeds b, hence the
+// budget) — and on FT workloads almost all candidate pairs are rejections,
+// so bounding them is what makes repeated builds and multi-FD detection
+// cheap. Exact entries always win over bounds; a bound is upgraded in
+// place when a larger budget re-rejects or an acceptance resolves the
+// pair.
+//
+// A DistCache must not be copied after first use.
+type DistCache struct {
+	seed   maphash.Seed
+	shards [cacheShards]cacheShard
+}
+
+const (
+	cacheShards = 32
+	// cacheShardCap bounds each shard's entry count. When a shard fills up
+	// it is reset wholesale (epoch eviction): recurring values repopulate
+	// it within one build, and the bound keeps long-lived servers from
+	// accumulating unbounded distinct-pair state across jobs.
+	cacheShardCap = 1 << 16
+)
+
+type cacheShard struct {
+	mu     sync.RWMutex
+	m      map[pairKey]cacheVal
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// pairKey identifies one memoized distance: the column (numeric spans and
+// schema types are per-column), the edit flavor, and the ordered value
+// pair.
+type pairKey struct {
+	col    int
+	flavor EditFlavor
+	a, b   string
+}
+
+// cacheVal is one memoized result: the exact distance, or (exact=false) a
+// proven lower bound — the true distance is strictly greater than d.
+type cacheVal struct {
+	d     float64
+	exact bool
+}
+
+// NewDistCache returns an empty cache ready for concurrent use.
+func NewDistCache() *DistCache {
+	return &DistCache{seed: maphash.MakeSeed()}
+}
+
+func (c *DistCache) shard(k pairKey) *cacheShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(k.a)
+	h.WriteByte(0)
+	h.WriteString(k.b)
+	h.WriteByte(byte(k.col))
+	h.WriteByte(byte(k.flavor))
+	return &c.shards[h.Sum64()%cacheShards]
+}
+
+func orderPair(col int, flavor EditFlavor, a, b string) pairKey {
+	if b < a {
+		a, b = b, a
+	}
+	return pairKey{col: col, flavor: flavor, a: a, b: b}
+}
+
+// lookup fetches the memoized entry without touching the counters; the
+// caller records a hit or miss once it knows whether the entry answers its
+// query (a lower bound may be too weak for the budget at hand).
+func (c *DistCache) lookup(col int, flavor EditFlavor, a, b string) (cacheVal, *cacheShard, bool) {
+	k := orderPair(col, flavor, a, b)
+	s := c.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, s, ok
+}
+
+// getExact returns the memoized exact distance, counting the hit or miss.
+// Lower-bound entries cannot answer an unbounded query and count as
+// misses.
+func (c *DistCache) getExact(col int, flavor EditFlavor, a, b string) (float64, bool) {
+	v, s, ok := c.lookup(col, flavor, a, b)
+	if ok && v.exact {
+		s.hits.Add(1)
+		return v.d, true
+	}
+	s.misses.Add(1)
+	return 0, false
+}
+
+// putExact stores a fully computed distance, superseding any bound.
+func (c *DistCache) putExact(col int, flavor EditFlavor, a, b string, d float64) {
+	c.store(orderPair(col, flavor, a, b), cacheVal{d: d, exact: true})
+}
+
+// putBound records that the distance of the pair strictly exceeds t. An
+// existing exact entry or a stronger bound is left in place.
+func (c *DistCache) putBound(col int, flavor EditFlavor, a, b string, t float64) {
+	k := orderPair(col, flavor, a, b)
+	s := c.shard(k)
+	s.mu.Lock()
+	if old, ok := s.m[k]; ok && (old.exact || old.d >= t) {
+		s.mu.Unlock()
+		return
+	}
+	s.storeLocked(k, cacheVal{d: t})
+	s.mu.Unlock()
+}
+
+func (c *DistCache) store(k pairKey, v cacheVal) {
+	s := c.shard(k)
+	s.mu.Lock()
+	s.storeLocked(k, v)
+	s.mu.Unlock()
+}
+
+func (s *cacheShard) storeLocked(k pairKey, v cacheVal) {
+	if s.m == nil || len(s.m) >= cacheShardCap {
+		s.m = make(map[pairKey]cacheVal)
+	}
+	s.m[k] = v
+}
+
+// Counters returns the cumulative hit and miss counts across all shards.
+func (c *DistCache) Counters() (hits, misses uint64) {
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
+}
+
+// Len returns the number of memoized entries currently held.
+func (c *DistCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

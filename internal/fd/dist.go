@@ -25,6 +25,12 @@ type DistConfig struct {
 	// matches the paper; OSA (Damerau-Levenshtein with adjacent
 	// transpositions at cost 1) models keyboard typos more closely.
 	Edit EditFlavor
+	// Cache memoizes per-attribute string distances across the whole
+	// pipeline (graph construction, repair costs, target search). Nil
+	// bypasses memoization. NewDistConfig enables it by default; callers
+	// constructing a DistConfig literal opt in explicitly. The cache keys
+	// include the edit flavor, so mutating Edit on a live config is safe.
+	Cache *DistCache
 }
 
 // EditFlavor selects the string edit-distance variant.
@@ -109,7 +115,13 @@ func NewDistConfig(rel *dataset.Relation, wl, wr float64) (*DistConfig, error) {
 	if wl < 0 || wr < 0 || !close1(wl+wr) {
 		return nil, fmt.Errorf("fd: weights w_l=%v, w_r=%v must be non-negative and sum to 1", wl, wr)
 	}
-	cfg := &DistConfig{Schema: rel.Schema, WL: wl, WR: wr, Spans: make([]float64, rel.Schema.Len())}
+	cfg := &DistConfig{
+		Schema: rel.Schema,
+		WL:     wl,
+		WR:     wr,
+		Spans:  make([]float64, rel.Schema.Len()),
+		Cache:  NewDistCache(),
+	}
 	for c := 0; c < rel.Schema.Len(); c++ {
 		if min, max, ok := rel.NumericRange(c); ok {
 			cfg.Spans[c] = max - min
@@ -136,6 +148,9 @@ func close1(x float64) bool {
 // for strings, normalized Euclidean distance for numerics. Numeric cells
 // that fail to parse fall back to string comparison, so dirty numeric cells
 // (a real-world occurrence) degrade gracefully rather than aborting.
+//
+// String comparisons consult Cache when set. Numeric comparisons bypass it:
+// parsing plus a subtraction is cheaper than a map lookup.
 func (cfg *DistConfig) AttrDist(col int, a, b string) float64 {
 	if a == b {
 		return 0
@@ -146,6 +161,14 @@ func (cfg *DistConfig) AttrDist(col int, a, b string) float64 {
 		if errA == nil && errB == nil {
 			return strsim.Euclidean(av, bv, cfg.Spans[col])
 		}
+	}
+	if cfg.Cache != nil {
+		if d, ok := cfg.Cache.getExact(col, cfg.Edit, a, b); ok {
+			return d
+		}
+		d := cfg.StringDist(a, b)
+		cfg.Cache.putExact(col, cfg.Edit, a, b, d)
+		return d
 	}
 	return cfg.StringDist(a, b)
 }
@@ -203,7 +226,7 @@ func (cfg *DistConfig) DistWithin(f *FD, tau float64, t1, t2 dataset.Tuple) (flo
 				if budget > 1 {
 					budget = 1
 				}
-				nd, ok := cfg.StringDistWithin(a, b, budget)
+				nd, ok := cfg.stringDistWithinCached(c, a, b, budget)
 				if !ok {
 					return false
 				}
@@ -223,6 +246,40 @@ func (cfg *DistConfig) DistWithin(f *FD, tau float64, t1, t2 dataset.Tuple) (flo
 		return 0, false
 	}
 	return sum, true
+}
+
+// stringDistWithinCached is StringDistWithin routed through the length
+// lower bound and the distance cache. The length bound applies to the edit
+// flavors only (a q-gram Jaccard distance can undercut it). An exact cache
+// entry answers the bounded query outright; a memoized lower bound answers
+// it when the budget does not exceed the bound (the distance provably
+// does). Accepted bounded results are bitwise equal to the full distance
+// (both evaluate d/m in float64) and are stored exactly; rejections are
+// stored as lower bounds at the rejecting budget. Either way, cached and
+// uncached runs agree exactly.
+func (cfg *DistConfig) stringDistWithinCached(col int, a, b string, t float64) (float64, bool) {
+	if cfg.Edit != EditJaccard && strsim.MinDistByLength(a, b) > t {
+		return 0, false
+	}
+	if cfg.Cache == nil {
+		return cfg.StringDistWithin(a, b, t)
+	}
+	v, s, ok := cfg.Cache.lookup(col, cfg.Edit, a, b)
+	if ok && (v.exact || t <= v.d) {
+		s.hits.Add(1)
+		if !v.exact || v.d > t {
+			return 0, false
+		}
+		return v.d, true
+	}
+	s.misses.Add(1)
+	d, ok := cfg.StringDistWithin(a, b, t)
+	if ok {
+		cfg.Cache.putExact(col, cfg.Edit, a, b, d)
+	} else {
+		cfg.Cache.putBound(col, cfg.Edit, a, b, t)
+	}
+	return d, ok
 }
 
 // FTViolates reports the fault-tolerant violation of the FD at threshold

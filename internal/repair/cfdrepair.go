@@ -62,7 +62,11 @@ func allWildcard(c *fd.CFD) bool {
 // budget. It returns the repaired relation and accounting.
 func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Options) (*Result, error) {
 	start := time.Now()
+	snap := snapCacheStats(cfg)
 	stats := make(map[string]int)
+	// done stamps the distance-cache deltas for the whole CFD run (the
+	// nested GreedyM/GreedyS results carry only their own slices).
+	done := func() { addCacheStats(stats, cfg, snap) }
 
 	var plainFDs []*fd.FD
 	var plainTaus []float64
@@ -91,6 +95,7 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 		out = res.Repaired
 		stats["plainFDRepairs"] = len(res.Changed)
 		if err != nil {
+			done()
 			return finishCanceled(rel, out, cfg, "CFDSet", start, stats)
 		}
 	}
@@ -107,6 +112,7 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 		// single-FD repair on the matching sub-relation.
 		for i, c := range conditional {
 			if canceled(opts.Cancel) {
+				done()
 				return finishCanceled(rel, out, cfg, "CFDSet", start, stats)
 			}
 			sub, rows := c.Restrict(out)
@@ -126,6 +132,7 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 				}
 			}
 			if err != nil {
+				done()
 				return finishCanceled(rel, out, cfg, "CFDSet", start, stats)
 			}
 		}
@@ -134,6 +141,7 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 			break
 		}
 	}
+	done()
 	return finish(rel, out, cfg, "CFDSet", start, stats)
 }
 

@@ -5,7 +5,6 @@ import (
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
-	"ftrepair/internal/vgraph"
 )
 
 // Violation describes one fault-tolerant violation: a pair of distinct
@@ -80,11 +79,15 @@ func DetectCFDs(rel *dataset.Relation, cfds []*fd.CFD) []CFDViolation {
 
 // Detect lists every FT-violation of rel w.r.t. the constraint set, sorted
 // by FD order, then ascending distance (most-similar — most typo-like —
-// pairs first), then by first left row for determinism.
+// pairs first), then by first left row for determinism. The per-FD graphs
+// are independent, so they build concurrently, and each violation's Dist is
+// the distance the graph builder already evaluated (Edge.D) rather than a
+// recomputation.
 func Detect(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options) []Violation {
 	var out []Violation
+	graphs := buildGraphs(rel, set, cfg, opts)
 	for i, f := range set.FDs {
-		g := vgraph.Build(rel, f, cfg, set.Tau[i], opts.Graph)
+		g := graphs[i]
 		attrs := f.Attrs()
 		start := len(out)
 		for u := range g.Vertices {
@@ -100,7 +103,7 @@ func Detect(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options
 					Right:     right.Rep.Project(attrs),
 					LeftRows:  append([]int(nil), left.Rows...),
 					RightRows: append([]int(nil), right.Rows...),
-					Dist:      cfg.Dist(f, left.Rep, right.Rep),
+					Dist:      e.D,
 					Weight:    e.W,
 					Classic:   f.Violates(left.Rep, right.Rep),
 				})

@@ -73,6 +73,29 @@ func TestDetectCleanRelation(t *testing.T) {
 	}
 }
 
+func TestDetectDistMatchesDistFunction(t *testing.T) {
+	// Detect reuses the violation distance the graph builder recorded on
+	// each edge (Edge.D) instead of re-deriving it; the reported Dist must
+	// still equal the Eq-2 distance between the patterns.
+	dirty, _ := gen.Citizens()
+	fds := gen.CitizensFDs(dirty.Schema)
+	set, err := fd.NewSet(fds, 0.2, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fd.DefaultDistConfig(dirty)
+	vs := repair.Detect(dirty, set, cfg, repair.Options{})
+	if len(vs) == 0 {
+		t.Fatal("no violations detected")
+	}
+	for _, v := range vs {
+		left, right := dirty.Tuples[v.LeftRows[0]], dirty.Tuples[v.RightRows[0]]
+		if want := cfg.Dist(v.FD, left, right); !fd.FloatEq(v.Dist, want) {
+			t.Fatalf("violation Dist = %v, cfg.Dist = %v for %v vs %v", v.Dist, want, v.Left, v.Right)
+		}
+	}
+}
+
 func TestDetectMultipleFDsOrdered(t *testing.T) {
 	dirty, _ := gen.Citizens()
 	fds := gen.CitizensFDs(dirty.Schema)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -60,12 +61,14 @@ type componentFunc func(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistCon
 
 func multiRepair(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options, name string, repairComp componentFunc) (*Result, error) {
 	start := time.Now()
+	snap := snapCacheStats(cfg)
 	out := rel.Clone()
 	stats := make(map[string]int)
 	comps := set.Components()
 	// partial finishes the result over whatever components committed before
 	// a cancellation and surfaces the typed error alongside it.
 	partial := func() (*Result, error) {
+		addCacheStats(stats, cfg, snap)
 		res, ferr := finish(rel, out, cfg, name, start, stats)
 		if ferr != nil {
 			return nil, ferr
@@ -93,6 +96,7 @@ func multiRepair(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Op
 			}
 		}
 	}
+	addCacheStats(stats, cfg, snap)
 	return finish(rel, out, cfg, name, start, stats)
 }
 
@@ -149,28 +153,40 @@ func repairComponentsParallel(rel, out *dataset.Relation, set *fd.Set, cfg *fd.D
 }
 
 func buildGraphs(rel *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options) []*vgraph.Graph {
+	gopts := graphOpts(opts)
 	graphs := make([]*vgraph.Graph, len(sub.FDs))
-	if opts.Parallel >= 2 && len(sub.FDs) > 1 {
-		// Per-FD graphs are independent; building them concurrently is the
-		// main parallel win inside one component.
-		sem := make(chan struct{}, opts.Parallel)
-		var wg sync.WaitGroup
-		for i, f := range sub.FDs {
-			i, f := i, f
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], opts.Graph)
-			}()
-		}
-		wg.Wait()
+	if len(sub.FDs) == 1 {
+		graphs[0] = vgraph.Build(rel, sub.FDs[0], cfg, sub.Tau[0], gopts)
 		return graphs
 	}
-	for i, f := range sub.FDs {
-		graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], opts.Graph)
+	// Per-FD graphs are independent and Build is deterministic regardless of
+	// scheduling, so the builds always fan out; opts.Parallel only gates
+	// component-repair concurrency, which does commit order-sensitive work.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sub.FDs) {
+		workers = len(sub.FDs)
 	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, f := range sub.FDs {
+		i, f := i, f
+		if canceled(opts.Cancel) {
+			// Canceled: fill the remaining slots inline. With a fired Cancel
+			// threaded into gopts, Build stops verifying pairs immediately
+			// and returns a vertex-only graph, so no slot is ever nil and
+			// callers surface the cancellation themselves.
+			graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], gopts)
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], gopts)
+		}()
+	}
+	wg.Wait()
 	return graphs
 }
 
@@ -313,7 +329,7 @@ func sequentialFallback(out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, 
 			if canceled(opts.Cancel) {
 				return ErrCanceled
 			}
-			g := vgraph.Build(out, f, cfg, sub.Tau[i], opts.Graph)
+			g := vgraph.Build(out, f, cfg, sub.Tau[i], graphOpts(opts))
 			if g.NumEdges() == 0 {
 				continue
 			}

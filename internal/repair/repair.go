@@ -82,6 +82,41 @@ type Options struct {
 // FT-consistent in general.
 var ErrCanceled = errors.New("repair: canceled")
 
+// graphOpts returns the graph-construction options with the repair-level
+// cancellation threaded through, so a cancel fired mid-build also stops
+// pair verification instead of waiting for the whole graph.
+func graphOpts(opts Options) vgraph.Options {
+	g := opts.Graph
+	if g.Cancel == nil {
+		g.Cancel = opts.Cancel
+	}
+	return g
+}
+
+// cacheSnap freezes the distance-cache counters at the start of a repair so
+// per-run deltas can be reported even though the cache (and its cumulative
+// counters) outlives individual runs.
+type cacheSnap struct{ hits, misses uint64 }
+
+func snapCacheStats(cfg *fd.DistConfig) cacheSnap {
+	if cfg.Cache == nil {
+		return cacheSnap{}
+	}
+	h, m := cfg.Cache.Counters()
+	return cacheSnap{hits: h, misses: m}
+}
+
+// addCacheStats records the distance-cache hit/miss deltas since snap into
+// the stats map under "distCacheHits"/"distCacheMisses".
+func addCacheStats(stats map[string]int, cfg *fd.DistConfig, snap cacheSnap) {
+	if cfg.Cache == nil || stats == nil {
+		return
+	}
+	h, m := cfg.Cache.Counters()
+	stats["distCacheHits"] += int(h - snap.hits)
+	stats["distCacheMisses"] += int(m - snap.misses)
+}
+
 // canceled reports whether the cancel channel (possibly nil) has fired.
 func canceled(ch <-chan struct{}) bool {
 	if ch == nil {

@@ -19,7 +19,8 @@ import (
 // yields an error when exceeded.
 func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opts Options) (*Result, error) {
 	start := time.Now()
-	g := vgraph.Build(rel, f, cfg, tau, opts.Graph)
+	snap := snapCacheStats(cfg)
+	g := vgraph.Build(rel, f, cfg, tau, graphOpts(opts))
 	res, err := mis.BestMIS(g, mis.Options{
 		DisablePruning: opts.DisablePruning,
 		NaturalOrder:   opts.NaturalOrder,
@@ -29,10 +30,12 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 	if errors.Is(err, mis.ErrCanceled) {
 		// Canceled mid-search: no set was chosen, so the partial repair is
 		// the untouched input.
-		partial, ferr := finish(rel, rel.Clone(), cfg, "ExactS", start, map[string]int{
+		stats := map[string]int{
 			"vertices": len(g.Vertices),
 			"edges":    g.NumEdges(),
-		})
+		}
+		addCacheStats(stats, cfg, snap)
+		partial, ferr := finish(rel, rel.Clone(), cfg, "ExactS", start, stats)
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -42,12 +45,14 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 		return nil, err
 	}
 	repaired := applyVertexRepairs(rel, g, repairTargets(g, res.Set))
-	return finish(rel, repaired, cfg, "ExactS", start, map[string]int{
+	stats := map[string]int{
 		"vertices": len(g.Vertices),
 		"edges":    g.NumEdges(),
 		"nodes":    res.NodesExplored,
 		"pruned":   res.Pruned,
-	})
+	}
+	addCacheStats(stats, cfg, snap)
+	return finish(rel, repaired, cfg, "ExactS", start, stats)
 }
 
 // repairTargets maps every vertex outside the independent set to its
@@ -81,14 +86,17 @@ func repairTargets(g *vgraph.Graph, set []int) map[int]int {
 // repair excluded patterns to their cheapest chosen neighbor.
 func GreedyS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opts Options) (*Result, error) {
 	start := time.Now()
-	g := vgraph.Build(rel, f, cfg, tau, opts.Graph)
+	snap := snapCacheStats(cfg)
+	g := vgraph.Build(rel, f, cfg, tau, graphOpts(opts))
 	set := greedySet(g, opts.Cancel)
 	repaired := applyVertexRepairs(rel, g, repairTargets(g, set))
-	res, err := finish(rel, repaired, cfg, "GreedyS", start, map[string]int{
+	stats := map[string]int{
 		"vertices": len(g.Vertices),
 		"edges":    g.NumEdges(),
 		"setSize":  len(set),
-	})
+	}
+	addCacheStats(stats, cfg, snap)
+	res, err := finish(rel, repaired, cfg, "GreedyS", start, stats)
 	if err == nil && canceled(opts.Cancel) {
 		// The greedy growth stopped early: excluded vertices without an
 		// in-set neighbor stay unrepaired.

@@ -107,12 +107,14 @@ func (s *Server) execJob(j *Job) {
 		s.verifyIfRequested(j, jr, res)
 		j.complete(JobDone, jr, "")
 		s.metrics.jobFinished(JobDone, j.prob.algo, elapsed, len(res.Changed))
+		s.metrics.addDistCache(res.Stats)
 	case errors.Is(err, repair.ErrCanceled):
 		var jr *JobResult
 		changed := 0
 		if res != nil {
 			jr = buildResult(j.prob, &jobRunOutcome{result: res, partial: true})
 			changed = len(res.Changed)
+			s.metrics.addDistCache(res.Stats)
 		}
 		j.complete(JobCanceled, jr, err.Error())
 		s.metrics.jobFinished(JobCanceled, j.prob.algo, elapsed, changed)

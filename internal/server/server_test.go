@@ -470,6 +470,11 @@ func TestHealthzAndStats(t *testing.T) {
 	if stats.CellsRepaired == 0 {
 		t.Error("cellsRepaired = 0 after a repairing job")
 	}
+	// The repair run queried string distances, so the aggregated
+	// distance-cache counters must have moved.
+	if stats.DistCacheHits+stats.DistCacheMisses == 0 {
+		t.Error("distance-cache counters did not move after a repairing job")
+	}
 }
 
 func TestRowsInputAndInferredTypes(t *testing.T) {

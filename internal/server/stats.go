@@ -15,14 +15,18 @@ type AlgoStat struct {
 
 // StatsView is the JSON body of GET /v1/stats.
 type StatsView struct {
-	UptimeSeconds  float64              `json:"uptimeSeconds"`
-	Jobs           map[JobState]int     `json:"jobs"`
-	JobsSubmitted  int                  `json:"jobsSubmitted"`
-	CellsRepaired  int                  `json:"cellsRepaired"`
-	Sessions       int                  `json:"sessions"`
-	SessionTuples  int                  `json:"sessionTuples"`
-	SessionRepairs int                  `json:"sessionRepairs"`
-	Algorithms     map[string]*AlgoStat `json:"algorithms"`
+	UptimeSeconds  float64          `json:"uptimeSeconds"`
+	Jobs           map[JobState]int `json:"jobs"`
+	JobsSubmitted  int              `json:"jobsSubmitted"`
+	CellsRepaired  int              `json:"cellsRepaired"`
+	Sessions       int              `json:"sessions"`
+	SessionTuples  int              `json:"sessionTuples"`
+	SessionRepairs int              `json:"sessionRepairs"`
+	// DistCacheHits/Misses aggregate the distance-cache counters reported by
+	// finished jobs (the "distCacheHits"/"distCacheMisses" Stats entries).
+	DistCacheHits   int                  `json:"distCacheHits"`
+	DistCacheMisses int                  `json:"distCacheMisses"`
+	Algorithms      map[string]*AlgoStat `json:"algorithms"`
 }
 
 // metrics collects operational counters under one mutex; every counter is
@@ -33,6 +37,8 @@ type metrics struct {
 	cellsRepaired  int
 	sessionTuples  int
 	sessionRepairs int
+	distCacheHits  int
+	distCacheMiss  int
 	perAlgo        map[string]*AlgoStat
 }
 
@@ -67,6 +73,18 @@ func (m *metrics) jobFinished(state JobState, algo string, elapsed time.Duration
 	}
 }
 
+// addDistCache accumulates the distance-cache counters a finished job
+// reported in its repair Stats map.
+func (m *metrics) addDistCache(stats map[string]int) {
+	if stats == nil {
+		return
+	}
+	m.mu.Lock()
+	m.distCacheHits += stats["distCacheHits"]
+	m.distCacheMiss += stats["distCacheMisses"]
+	m.mu.Unlock()
+}
+
 func (m *metrics) sessionAppend(tuples, repaired int) {
 	m.mu.Lock()
 	m.sessionTuples += tuples
@@ -87,13 +105,15 @@ func (m *metrics) snapshot(uptime time.Duration, jobs map[JobState]int, sessions
 		algos[name] = &cp
 	}
 	return StatsView{
-		UptimeSeconds:  uptime.Seconds(),
-		Jobs:           jobs,
-		JobsSubmitted:  m.jobsSubmitted,
-		CellsRepaired:  m.cellsRepaired,
-		Sessions:       sessions,
-		SessionTuples:  m.sessionTuples,
-		SessionRepairs: m.sessionRepairs,
-		Algorithms:     algos,
+		UptimeSeconds:   uptime.Seconds(),
+		Jobs:            jobs,
+		JobsSubmitted:   m.jobsSubmitted,
+		CellsRepaired:   m.cellsRepaired,
+		Sessions:        sessions,
+		SessionTuples:   m.sessionTuples,
+		SessionRepairs:  m.sessionRepairs,
+		DistCacheHits:   m.distCacheHits,
+		DistCacheMisses: m.distCacheMiss,
+		Algorithms:      algos,
 	}
 }

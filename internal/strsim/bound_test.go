@@ -1,0 +1,48 @@
+package strsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinDistByLengthKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "xyz", 0},
+		{"a", "", 1},
+		{"", "abcd", 1},
+		{"ab", "abcd", 0.5},
+		{"日本語", "日本", 1.0 / 3},
+	}
+	for _, c := range cases {
+		if got := MinDistByLength(c.a, c.b); got != c.want {
+			t.Errorf("MinDistByLength(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := MinDistByLength(c.b, c.a); got != c.want {
+			t.Errorf("MinDistByLength(%q,%q) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestMinDistByLengthIsLowerBound(t *testing.T) {
+	// The length gap lower-bounds both normalized edit flavors: an edit
+	// script between strings of lengths la and lb needs at least |la-lb|
+	// insertions or deletions. (It is NOT a bound for the q-gram Jaccard
+	// distance, which is why the cache's pre-filter skips that flavor.)
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		a := randomWord(r, r.Intn(12))
+		b := randomWord(r, r.Intn(12))
+		lb := MinDistByLength(a, b)
+		if ne := NormalizedEdit(a, b); lb > ne {
+			t.Fatalf("MinDistByLength(%q,%q) = %v > NormalizedEdit %v", a, b, lb, ne)
+		}
+		if no := NormalizedOSA(a, b); lb > no {
+			t.Fatalf("MinDistByLength(%q,%q) = %v > NormalizedOSA %v", a, b, lb, no)
+		}
+	}
+}

@@ -330,6 +330,24 @@ func NormalizedEditWithin(a, b string, t float64) (float64, bool) {
 	return nd, true
 }
 
+// MinDistByLength is a cheap lower bound on any normalized unit-cost edit
+// distance (Levenshtein, OSA): at least |len(a)-len(b)| insertions or
+// deletions are needed, so the normalized distance is at least the
+// rune-length difference divided by the longer length. It is NOT a bound for
+// the Jaccard q-gram distance. Callers use it to reject far-apart pairs
+// before touching a cache or running the banded DP.
+func MinDistByLength(a, b string) float64 {
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(abs(la-lb)) / float64(m)
+}
+
 func runes(s string) []rune {
 	// Fast path for ASCII, which dominates our workloads.
 	ascii := true

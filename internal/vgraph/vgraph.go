@@ -4,10 +4,16 @@
 // an FT-violation, weighted by their distance. Repair costs between grouped
 // vertices scale the distance by the multiplicity of the vertex being
 // repaired, realizing the paper's directed grouped graph G'.
+//
+// Construction is the pipeline's bottleneck (§6), so Build fans candidate
+// verification out across a worker pool. The result is deterministic: the
+// same graph, bit for bit, for any worker count — see Options.Workers.
 package vgraph
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
@@ -29,11 +35,14 @@ func (v *Vertex) Mult() int { return len(v.Rows) }
 
 // Edge is a weighted adjacency entry. W is the repair weight
 // ω(u,v) = cost(u^φ, v^φ): the unweighted Eq-3 distance summed over the
-// FD's attributes. (Edge existence is decided by the weighted Eq-2 distance
-// against τ; edge weight is the repair cost model.)
+// FD's attributes. D is the weighted Eq-2 distance that put the pair inside
+// the threshold — the violation distance — recorded at build time so
+// consumers (repair.Detect) need not re-derive it. (Edge existence is
+// decided by D against τ; W is the repair cost model.)
 type Edge struct {
 	To int
 	W  float64
+	D  float64
 }
 
 // Graph is the violation graph of one FD over one relation.
@@ -48,6 +57,14 @@ type Graph struct {
 	// distinct vertices may carry equal projections and must not be
 	// connected.
 	ungrouped bool
+	// Probe-index state, retained after an indexed build so point queries
+	// (ViolatorCount on unseen tuples) reuse the q-gram filter instead of
+	// scanning every vertex. probe is -1 when no index was built.
+	probe   int
+	attrTau float64
+	ix      *strsim.Index
+	vals    []string // distinct probe values in index-id order
+	byVal   [][]int  // probe value id -> vertex indices carrying it
 }
 
 // Options tunes graph construction.
@@ -59,11 +76,22 @@ type Options struct {
 	// ablation quantifying how much grouping saves. Tuples with equal
 	// projections never FT-violate, so no edges connect them.
 	DisableGrouping bool
+	// Workers caps the number of concurrent verification workers. 0 means
+	// GOMAXPROCS, 1 forces the sequential path. Any value produces the
+	// identical graph: workers emit private edge lists that are merged and
+	// per-vertex sorted, and each edge's existence, weight, and distance
+	// are pure functions of the pair.
+	Workers int
+	// Cancel, when it fires mid-build, stops candidate verification
+	// cooperatively. The returned graph then has all its vertices but only
+	// the edges verified so far; callers that pass Cancel must poll it
+	// after Build and treat the graph as partial when it fired.
+	Cancel <-chan struct{}
 }
 
 // Build constructs the violation graph of f over rel at threshold tau.
 func Build(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opts Options) *Graph {
-	g := &Graph{FD: f, Cfg: cfg, Tau: tau, byKey: make(map[string]int)}
+	g := &Graph{FD: f, Cfg: cfg, Tau: tau, byKey: make(map[string]int), probe: -1}
 	for i, t := range rel.Tuples {
 		k := t.Key(f.Attrs())
 		vi, ok := g.byKey[k]
@@ -77,11 +105,22 @@ func Build(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opt
 	g.adj = make([][]Edge, len(g.Vertices))
 
 	g.ungrouped = opts.DisableGrouping
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(g.Vertices) {
+		workers = len(g.Vertices)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	probe := g.chooseProbe(rel)
 	if opts.DisableIndex || probe < 0 {
-		g.buildAllPairs()
+		g.merge(g.fanOut(workers, opts.Cancel, g.allPairsRange))
 	} else {
-		g.buildIndexed(probe)
+		g.indexProbe(probe)
+		g.merge(g.fanOut(workers, opts.Cancel, g.indexedRange))
 	}
 	for _, es := range g.adj {
 		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
@@ -117,6 +156,30 @@ func (g *Graph) chooseProbe(rel *dataset.Relation) int {
 	return try(g.FD.RHS, g.Cfg.WR)
 }
 
+// indexProbe builds the q-gram index over the distinct probe-attribute
+// values, in first-occurrence vertex order so value ids are deterministic.
+func (g *Graph) indexProbe(probe int) {
+	w := g.Cfg.WL
+	if !contains(g.FD.LHS, probe) {
+		w = g.Cfg.WR
+	}
+	g.probe = probe
+	g.attrTau = g.Tau / w
+	g.ix = strsim.NewIndex(2)
+	valID := make(map[string]int, len(g.Vertices))
+	for vi, v := range g.Vertices {
+		val := v.Rep[probe]
+		id, ok := valID[val]
+		if !ok {
+			id = g.ix.Add(val)
+			valID[val] = id
+			g.vals = append(g.vals, val)
+			g.byVal = append(g.byVal, nil)
+		}
+		g.byVal[id] = append(g.byVal[id], vi)
+	}
+}
+
 // distWithin evaluates the FD distance with early exit once the running sum
 // exceeds tau (see fd.DistConfig.DistWithin).
 func (g *Graph) distWithin(t1, t2 dataset.Tuple) (float64, bool) {
@@ -134,58 +197,131 @@ func (g *Graph) PatternDist(u, v int) float64 {
 	return sum
 }
 
-func (g *Graph) buildAllPairs() {
-	for i := 0; i < len(g.Vertices); i++ {
-		for j := i + 1; j < len(g.Vertices); j++ {
-			if g.ungrouped && g.FD.ProjEqual(g.Vertices[i].Rep, g.Vertices[j].Rep) {
-				continue
-			}
-			if _, ok := g.distWithin(g.Vertices[i].Rep, g.Vertices[j].Rep); ok {
-				g.addEdge(i, j, g.PatternDist(i, j))
-			}
+// edgeRec is one verified edge produced by a build worker, buffered locally
+// until the single-threaded merge.
+type edgeRec struct {
+	u, v int
+	w, d float64
+}
+
+// verifyPair checks the candidate pair (i, j) and, if it FT-violates,
+// returns the edge with its repair weight and violation distance. Pure in
+// the pair (the distance cache only memoizes, never changes, results), so
+// workers can verify pairs in any order and partition.
+func (g *Graph) verifyPair(i, j int) (edgeRec, bool) {
+	if g.ungrouped && g.FD.ProjEqual(g.Vertices[i].Rep, g.Vertices[j].Rep) {
+		return edgeRec{}, false
+	}
+	d, ok := g.distWithin(g.Vertices[i].Rep, g.Vertices[j].Rep)
+	if !ok {
+		return edgeRec{}, false
+	}
+	return edgeRec{u: i, v: j, w: g.PatternDist(i, j), d: d}, true
+}
+
+// fanOut runs the given range verifier on `workers` goroutines, worker w
+// owning the stride-partitioned slice {w, w+workers, w+2*workers, ...} of
+// the outer loop. Stride partitioning balances the triangular all-pairs
+// loop without a work queue, and each worker's output is a deterministic
+// function of (start, stride), so the merged edge set does not depend on
+// scheduling.
+func (g *Graph) fanOut(workers int, cancel <-chan struct{}, run func(start, stride int, cancel <-chan struct{}) []edgeRec) [][]edgeRec {
+	out := make([][]edgeRec, workers)
+	if workers == 1 {
+		out[0] = run(0, 1, cancel)
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = run(w, workers, cancel)
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// merge folds the per-worker edge lists into the adjacency structure. Merge
+// order is irrelevant to the final graph: each undirected edge appears in
+// exactly one worker's list, and Build sorts every adjacency list by To —
+// a strict key, since a vertex pair carries at most one edge.
+func (g *Graph) merge(lists [][]edgeRec) {
+	for _, recs := range lists {
+		for _, r := range recs {
+			g.adj[r.u] = append(g.adj[r.u], Edge{To: r.v, W: r.w, D: r.d})
+			g.adj[r.v] = append(g.adj[r.v], Edge{To: r.u, W: r.w, D: r.d})
 		}
 	}
 }
 
-func (g *Graph) buildIndexed(probe int) {
-	w := g.Cfg.WL
-	if !contains(g.FD.LHS, probe) {
-		w = g.Cfg.WR
+// buildCanceled is the cooperative poll used inside build loops.
+func buildCanceled(cancel <-chan struct{}) bool {
+	if cancel == nil {
+		return false
 	}
-	attrTau := g.Tau / w
-	ix := strsim.NewIndex(2)
-	// Index distinct probe values; map value -> vertices carrying it.
-	valID := make(map[string]int)
-	byVal := make(map[int][]int) // probe value id -> vertex indices
-	for vi, v := range g.Vertices {
-		val := v.Rep[probe]
-		id, ok := valID[val]
-		if !ok {
-			id = ix.Add(val)
-			valID[val] = id
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// allPairsRange verifies every pair (i, j), i < j, whose outer index i is
+// congruent to start modulo stride. Cancellation is polled every 1024
+// candidate pairs.
+func (g *Graph) allPairsRange(start, stride int, cancel <-chan struct{}) []edgeRec {
+	var recs []edgeRec
+	n := len(g.Vertices)
+	pairs := 0
+	for i := start; i < n; i += stride {
+		for j := i + 1; j < n; j++ {
+			pairs++
+			if pairs&1023 == 0 && buildCanceled(cancel) {
+				return recs
+			}
+			if rec, ok := g.verifyPair(i, j); ok {
+				recs = append(recs, rec)
+			}
 		}
-		byVal[id] = append(byVal[id], vi)
 	}
-	for val, id := range valID {
-		for _, m := range ix.SearchNormalized(val, attrTau) {
+	return recs
+}
+
+// indexedRange runs the q-gram candidate generation for every probe value
+// id congruent to start modulo stride. Each distinct value *pair* is
+// handled exactly once (by the lower id), so the emitted edges partition
+// across workers.
+func (g *Graph) indexedRange(start, stride int, cancel <-chan struct{}) []edgeRec {
+	var recs []edgeRec
+	pairs := 0
+	for id := start; id < len(g.vals); id += stride {
+		if buildCanceled(cancel) {
+			return recs
+		}
+		for _, m := range g.ix.SearchNormalized(g.vals[id], g.attrTau) {
 			if m.ID < id {
 				continue // handle each value pair once (m.ID == id covers same-value vertices)
 			}
-			for _, vi := range byVal[id] {
-				for _, vj := range byVal[m.ID] {
-					if vj <= vi && m.ID == id {
+			for _, vi := range g.byVal[id] {
+				for _, vj := range g.byVal[m.ID] {
+					if m.ID == id && vj <= vi {
 						continue // same value bucket: avoid double visits and self loops
 					}
-					if g.ungrouped && g.FD.ProjEqual(g.Vertices[vi].Rep, g.Vertices[vj].Rep) {
-						continue
+					pairs++
+					if pairs&1023 == 0 && buildCanceled(cancel) {
+						return recs
 					}
-					if _, ok := g.distWithin(g.Vertices[vi].Rep, g.Vertices[vj].Rep); ok {
-						g.addEdge(vi, vj, g.PatternDist(vi, vj))
+					if rec, ok := g.verifyPair(vi, vj); ok {
+						recs = append(recs, rec)
 					}
 				}
 			}
 		}
 	}
+	return recs
 }
 
 func contains(cols []int, c int) bool {
@@ -195,11 +331,6 @@ func contains(cols []int, c int) bool {
 		}
 	}
 	return false
-}
-
-func (g *Graph) addEdge(i, j int, w float64) {
-	g.adj[i] = append(g.adj[i], Edge{To: j, W: w})
-	g.adj[j] = append(g.adj[j], Edge{To: i, W: w})
 }
 
 // Neighbors returns the adjacency list of vertex u, sorted by vertex id.
@@ -287,11 +418,26 @@ func (g *Graph) Lookup(t dataset.Tuple) (int, bool) {
 // the graph's threshold. t need not correspond to an existing pattern, so
 // this also scores hypothetical repairs (the "triggered violations" of
 // §4.4).
+//
+// For unseen tuples of an indexed graph, the retained q-gram probe index
+// narrows the scan: any vertex within total distance τ is within τ/w on the
+// probe attribute, so probing at attrTau loses no candidates and the O(V)
+// scan drops to the candidates sharing q-grams with t's probe value.
 func (g *Graph) ViolatorCount(t dataset.Tuple) int {
 	if v, ok := g.Lookup(t); ok {
 		return len(g.adj[v])
 	}
 	count := 0
+	if g.ix != nil {
+		for _, m := range g.ix.SearchNormalized(t[g.probe], g.attrTau) {
+			for _, u := range g.byVal[m.ID] {
+				if _, ok := g.distWithin(t, g.Vertices[u].Rep); ok {
+					count++
+				}
+			}
+		}
+		return count
+	}
 	for _, u := range g.Vertices {
 		if _, ok := g.distWithin(t, u.Rep); ok {
 			count++

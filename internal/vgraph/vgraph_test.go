@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"ftrepair/internal/dataset"
@@ -319,6 +320,153 @@ func TestOSAFlavorGraph(t *testing.T) {
 	osa := vgraph.Build(rel, f, cfg, tau, vgraph.Options{})
 	if osa.NumEdges() != 1 {
 		t.Fatalf("OSA graph has %d edges, want 1", osa.NumEdges())
+	}
+}
+
+// randomCityRelation builds a noisy City->State relation: city names with
+// occasional typos, states occasionally shuffled.
+func randomCityRelation(t *testing.T, rng *rand.Rand, rows int) *dataset.Relation {
+	t.Helper()
+	cities := []string{"Boston", "New York", "Chicago", "Seattle", "Denver", "Austin", "Portland", "Houston"}
+	states := []string{"MA", "NY", "IL", "WA", "CO", "TX", "OR", "TX"}
+	rel := dataset.NewRelation(dataset.Strings("City", "State"))
+	for i := 0; i < rows; i++ {
+		k := rng.Intn(len(cities))
+		city, state := cities[k], states[k]
+		if rng.Intn(4) == 0 {
+			b := []byte(city)
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+			city = string(b)
+		}
+		if rng.Intn(5) == 0 {
+			state = states[rng.Intn(len(states))]
+		}
+		if err := rel.Append(dataset.Tuple{city, state}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rel
+}
+
+// graphsIdentical is the strict form of graphsEqual: adjacency, repair
+// weights, and violation distances must match bit for bit, which is what
+// Options.Workers promises for any worker count.
+func graphsIdentical(a, b *vgraph.Graph) error {
+	if len(a.Vertices) != len(b.Vertices) {
+		return fmt.Errorf("vertex counts differ: %d vs %d", len(a.Vertices), len(b.Vertices))
+	}
+	if na, nb := a.NumEdges(), b.NumEdges(); na != nb {
+		return fmt.Errorf("edge counts differ: %d vs %d", na, nb)
+	}
+	for i := range a.Vertices {
+		na, nb := a.Neighbors(i), b.Neighbors(i)
+		if len(na) != len(nb) {
+			return fmt.Errorf("vertex %d degree differs: %d vs %d", i, len(na), len(nb))
+		}
+		for j := range na {
+			if na[j] != nb[j] { // To, W, and D all exact
+				return fmt.Errorf("vertex %d edge %d differs: %+v vs %+v", i, j, na[j], nb[j])
+			}
+		}
+	}
+	return nil
+}
+
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	// The parallel build must produce the identical graph — adjacency
+	// order, weights, and violation distances bit for bit — for every
+	// worker count, for both construction paths, with the distance cache
+	// cold, warm, or absent, and across repeated runs.
+	rng := rand.New(rand.NewSource(7))
+	rel := randomCityRelation(t, rng, 150)
+	f := fd.MustParse(rel.Schema, "City->State")
+	tau := 0.3
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0), 13}
+
+	shared := fd.DefaultDistConfig(rel)
+	ref := vgraph.Build(rel, f, shared, tau, vgraph.Options{DisableIndex: true, Workers: 1})
+	if ref.NumEdges() == 0 {
+		t.Fatal("degenerate instance: no edges")
+	}
+	for _, disable := range []bool{false, true} {
+		for _, w := range workerCounts {
+			for rep := 0; rep < 2; rep++ {
+				opts := vgraph.Options{DisableIndex: disable, Workers: w}
+				// Warm shared cache.
+				if err := graphsIdentical(ref, vgraph.Build(rel, f, shared, tau, opts)); err != nil {
+					t.Fatalf("index=%v workers=%d rep=%d warm cache: %v", !disable, w, rep, err)
+				}
+				// Cold cache.
+				if err := graphsIdentical(ref, vgraph.Build(rel, f, fd.DefaultDistConfig(rel), tau, opts)); err != nil {
+					t.Fatalf("index=%v workers=%d rep=%d cold cache: %v", !disable, w, rep, err)
+				}
+				// No cache at all.
+				bare := fd.DefaultDistConfig(rel)
+				bare.Cache = nil
+				if err := graphsIdentical(ref, vgraph.Build(rel, f, bare, tau, opts)); err != nil {
+					t.Fatalf("index=%v workers=%d rep=%d no cache: %v", !disable, w, rep, err)
+				}
+			}
+		}
+	}
+}
+
+func TestViolatorCountIndexMatchesScan(t *testing.T) {
+	// On unseen tuples, the indexed graph answers ViolatorCount through the
+	// retained q-gram probe index; the all-pairs graph scans every vertex.
+	// The counts must agree exactly.
+	rng := rand.New(rand.NewSource(11))
+	rel := randomCityRelation(t, rng, 80)
+	f := fd.MustParse(rel.Schema, "City->State")
+	cfg := fd.DefaultDistConfig(rel)
+	fast := vgraph.Build(rel, f, cfg, 0.3, vgraph.Options{})
+	slow := vgraph.Build(rel, f, cfg, 0.3, vgraph.Options{DisableIndex: true})
+	for trial := 0; trial < 50; trial++ {
+		tup := rel.Tuples[rng.Intn(rel.Len())].Clone()
+		b := []byte(tup[0])
+		for edits := 1 + rng.Intn(2); edits > 0; edits-- {
+			switch rng.Intn(3) {
+			case 0:
+				b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+			case 1:
+				b = append(b, byte('a'+rng.Intn(26)))
+			default:
+				b = b[:len(b)-1]
+			}
+		}
+		tup[0] = string(b)
+		if got, want := fast.ViolatorCount(tup), slow.ViolatorCount(tup); got != want {
+			t.Fatalf("trial %d %q: indexed count %d, scan count %d", trial, tup[0], got, want)
+		}
+	}
+}
+
+func TestBuildCancelReturnsPartialGraph(t *testing.T) {
+	fired := make(chan struct{})
+	close(fired)
+	rng := rand.New(rand.NewSource(3))
+	rel := randomCityRelation(t, rng, 200)
+	f := fd.MustParse(rel.Schema, "City->State")
+	cfg := fd.DefaultDistConfig(rel)
+	full := vgraph.Build(rel, f, cfg, 0.3, vgraph.Options{})
+	for _, opts := range []vgraph.Options{
+		{Cancel: fired},
+		{Cancel: fired, DisableIndex: true},
+		{Cancel: fired, DisableIndex: true, Workers: 4},
+	} {
+		g := vgraph.Build(rel, f, cfg, 0.3, opts)
+		if len(g.Vertices) != len(full.Vertices) {
+			t.Fatalf("canceled build lost vertices: %d vs %d", len(g.Vertices), len(full.Vertices))
+		}
+		if g.NumEdges() > full.NumEdges() {
+			t.Fatalf("canceled build invented edges: %d vs %d", g.NumEdges(), full.NumEdges())
+		}
+	}
+	// The indexed path polls per probe value, so a pre-fired cancel stops
+	// before any candidate verification.
+	g := vgraph.Build(rel, f, cfg, 0.3, vgraph.Options{Cancel: fired, Workers: 1})
+	if g.NumEdges() != 0 {
+		t.Fatalf("pre-fired cancel still verified %d edges", g.NumEdges())
 	}
 }
 
