@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint test short bench bench-json experiments fuzz cover examples serve
+.PHONY: all build lint test short bench bench-json bench-repair experiments fuzz cover examples serve
 
 all: build lint test
 
@@ -23,9 +23,17 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Runs the vgraph/detect construction-phase benchmark family and writes
-# BENCH_vgraph.json (ns/op, edges/s, cache hit rate, speedups).
+# BENCH_vgraph.json (ns/op, edges/s, cache hit rate, speedups), then the
+# repair-phase family into BENCH_repair.json.
 bench-json:
 	go run ./cmd/repairbench -exp graphbench -benchout BENCH_vgraph.json
+	$(MAKE) bench-repair
+
+# Runs the repair-phase benchmark family (greedy growth naive vs heap,
+# exact branch-and-bound combination throughput, plan evaluation) and
+# writes BENCH_repair.json.
+bench-repair:
+	go run ./cmd/repairbench -exp repairbench -benchout BENCH_repair.json
 
 experiments:
 	go run ./cmd/repairbench -exp all -scale 0.2

@@ -27,8 +27,9 @@ type Config struct {
 	// Cancel stops in-flight repairs early (e.g. on SIGINT); measurements
 	// taken after it fires report "repair: canceled" instead of numbers.
 	Cancel <-chan struct{}
-	// BenchOut, when non-empty, makes the graphbench experiment also write
-	// its measurements as JSON to this path (e.g. BENCH_vgraph.json).
+	// BenchOut, when non-empty, makes the graphbench and repairbench
+	// experiments also write their measurements as JSON to this path
+	// (e.g. BENCH_vgraph.json, BENCH_repair.json).
 	BenchOut string
 }
 
@@ -109,6 +110,7 @@ func list() []experiment {
 		{"detection", "FT vs classic error localization", detectionAblation},
 		{"autotau", "SelectTau heuristic vs fixed threshold", autotauAblation},
 		{"graphbench", "construction-phase timings: parallel + memoized graph build", graphbench},
+		{"repairbench", "repair-phase timings: heap greedy growth, parallel B&B, plan evaluation", repairbench},
 	}
 }
 
@@ -540,6 +542,47 @@ func graphbench(c Config, w io.Writer) error {
 		return err
 	}
 	eval.PrintGraphBench(w, doc)
+	if c.BenchOut != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.BenchOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("experiments: writing %s: %w", c.BenchOut, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", c.BenchOut)
+	}
+	return nil
+}
+
+// repairbench times the repair-phase hot paths (greedy growth naive vs
+// indexed heap at three sizes, exact branch-and-bound combination
+// throughput vs workers, and multi-FD plan evaluation vs workers) and
+// optionally writes the measurements to Config.BenchOut as JSON. The
+// greedy instance is sized from the scale so the default run lands at
+// N=5000 — large enough for the naive rescan's quadratic term to show.
+func repairbench(c Config, w io.Writer) error {
+	wk := c.Workloads[0]
+	n := int(25000 * c.Scale)
+	if n < 200 {
+		n = 200
+	}
+	minTime := 500 * time.Millisecond
+	if n < 1000 {
+		// Tiny scales (tests) need the shape, not stable timings.
+		minTime = 10 * time.Millisecond
+	}
+	doc, err := eval.RepairBench(eval.RepairBenchConfig{
+		Workload: wk,
+		N:        n,
+		Seed:     c.Seed,
+		MinTime:  minTime,
+		Cancel:   c.Cancel,
+	})
+	if err != nil {
+		return err
+	}
+	eval.PrintRepairBench(w, doc)
 	if c.BenchOut != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

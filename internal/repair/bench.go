@@ -1,0 +1,97 @@
+package repair
+
+import (
+	"fmt"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/targettree"
+	"ftrepair/internal/vgraph"
+)
+
+// This file exposes the repair-phase hot loops to the benchmark harness
+// (internal/eval's RepairBench and the Go benchmarks), which need to time
+// the naive and fast paths separately without re-deriving fixtures.
+
+// GrowGreedy runs one Algorithm-2 growth over the graph: the retained
+// full-rescan reference when naive is set, the indexed-heap path
+// otherwise. Both return the same set on any input; only the time differs.
+func GrowGreedy(g *vgraph.Graph, naive bool) []int {
+	if naive {
+		return greedySetNaive(g, nil)
+	}
+	return greedySet(g, nil)
+}
+
+// GrowJoint runs one Algorithm-4 joint growth over the per-FD graphs:
+// naive full-rescan reference or indexed-heap path.
+func GrowJoint(rel *dataset.Relation, graphs []*vgraph.Graph, naive bool) [][]int {
+	if naive {
+		return jointGreedySetsNaive(rel, graphs, nil)
+	}
+	return jointGreedySets(rel, graphs, nil)
+}
+
+// PlanBench times repair-plan evaluation — one target-tree build plus a
+// nearest-target search per repairing tuple group — over a fixed
+// component, at configurable worker counts. Graphs, greedy sets, and
+// grouping are prepared once; Run re-evaluates the plan only.
+type PlanBench struct {
+	p      *planner
+	keys   []map[string]bool
+	levels []targettree.Level
+	// Groups counts the repairing tuple groups each evaluation searches.
+	Groups int
+	// FDs is the number of FDs in the chosen component.
+	FDs int
+}
+
+// NewPlanBench prepares a plan evaluation over the largest multi-FD
+// component of the set (plan evaluation is only interesting when targets
+// join across FDs). It errors when every component is a single FD.
+func NewPlanBench(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, disableTree bool) (*PlanBench, error) {
+	var comp []int
+	for _, c := range set.Components() {
+		if len(c) >= 2 && len(c) > len(comp) {
+			comp = c
+		}
+	}
+	if comp == nil {
+		return nil, fmt.Errorf("repair: no multi-FD component to benchmark plan evaluation on")
+	}
+	sub := set.Subset(comp)
+	graphs := buildGraphs(rel, sub, cfg, Options{})
+	sets := make([][]int, len(graphs))
+	for i, g := range graphs {
+		sets[i] = greedySet(g, nil)
+	}
+	groups := groupTuples(rel, unionAttrs(sub.FDs))
+	b := &PlanBench{
+		p: &planner{
+			groups:      groups,
+			graphs:      graphs,
+			cfg:         cfg,
+			disableTree: disableTree,
+		},
+		keys:   chosenKeys(graphs, sets),
+		levels: levelsFor(graphs, sets),
+		FDs:    len(sub.FDs),
+	}
+	for gi := range groups {
+		if needsRepair(groups[gi].rep, graphs, b.keys) {
+			b.Groups++
+		}
+	}
+	return b, nil
+}
+
+// Run evaluates the prepared plan once with the given tuple-group worker
+// count, returning its total cost and target-tree visit count.
+func (b *PlanBench) Run(workers int) (cost float64, visited int, err error) {
+	b.p.workers = workers
+	_, cost, visited, ok := b.p.costs(b.keys, b.levels, nil)
+	if !ok {
+		return cost, visited, fmt.Errorf("repair: plan evaluation failed (empty join?)")
+	}
+	return cost, visited, nil
+}

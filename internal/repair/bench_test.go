@@ -1,0 +1,90 @@
+package repair_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ftrepair/internal/eval"
+	"ftrepair/internal/repair"
+	"ftrepair/internal/vgraph"
+)
+
+// The Go benchmarks cover the repair-phase hot paths for quick local runs
+// and the CI -benchtime=1x smoke; the calibrated measurements live in the
+// repairbench experiment (BENCH_repair.json).
+
+func greedyBenchGraph(b *testing.B) *vgraph.Graph {
+	b.Helper()
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 1000, FDs: 1, ErrorRate: 0.1, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, tau := inst.Set.FDs[0], inst.Set.Tau[0]
+	return vgraph.Build(inst.Dirty, f, inst.Cfg, tau, vgraph.Options{})
+}
+
+func BenchmarkGreedyGrowth(b *testing.B) {
+	g := greedyBenchGraph(b)
+	for _, mode := range []string{"naive", "heap"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				repair.GrowGreedy(g, mode == "naive")
+			}
+		})
+	}
+}
+
+func BenchmarkJointGrowth(b *testing.B) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 600, FDs: 2, ErrorRate: 0.1, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphs := make([]*vgraph.Graph, len(inst.Set.FDs))
+	for i, f := range inst.Set.FDs {
+		graphs[i] = vgraph.Build(inst.Dirty, f, inst.Cfg, inst.Set.Tau[i], vgraph.Options{})
+	}
+	for _, mode := range []string{"naive", "heap"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				repair.GrowJoint(inst.Dirty, graphs, mode == "naive")
+			}
+		})
+	}
+}
+
+func BenchmarkExactCombos(b *testing.B) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 120, FDs: 3, ErrorRate: 0.05, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repair.ExactM(inst.Dirty, inst.Set, inst.Cfg,
+					repair.Options{Parallel: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPlanCosts(b *testing.B) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 1000, ErrorRate: 0.04, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := repair.NewPlanBench(inst.Dirty, inst.Set, inst.Cfg, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pb.Run(workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package repair
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ftrepair/internal/targettree"
+	"ftrepair/internal/vgraph"
+)
+
+// This file implements ExactM's parallel branch-and-bound over the
+// Cartesian product of per-FD maximal-independent-set families. Workers
+// claim combination indices from an atomic counter, decode them
+// mixed-radix into per-FD family members (levels and chosen-key sets are
+// memoized per family member, so combinations sharing a set reuse its
+// targettree.Build input), evaluate the joined plan, and prune against a
+// shared incumbent watermark. The result is deterministic at any worker
+// count: the winner is the lexicographic minimum of (exact cost,
+// combination index), and a plan at least as cheap as the final incumbent
+// can never be pruned (its group-ordered prefix costs are bounded by its
+// total, which never exceeds the incumbent).
+
+// watermark shares the branch-and-bound incumbent between workers. cost
+// is a lock-free read used for pruning; offer installs a strictly cheaper
+// plan, or an equal-cost plan with a lower combination index, so the
+// surviving winner does not depend on scheduling.
+type watermark struct {
+	bits    atomic.Uint64 // math.Float64bits of the incumbent cost
+	mu      sync.Mutex
+	idx     int
+	targets []*targettree.Target
+	has     bool
+}
+
+func newWatermark() *watermark {
+	w := &watermark{}
+	w.bits.Store(math.Float64bits(math.Inf(1)))
+	return w
+}
+
+// cost returns the current incumbent cost (+Inf before the first offer).
+func (w *watermark) cost() float64 { return math.Float64frombits(w.bits.Load()) }
+
+// offer proposes a fully evaluated plan. The incumbent is replaced when
+// the candidate is cheaper, or costs exactly the same with a lower
+// combination index (the deterministic tie-break; sequential evaluation
+// kept the first — lowest — index, and this reproduces that at any worker
+// count).
+func (w *watermark) offer(cost float64, idx int, targets []*targettree.Target) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cur := math.Float64frombits(w.bits.Load())
+	if cost > cur {
+		return
+	}
+	if cost < cur || idx < w.idx || !w.has {
+		w.idx = idx
+		w.targets = targets
+		w.has = true
+		w.bits.Store(math.Float64bits(cost))
+	}
+}
+
+// searchCombos runs the branch-and-bound over all combos combinations of
+// family members (families[i] holds FD i's enumerated maximal independent
+// sets). Combination index idx decodes mixed-radix with the last FD
+// varying fastest — the same order the sequential loop used. It returns
+// the winning plan's targets (nil when no combination joins into targets),
+// the total target-tree visit count, and ErrCanceled if the search was
+// cut short.
+func searchCombos(groups []tupleGroup, graphs []*vgraph.Graph, families [][][]int, combos int, opts Options, p *planner) (bestTargets []*targettree.Target, visited int, err error) {
+	n := len(families)
+	levelCache := make([][]targettree.Level, n)
+	keyCache := make([][]map[string]bool, n)
+	for i, fam := range families {
+		levelCache[i] = make([]targettree.Level, len(fam))
+		keyCache[i] = make([]map[string]bool, len(fam))
+		for j, set := range fam {
+			levelCache[i][j] = levelFor(graphs[i], set)
+			keyCache[i][j] = keysFor(graphs[i], set)
+		}
+	}
+	workers := opts.Parallel
+	if workers < 2 {
+		workers = 1
+	}
+	if workers > combos {
+		workers = combos
+	}
+	w := newWatermark()
+	var visitedTotal atomic.Int64
+	var next atomic.Int64
+	run := func() error {
+		levels := make([]targettree.Level, n)
+		keys := make([]map[string]bool, n)
+		for {
+			idx := int(next.Add(1) - 1)
+			if idx >= combos {
+				return nil
+			}
+			if canceled(opts.Cancel) {
+				return ErrCanceled
+			}
+			rem := idx
+			for i := n - 1; i >= 0; i-- {
+				j := rem % len(families[i])
+				rem /= len(families[i])
+				levels[i] = levelCache[i][j]
+				keys[i] = keyCache[i][j]
+			}
+			targets, cost, v, ok := p.costs(keys, levels, w.cost)
+			visitedTotal.Add(int64(v))
+			if ok {
+				w.offer(cost, idx, targets)
+			}
+		}
+	}
+	if workers == 1 {
+		err = run()
+	} else {
+		errs := make(chan error, workers)
+		for k := 0; k < workers; k++ {
+			go func() { errs <- run() }()
+		}
+		for k := 0; k < workers; k++ {
+			if e := <-errs; e != nil && err == nil {
+				err = e
+			}
+		}
+	}
+	if err != nil {
+		return nil, int(visitedTotal.Load()), err
+	}
+	return w.targets, int(visitedTotal.Load()), nil
+}

@@ -1,0 +1,92 @@
+package repair_test
+
+import (
+	"math"
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/eval"
+	"ftrepair/internal/repair"
+)
+
+// TestMultiDeterministicAcrossWorkers is the repair-phase analogue of
+// vgraph's worker-determinism test: ExactM, ApproM, and GreedyM must
+// produce bit-identical repairs (every cell equal, Cost bits equal) at
+// every Parallel setting. ExactM additionally exercises the
+// branch-and-bound combination workers; the heuristics exercise the
+// component fan-out and the parallel nearest-target planner. Runs under
+// the race CI job, so it doubles as a data-race probe for the worker
+// pools.
+func TestMultiDeterministicAcrossWorkers(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 400, ErrorRate: 0.06, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ExactM needs a smaller instance: its combination budget overflows on
+	// the full nine-FD HOSP slice, and 2k combinations already exercise the
+	// branch-and-bound workers.
+	exactInst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 120, FDs: 4, ErrorRate: 0.03, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []struct {
+		name string
+		inst *eval.Instance
+		run  multiAlgo
+	}{
+		{"ExactM", exactInst, repair.ExactM},
+		{"ApproM", inst, repair.ApproM},
+		{"GreedyM", inst, repair.GreedyM},
+	}
+	for _, algo := range algos {
+		var ref *repair.Result
+		for _, parallel := range []int{0, 1, 2, 8} {
+			res, err := algo.run(algo.inst.Dirty, algo.inst.Set, algo.inst.Cfg, repair.Options{Parallel: parallel})
+			if err != nil {
+				t.Fatalf("%s Parallel=%d: %v", algo.name, parallel, err)
+			}
+			if ref == nil {
+				ref = res
+				if len(ref.Changed) == 0 {
+					t.Fatalf("%s repaired nothing; instance too clean to test determinism", algo.name)
+				}
+				continue
+			}
+			cells, err := dataset.Diff(ref.Repaired, res.Repaired)
+			if err != nil || len(cells) != 0 {
+				t.Fatalf("%s Parallel=%d: repair differs from Parallel=0 at %v (%v)",
+					algo.name, parallel, cells, err)
+			}
+			if math.Float64bits(res.Cost) != math.Float64bits(ref.Cost) {
+				t.Fatalf("%s Parallel=%d: Cost %v (bits %x) != reference %v (bits %x)",
+					algo.name, parallel, res.Cost, math.Float64bits(res.Cost),
+					ref.Cost, math.Float64bits(ref.Cost))
+			}
+			if len(res.Changed) != len(ref.Changed) {
+				t.Fatalf("%s Parallel=%d: changed-cell counts differ: %d vs %d",
+					algo.name, parallel, len(res.Changed), len(ref.Changed))
+			}
+		}
+	}
+}
+
+// TestExactMDeterministicOnCitizens pins the branch-and-bound to the
+// paper's Table 1 ground truth at several worker counts: the winning
+// combination (and therefore every repaired cell) must not depend on
+// scheduling even when equal-cost combinations exist.
+func TestExactMDeterministicOnCitizens(t *testing.T) {
+	dirty, clean, set, cfg := citizensSet(t)
+	for _, parallel := range []int{0, 2, 8} {
+		res, err := repair.ExactM(dirty, set, cfg, repair.Options{Parallel: parallel})
+		if err != nil {
+			t.Fatalf("Parallel=%d: %v", parallel, err)
+		}
+		cells, err := dataset.Diff(res.Repaired, clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cells) != 0 {
+			t.Fatalf("Parallel=%d: repair deviates from ground truth at %v", parallel, cells)
+		}
+	}
+}

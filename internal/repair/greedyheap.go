@@ -1,0 +1,392 @@
+package repair
+
+import (
+	"math"
+	"sort"
+
+	"ftrepair/internal/fd"
+	"ftrepair/internal/vgraph"
+)
+
+// This file implements the indexed-heap fast path for the greedy growth
+// loops (GreedyS's Algorithm 2 and GreedyM's Algorithm 4). The naive loops
+// rescan every unchosen candidate each round — O(V²·deg) growth — but
+// adding a vertex only perturbs the scores of candidates near it (distance
+// 2 for the single-FD score, distance 3 for the joint score), so the heap
+// path maintains candidate scores incrementally: a lazy min-heap holds one
+// live entry per candidate, version stamps invalidate entries whose vertex
+// was rescored, and each round pops near the minimum instead of rescanning.
+//
+// The invariant is bit-identical output with the retained naive
+// implementations (greedySetNaive, jointGreedySetsNaive) on any input:
+//
+//   - Scores are computed by the same functions in the same summation
+//     order, so cached heap scores are the exact floats the naive rescan
+//     would recompute (a candidate is rescored whenever any input of its
+//     score changes, so cached values never go stale).
+//   - Selection replicates the naive scan's fd.Eps tie-breaking, which is
+//     not a total order (comparisons within eps fall through to
+//     multiplicity), so the heap cannot simply pop its minimum. Instead
+//     each round pops the eps-gap closure of the minimum — the live
+//     minimum plus every live candidate reachable from it by score steps
+//     of at most fd.Eps — and replays the exact naive comparison loop over
+//     the closure in naive scan order. This is provably equivalent to the
+//     full scan: every candidate outside the closure scores more than eps
+//     above every candidate inside it, so in the naive scan (a) the first
+//     closure member scanned always takes over any outside incumbent (it
+//     is strictly smaller by more than eps), and (b) no outside candidate
+//     can ever take over a closure incumbent (neither the strict nor the
+//     within-eps arm can fire across the gap). From the first closure
+//     takeover on, the naive trajectory involves closure members only, in
+//     scan order — exactly the replay. Closure losers are pushed back for
+//     later rounds.
+//
+// greedyStepHook, when set (tests only), observes every growth round of
+// all four loops — it fires with the current set size immediately before
+// each round's cancellation poll, letting tests cancel deterministically
+// after a fixed number of rounds and assert heap/naive partial-set parity.
+var greedyStepHook func(added int)
+
+// scoreEntry is one heap candidate: a (graph, vertex) pair with its cached
+// selection score. Entries whose ver no longer matches the vertex's current
+// version are stale and discarded on pop.
+type scoreEntry struct {
+	score float64
+	mult  int
+	fd    int
+	id    int
+	ver   uint32
+}
+
+// entryLess orders the heap: score ascending, then multiplicity descending,
+// then graph and vertex id ascending — the same priority the naive
+// tie-breaks express, so closure pops surface candidates in a stable
+// order. Exact float comparison is deliberate; the eps tolerance is
+// applied by the closure replay, not the heap order.
+func entryLess(a, b scoreEntry) bool {
+	if a.score < b.score {
+		return true
+	}
+	if b.score < a.score {
+		return false
+	}
+	if a.mult != b.mult {
+		return a.mult > b.mult
+	}
+	if a.fd != b.fd {
+		return a.fd < b.fd
+	}
+	return a.id < b.id
+}
+
+// scoreHeap is a binary min-heap of scoreEntry under entryLess, hand-rolled
+// to keep entries unboxed on the hot path.
+type scoreHeap []scoreEntry
+
+func (h *scoreHeap) push(e scoreEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *scoreHeap) pop() scoreEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *scoreHeap) siftDown(i int) {
+	s := *h
+	n := len(s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && entryLess(s[l], s[small]) {
+			small = l
+		}
+		if r < n && entryLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+}
+
+// init establishes the heap invariant over an arbitrarily ordered slice.
+func (h *scoreHeap) init() {
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// popClosure pops the eps-gap closure of the live minimum: the minimum
+// live entry plus every live entry within fd.Eps of the maximum popped so
+// far. Stale entries encountered on the way are discarded. The result is
+// in ascending score order; the caller replays the naive selection over it
+// and pushes the losers back. Returns nil when no live candidate remains.
+func (h *scoreHeap) popClosure(live func(scoreEntry) bool) []scoreEntry {
+	var out []scoreEntry
+	var maxScore float64
+	for len(*h) > 0 {
+		if !live((*h)[0]) {
+			h.pop()
+			continue
+		}
+		if out != nil && (*h)[0].score > maxScore+fd.Eps {
+			break
+		}
+		e := h.pop()
+		out = append(out, e)
+		maxScore = e.score
+	}
+	return out
+}
+
+// greedyScorer holds the shared growth state of Algorithm 2: the chosen
+// set, the blocked frontier, and the normalized Eq 7/8 cost model (see the
+// greedySetNaive comment for the normalization rationale). Both the naive
+// rescan and the heap path drive the same scorer, so their scores are
+// bitwise equal by construction.
+type greedyScorer struct {
+	g *vgraph.Graph
+	// minOmega[v]: v's cheapest outgoing edge — the floor of its repair
+	// cost if it ends up excluded (0 for isolated vertices, which are
+	// never repaired). avoided[v] scales it by multiplicity.
+	minOmega []float64
+	avoided  []float64
+	inSet    []bool
+	// blocked[v]: v has a neighbor in the set (cannot join; must repair).
+	blocked []bool
+	// repairCost[v]: current min_{u∈Î∩N(v)} ω(v,u) for blocked v.
+	repairCost []float64
+	set        []int
+}
+
+func newGreedyScorer(g *vgraph.Graph) *greedyScorer {
+	n := len(g.Vertices)
+	s := &greedyScorer{
+		g:          g,
+		minOmega:   make([]float64, n),
+		avoided:    make([]float64, n),
+		inSet:      make([]bool, n),
+		blocked:    make([]bool, n),
+		repairCost: make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		best := math.Inf(1)
+		for _, e := range g.Neighbors(v) {
+			if e.W < best {
+				best = e.W
+			}
+		}
+		if math.IsInf(best, 1) {
+			best = 0
+		}
+		s.minOmega[v] = best
+		s.avoided[v] = float64(g.Vertices[v].Mult()) * best
+		s.repairCost[v] = math.Inf(1)
+	}
+	return s
+}
+
+// valid reports whether v is still a candidate (neither chosen nor doomed).
+func (s *greedyScorer) valid(v int) bool { return !s.inSet[v] && !s.blocked[v] }
+
+// score is the normalized Eq-8 incremental cost of adding candidate v: per
+// neighbor it dooms, only the cost above that neighbor's unavoidable
+// minimum repair, minus v's own avoided repair cost. Summation follows
+// adjacency order so every caller computes bitwise-identical values.
+func (s *greedyScorer) score(v int) float64 {
+	var inc float64
+	for _, e := range s.g.Neighbors(v) {
+		if s.blocked[e.To] {
+			// Neighbor already doomed: adding v can only lower its
+			// repair cost.
+			if e.W < s.repairCost[e.To] {
+				inc += float64(s.g.Vertices[e.To].Mult()) * (e.W - s.repairCost[e.To])
+			}
+		} else if !s.inSet[e.To] {
+			// Newly doomed neighbor pays its repair to v, above the
+			// floor it pays in any case.
+			inc += float64(s.g.Vertices[e.To].Mult()) * (e.W - s.minOmega[e.To])
+		}
+	}
+	return inc - s.avoided[v]
+}
+
+// better orders candidates: smaller net cost first; ties (exact ties are
+// common — a typo vertex's incremental equals its legitimate source's
+// avoided cost) break toward higher multiplicity, then lower id for
+// determinism.
+func (s *greedyScorer) better(cost float64, v int, bestCost float64, bestV int) bool {
+	if cost < bestCost-fd.Eps {
+		return true
+	}
+	if cost > bestCost+fd.Eps {
+		return false
+	}
+	if bestV < 0 {
+		return true
+	}
+	mv, mb := s.g.Vertices[v].Mult(), s.g.Vertices[bestV].Mult()
+	if mv != mb {
+		return mv > mb
+	}
+	return v < bestV
+}
+
+// add commits v to the set and dooms its unchosen neighbors.
+func (s *greedyScorer) add(v int) {
+	s.inSet[v] = true
+	s.set = append(s.set, v)
+	for _, e := range s.g.Neighbors(v) {
+		if s.inSet[e.To] {
+			continue
+		}
+		s.blocked[e.To] = true
+		if e.W < s.repairCost[e.To] {
+			s.repairCost[e.To] = e.W
+		}
+	}
+}
+
+// greedySet runs Algorithm 2 on the pattern graph and returns the chosen
+// maximal independent set, using the indexed-heap growth path. When cancel
+// fires mid-growth the set built so far is returned (independent, but
+// possibly not maximal); the caller decides how to surface the
+// cancellation. Output is bit-identical to greedySetNaive on any input.
+func greedySet(g *vgraph.Graph, cancel <-chan struct{}) []int {
+	if canceled(cancel) {
+		return nil
+	}
+	n := len(g.Vertices)
+	if n == 0 {
+		return nil
+	}
+	s := newGreedyScorer(g)
+	ver := make([]uint32, n)
+	h := make(scoreHeap, n)
+	for v := 0; v < n; v++ {
+		h[v] = scoreEntry{score: s.score(v), mult: g.Vertices[v].Mult(), id: v}
+	}
+	h.init()
+	live := func(e scoreEntry) bool { return e.ver == ver[e.id] && s.valid(e.id) }
+	// stamp dedupes the distance-2 rescore walk within one round.
+	stamp := make([]int, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	round := 0
+	rescore := func(u int) {
+		if stamp[u] == round {
+			return
+		}
+		stamp[u] = round
+		if !s.valid(u) {
+			return
+		}
+		ver[u]++
+		h.push(scoreEntry{score: s.score(u), mult: g.Vertices[u].Mult(), id: u, ver: ver[u]})
+	}
+	for {
+		if greedyStepHook != nil {
+			greedyStepHook(len(s.set))
+		}
+		if canceled(cancel) {
+			return s.set
+		}
+		cands := h.popClosure(live)
+		if cands == nil {
+			break
+		}
+		// Replay the naive selection over the closure in naive scan order.
+		sort.Slice(cands, func(a, b int) bool { return cands[a].id < cands[b].id })
+		best, bestCost := -1, math.Inf(1)
+		for _, e := range cands {
+			if s.better(e.score, e.id, bestCost, best) {
+				best, bestCost = e.id, e.score
+			}
+		}
+		for _, e := range cands {
+			if e.id != best {
+				h.push(e)
+			}
+		}
+		s.add(best)
+		// Adding best perturbs exactly the scores of candidates within
+		// distance 2: direct neighbors lose their contribution for best
+		// (now chosen), and second-hop candidates see a neighbor newly
+		// blocked or its repair floor lowered.
+		round++
+		for _, e := range g.Neighbors(best) {
+			rescore(e.To)
+			for _, e2 := range g.Neighbors(e.To) {
+				rescore(e2.To)
+			}
+		}
+	}
+	return s.set
+}
+
+// greedySetNaive is the retained reference implementation of Algorithm 2:
+// every round rescans every unchosen, unblocked candidate. O(V²·deg)
+// growth — the heap path exists because of it — but trivially correct, so
+// it anchors the equivalence tests and the repairbench speedup series.
+//
+// Selection uses a normalized form of Eq. 7/8: a candidate is charged, per
+// neighbor it dooms, only the cost *above* that neighbor's unavoidable
+// minimum repair (its cheapest edge — paid in any maximal set excluding
+// it), and is credited its own avoided repair cost. The literal Eq. 8 is
+// myopic on two common shapes: a one-tuple typo pattern dooms its
+// high-multiplicity source cheaply and gets picked first (flipping every
+// legitimate tuple to the typo spelling), and a legitimate pattern
+// surrounded by error patterns is charged their full — but inevitable —
+// repair cost. The normalized score keeps the paper's complexity and
+// resolves both.
+func greedySetNaive(g *vgraph.Graph, cancel <-chan struct{}) []int {
+	if canceled(cancel) {
+		return nil
+	}
+	n := len(g.Vertices)
+	if n == 0 {
+		return nil
+	}
+	s := newGreedyScorer(g)
+	for {
+		if greedyStepHook != nil {
+			greedyStepHook(len(s.set))
+		}
+		if canceled(cancel) {
+			return s.set
+		}
+		best, bestCost := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !s.valid(v) {
+				continue
+			}
+			if c := s.score(v); s.better(c, v, bestCost, best) {
+				best, bestCost = v, c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		s.add(best)
+	}
+	return s.set
+}

@@ -3,7 +3,6 @@ package repair
 import (
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -11,7 +10,6 @@ import (
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
 	"ftrepair/internal/mis"
-	"ftrepair/internal/targettree"
 	"ftrepair/internal/vgraph"
 )
 
@@ -51,10 +49,6 @@ func ApproM(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options
 func GreedyM(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options) (*Result, error) {
 	return multiRepair(rel, set, cfg, opts, "GreedyM", greedyComponent)
 }
-
-// jointTraceHook, when set (tests only), observes every candidate score
-// evaluation of jointGreedySets' selection loop.
-var jointTraceHook func(fdIndex, vertex int, cost float64)
 
 // componentFunc repairs one connected component of the FD graph in place.
 type componentFunc func(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error
@@ -231,36 +225,18 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 	stats["combinations"] += combos
 
 	groups := groupTuples(rel, unionAttrs(sub.FDs))
-	best := math.Inf(1)
-	var bestTargets []*targettree.Target
-	idx := make([]int, len(families))
-	for {
-		if canceled(opts.Cancel) {
-			return ErrCanceled
-		}
-		sets := make([][]int, len(families))
-		for i, j := range idx {
-			sets[i] = families[i][j]
-		}
-		targets, cost, visited, ok := planCosts(groups, graphs, sets, cfg, opts.DisableTargetTree, opts.Cancel, best)
-		stats["treeVisited"] += visited
-		if ok && cost < best {
-			best = cost
-			bestTargets = targets
-		}
-		// Advance the mixed-radix counter.
-		k := len(idx) - 1
-		for k >= 0 {
-			idx[k]++
-			if idx[k] < len(families[k]) {
-				break
-			}
-			idx[k] = 0
-			k--
-		}
-		if k < 0 {
-			break
-		}
+	p := &planner{
+		groups:      groups,
+		graphs:      graphs,
+		cfg:         cfg,
+		disableTree: opts.DisableTargetTree,
+		cancel:      opts.Cancel,
+		workers:     planWorkers(opts.Parallel >= 2 && combos > 1),
+	}
+	bestTargets, visited, err := searchCombos(groups, graphs, families, combos, opts, p)
+	stats["treeVisited"] += visited
+	if err != nil {
+		return err
 	}
 	if bestTargets == nil {
 		return fmt.Errorf("repair: no feasible combination of independent sets joins into targets")
@@ -304,7 +280,15 @@ func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig
 		return nil
 	}
 	groups := groupTuples(rel, unionAttrs(sub.FDs))
-	targets, _, visited, ok := planCosts(groups, graphs, sets, cfg, opts.DisableTargetTree, opts.Cancel, math.Inf(1))
+	p := &planner{
+		groups:      groups,
+		graphs:      graphs,
+		cfg:         cfg,
+		disableTree: opts.DisableTargetTree,
+		cancel:      opts.Cancel,
+		workers:     planWorkers(false),
+	}
+	targets, _, visited, ok := p.costs(chosenKeys(graphs, sets), levelsFor(graphs, sets), nil)
 	stats["treeVisited"] += visited
 	if canceled(opts.Cancel) {
 		return ErrCanceled
@@ -356,283 +340,6 @@ func applyInPlace(out *dataset.Relation, g *vgraph.Graph, target map[int]int) {
 	}
 }
 
-// jointGreedySets grows one independent set per FD, interleaved (§4.4,
-// Algorithm 4). Each step adds the (FD, pattern) candidate with the
-// smallest tuple cost (Eq. 12): the cost of repairing the candidate's
-// newly-doomed neighbors to their per-row best targets, where a row's best
-// target is chosen to maximize violations eliminated minus violations
-// triggered across the connected FDs (ties broken by repair weight). This
-// is what lets the same doomed pattern repair differently in different
-// tuples — (Boston, NY) becomes (New York, NY) in t5 but (Boston, MA) in
-// t10 of the running example.
-func jointGreedySets(rel *dataset.Relation, graphs []*vgraph.Graph, cancel <-chan struct{}) [][]int {
-	n := len(graphs)
-	type state struct {
-		inSet, blocked []bool
-		set            []int
-		cost           []float64 // cached Eq-12 cost per candidate
-		dirty          []bool
-	}
-	states := make([]*state, n)
-	for i, g := range graphs {
-		st := &state{
-			inSet:   make([]bool, len(g.Vertices)),
-			blocked: make([]bool, len(g.Vertices)),
-			cost:    make([]float64, len(g.Vertices)),
-			dirty:   make([]bool, len(g.Vertices)),
-		}
-		for v := range st.dirty {
-			st.dirty[v] = true
-		}
-		states[i] = st
-	}
-	// overlaps[i] lists the FDs j != i sharing an attribute with i.
-	overlaps := make([][]int, n)
-	for i := range graphs {
-		for j := range graphs {
-			if i != j && graphs[i].FD.SharesAttrs(graphs[j].FD) {
-				overlaps[i] = append(overlaps[i], j)
-			}
-		}
-	}
-	// violCache memoizes ViolatorCount per FD by projection key, since
-	// hypothetical repairs repeatedly produce the same patterns.
-	violCache := make([]map[string]int, n)
-	for i := range violCache {
-		violCache[i] = make(map[string]int)
-	}
-	violators := func(j int, t dataset.Tuple) int {
-		k := t.Key(graphs[j].FD.Attrs())
-		if c, ok := violCache[j][k]; ok {
-			return c
-		}
-		c := graphs[j].ViolatorCount(t)
-		violCache[j][k] = c
-		return c
-	}
-
-	// syncDelta scores the cross-FD effect of repairing row r's FD-i
-	// attributes to the pattern of vertex w: for every overlapping FD j,
-	// (violations of the row's new j-projection) minus (violations of its
-	// old one). The old pattern still counts as a violator of the new one
-	// unless the row was its only carrier.
-	scratch := make(dataset.Tuple, rel.Schema.Len())
-	syncDelta := func(i int, row int, w int) int {
-		delta := 0
-		rowTuple := rel.Tuples[row]
-		wRep := graphs[i].Vertices[w].Rep
-		for _, j := range overlaps[i] {
-			gj := graphs[j]
-			// Build the row's hypothetical tuple after the FD-i repair.
-			copy(scratch, rowTuple)
-			changed := false
-			for _, c := range graphs[i].FD.Attrs() {
-				if scratch[c] != wRep[c] {
-					scratch[c] = wRep[c]
-					changed = true
-				}
-			}
-			if !changed {
-				continue
-			}
-			oldV, ok := gj.Lookup(rowTuple)
-			if !ok {
-				continue // cannot happen: every row has a pattern vertex
-			}
-			// Did the j-projection actually change?
-			same := true
-			for _, c := range gj.FD.Attrs() {
-				if scratch[c] != rowTuple[c] {
-					same = false
-					break
-				}
-			}
-			if same {
-				continue
-			}
-			newViol := violators(j, scratch)
-			if gj.Vertices[oldV].Mult() == 1 && gj.FTAdjacent(scratch, oldV) {
-				// The old pattern is vacated by this repair, so it no
-				// longer counts as a triggered violation.
-				newViol--
-			}
-			delta += newViol - gj.Degree(oldV)
-		}
-		return delta
-	}
-
-	// bestRepairCost picks, per row of doomed vertex u (FD i), the target
-	// w minimizing (syncDelta, weight) among the allowed targets — the
-	// candidate v itself, members of the set, or vertices not in conflict
-	// with the set — and returns the summed repair weight (Eq. 12).
-	//
-	// Targets are additionally restricted to multiplicity at least u's own:
-	// repairs flow toward equally or more frequent patterns. Without this,
-	// the cost model's absorption property (see DESIGN.md §6) lets a
-	// one-tuple typo become the designated repair target of the
-	// high-multiplicity pattern it derives from, and the joint greedy then
-	// dooms the legitimate pattern "for free".
-	bestRepairCost := func(i, u, v int) float64 {
-		st := states[i]
-		uMult := graphs[i].Vertices[u].Mult()
-		type choice struct {
-			w  int
-			wt float64
-		}
-		var allowed []choice
-		for _, e := range graphs[i].Neighbors(u) {
-			w := e.To
-			if graphs[i].Vertices[w].Mult() < uMult {
-				continue
-			}
-			if w != v {
-				if st.blocked[w] {
-					continue // conflicts with the chosen set
-				}
-				if _, adj := graphs[i].Edge(w, v); adj {
-					continue // conflicts with the candidate
-				}
-			}
-			allowed = append(allowed, choice{w, e.W})
-		}
-		if len(allowed) == 0 {
-			// No frequent-enough target: account the doom as a repair to
-			// the candidate itself. This is what makes dooming a
-			// high-multiplicity pattern expensive for a junk candidate.
-			if w, ok := graphs[i].Edge(u, v); ok {
-				return float64(uMult) * w
-			}
-			// u is doomed but not adjacent to v (cannot happen: u comes
-			// from N(v)); fall back to the cheapest neighbor.
-			best := math.Inf(1)
-			for _, e := range graphs[i].Neighbors(u) {
-				if e.W < best {
-					best = e.W
-				}
-			}
-			return float64(uMult) * best
-		}
-		var total float64
-		for _, row := range graphs[i].Vertices[u].Rows {
-			bestWt := math.Inf(1)
-			bestSync := 1 << 30
-			for _, c := range allowed {
-				s := syncDelta(i, row, c.w)
-				if s < bestSync || (s == bestSync && c.wt < bestWt) {
-					bestSync, bestWt = s, c.wt
-				}
-			}
-			total += bestWt
-		}
-		return total
-	}
-
-	// minOmega[i][v]: the floor of v's repair cost in FD i if excluded,
-	// under the same multiplicity restriction bestRepairCost applies
-	// (falling back to the overall cheapest edge when no neighbor is
-	// frequent enough).
-	minOmega := make([][]float64, n)
-	for i, g := range graphs {
-		minOmega[i] = make([]float64, len(g.Vertices))
-		for v := range g.Vertices {
-			best := math.Inf(1)
-			restricted := math.Inf(1)
-			for _, e := range g.Neighbors(v) {
-				if e.W < best {
-					best = e.W
-				}
-				if g.Vertices[e.To].Mult() >= g.Vertices[v].Mult() && e.W < restricted {
-					restricted = e.W
-				}
-			}
-			switch {
-			case !math.IsInf(restricted, 1):
-				minOmega[i][v] = restricted
-			case !math.IsInf(best, 1):
-				minOmega[i][v] = best
-			}
-		}
-	}
-
-	// tupleCost is Eq. 12 for candidate v of FD i — the best-repair cost of
-	// every neighbor this addition newly dooms, normalized by each
-	// neighbor's unavoidable floor — minus the candidate's own avoided
-	// repair cost (the same normalization GreedyS uses; see greedySet).
-	tupleCost := func(i, v int) float64 {
-		st := states[i]
-		var total float64
-		for _, e := range graphs[i].Neighbors(v) {
-			if !st.blocked[e.To] && !st.inSet[e.To] {
-				total += bestRepairCost(i, e.To, v) - float64(graphs[i].Vertices[e.To].Mult())*minOmega[i][e.To]
-			}
-		}
-		return total - float64(graphs[i].Vertices[v].Mult())*minOmega[i][v]
-	}
-
-	add := func(i, v int) {
-		st := states[i]
-		st.inSet[v] = true
-		st.set = append(st.set, v)
-		for _, e := range graphs[i].Neighbors(v) {
-			if !st.inSet[e.To] {
-				st.blocked[e.To] = true
-			}
-		}
-		// A candidate's cost reads the blocked status of its neighbors'
-		// allowed targets — vertices up to two hops from the candidate —
-		// and blocking reaches one hop from v, so costs within three hops
-		// of v can change.
-		for _, e := range graphs[i].Neighbors(v) {
-			st.dirty[e.To] = true
-			for _, e2 := range graphs[i].Neighbors(e.To) {
-				st.dirty[e2.To] = true
-				for _, e3 := range graphs[i].Neighbors(e2.To) {
-					st.dirty[e3.To] = true
-				}
-			}
-		}
-	}
-
-	for {
-		if canceled(cancel) {
-			break
-		}
-		bestI, bestV := -1, -1
-		bestCost := math.Inf(1)
-		for i := range graphs {
-			st := states[i]
-			for v := range graphs[i].Vertices {
-				if st.inSet[v] || st.blocked[v] {
-					continue
-				}
-				if st.dirty[v] {
-					st.cost[v] = tupleCost(i, v)
-					st.dirty[v] = false
-				}
-				if jointTraceHook != nil {
-					jointTraceHook(i, v, st.cost[v])
-				}
-				c := st.cost[v]
-				take := c < bestCost-fd.Eps
-				if !take && c <= bestCost+fd.Eps && bestI >= 0 {
-					// Exact ties break toward higher multiplicity (see
-					// greedySet), then FD order, then id.
-					mv, mb := graphs[i].Vertices[v].Mult(), graphs[bestI].Vertices[bestV].Mult()
-					take = mv > mb
-				}
-				if take || bestI < 0 {
-					bestI, bestV, bestCost = i, v, c
-				}
-			}
-		}
-		if bestI < 0 {
-			break
-		}
-		add(bestI, bestV)
-	}
-	sets := make([][]int, n)
-	for i, st := range states {
-		sets[i] = st.set
-	}
-	return sets
-}
+// The joint greedy growth (jointGreedySets and its retained naive
+// reference jointGreedySetsNaive) lives in joint.go alongside the shared
+// jointState cost model.

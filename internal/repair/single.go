@@ -105,147 +105,6 @@ func GreedyS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, o
 	return res, err
 }
 
-// greedySet runs Algorithm 2 on the pattern graph and returns the chosen
-// maximal independent set. When cancel fires mid-growth the set built so far
-// is returned (independent, but possibly not maximal); the caller decides
-// how to surface the cancellation.
-//
-// Selection uses a normalized form of Eq. 7/8: a candidate is charged, per
-// neighbor it dooms, only the cost *above* that neighbor's unavoidable
-// minimum repair (its cheapest edge — paid in any maximal set excluding
-// it), and is credited its own avoided repair cost. The literal Eq. 8 is
-// myopic on two common shapes: a one-tuple typo pattern dooms its
-// high-multiplicity source cheaply and gets picked first (flipping every
-// legitimate tuple to the typo spelling), and a legitimate pattern
-// surrounded by error patterns is charged their full — but inevitable —
-// repair cost. The normalized score keeps the paper's complexity and
-// resolves both.
-func greedySet(g *vgraph.Graph, cancel <-chan struct{}) []int {
-	if canceled(cancel) {
-		return nil
-	}
-	n := len(g.Vertices)
-	mult := func(v int) float64 { return float64(g.Vertices[v].Mult()) }
-
-	// minOmega(v): v's cheapest outgoing edge — the floor of its repair
-	// cost if it ends up excluded. avoided(v) scales it by multiplicity.
-	minOmega := make([]float64, n)
-	avoided := make([]float64, n)
-	for v := 0; v < n; v++ {
-		best := math.Inf(1)
-		for _, e := range g.Neighbors(v) {
-			if e.W < best {
-				best = e.W
-			}
-		}
-		if math.IsInf(best, 1) {
-			best = 0 // isolated vertices are never repaired
-		}
-		minOmega[v] = best
-		avoided[v] = mult(v) * best
-	}
-
-	// Initial cost (Eq. 7, normalized): the above-minimum cost of
-	// repairing all neighbors of v to v.
-	initial := make([]float64, n)
-	for v := 0; v < n; v++ {
-		for _, e := range g.Neighbors(v) {
-			initial[v] += mult(e.To) * (e.W - minOmega[e.To])
-		}
-	}
-
-	inSet := make([]bool, n)
-	// blocked[v]: v has a neighbor in the set (cannot join; must repair).
-	blocked := make([]bool, n)
-	// repairCost[v]: current min_{u∈Î∩N(v)} ω(v,u) for blocked v.
-	repairCost := make([]float64, n)
-	for i := range repairCost {
-		repairCost[i] = math.Inf(1)
-	}
-	var set []int
-	add := func(v int) {
-		inSet[v] = true
-		set = append(set, v)
-		for _, e := range g.Neighbors(v) {
-			if inSet[e.To] {
-				continue
-			}
-			blocked[e.To] = true
-			if e.W < repairCost[e.To] {
-				repairCost[e.To] = e.W
-			}
-		}
-	}
-
-	// better orders candidates: smaller net cost first; ties (exact ties
-	// are common — a typo vertex's incremental equals its legitimate
-	// source's avoided cost) break toward higher multiplicity, then lower
-	// id for determinism.
-	better := func(cost float64, v int, bestCost float64, bestV int) bool {
-		if cost < bestCost-fd.Eps {
-			return true
-		}
-		if cost > bestCost+fd.Eps {
-			return false
-		}
-		if bestV < 0 {
-			return true
-		}
-		mv, mb := g.Vertices[v].Mult(), g.Vertices[bestV].Mult()
-		if mv != mb {
-			return mv > mb
-		}
-		return v < bestV
-	}
-
-	// Seed with the smallest net initial cost.
-	first, best := -1, math.Inf(1)
-	for v := 0; v < n; v++ {
-		net := initial[v] - avoided[v]
-		if better(net, v, best, first) {
-			first, best = v, net
-		}
-	}
-	if first < 0 {
-		return nil
-	}
-	add(first)
-
-	for {
-		if canceled(cancel) {
-			return set
-		}
-		// Candidates: not chosen, not blocked.
-		cand, candCost := -1, math.Inf(1)
-		for v := 0; v < n; v++ {
-			if inSet[v] || blocked[v] {
-				continue
-			}
-			// Incremental cost (Eq. 8, normalized per neighbor by its
-			// unavoidable minimum).
-			var inc float64
-			for _, e := range g.Neighbors(v) {
-				if blocked[e.To] {
-					// Neighbor already doomed: adding v can only lower its
-					// repair cost.
-					if e.W < repairCost[e.To] {
-						inc += mult(e.To) * (e.W - repairCost[e.To])
-					}
-				} else if !inSet[e.To] {
-					// Newly doomed neighbor pays its repair to v, above the
-					// floor it pays in any case.
-					inc += mult(e.To) * (e.W - minOmega[e.To])
-				}
-			}
-			inc -= avoided[v]
-			if better(inc, v, candCost, cand) {
-				cand, candCost = v, inc
-			}
-		}
-		if cand < 0 {
-			break
-		}
-		add(cand)
-	}
-	return set
-}
+// The greedy growth loop itself (greedySet and its retained naive
+// reference greedySetNaive) lives in greedyheap.go alongside the indexed
+// min-heap that makes it fast.

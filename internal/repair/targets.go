@@ -1,7 +1,9 @@
 package repair
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
@@ -25,17 +27,22 @@ func unionAttrs(fds []*fd.FD) []int {
 	return out
 }
 
-// levelsFor turns per-FD independent sets (vertex ids) into target-tree
-// levels.
+// levelFor turns one FD's independent set (vertex ids) into a target-tree
+// level.
+func levelFor(g *vgraph.Graph, set []int) targettree.Level {
+	attrs := g.FD.Attrs()
+	l := targettree.Level{Attrs: attrs}
+	for _, v := range set {
+		l.Patterns = append(l.Patterns, g.Vertices[v].Rep.Project(attrs))
+	}
+	return l
+}
+
+// levelsFor turns per-FD independent sets into target-tree levels.
 func levelsFor(graphs []*vgraph.Graph, sets [][]int) []targettree.Level {
 	levels := make([]targettree.Level, len(graphs))
 	for i, g := range graphs {
-		attrs := g.FD.Attrs()
-		l := targettree.Level{Attrs: attrs}
-		for _, v := range sets[i] {
-			l.Patterns = append(l.Patterns, g.Vertices[v].Rep.Project(attrs))
-		}
-		levels[i] = l
+		levels[i] = levelFor(g, sets[i])
 	}
 	return levels
 }
@@ -64,16 +71,22 @@ func groupTuples(rel *dataset.Relation, attrs []int) []tupleGroup {
 	return groups
 }
 
+// keysFor builds the set of projection keys of one FD's chosen independent
+// set.
+func keysFor(g *vgraph.Graph, set []int) map[string]bool {
+	m := make(map[string]bool, len(set))
+	for _, v := range set {
+		m[g.Vertices[v].Rep.Key(g.FD.Attrs())] = true
+	}
+	return m
+}
+
 // chosenKeys builds, per FD, the set of projection keys of the chosen
 // independent set.
 func chosenKeys(graphs []*vgraph.Graph, sets [][]int) []map[string]bool {
 	keys := make([]map[string]bool, len(graphs))
 	for i, g := range graphs {
-		m := make(map[string]bool, len(sets[i]))
-		for _, v := range sets[i] {
-			m[g.Vertices[v].Rep.Key(g.FD.Attrs())] = true
-		}
-		keys[i] = m
+		keys[i] = keysFor(g, sets[i])
 	}
 	return keys
 }
@@ -89,42 +102,136 @@ func needsRepair(rep dataset.Tuple, graphs []*vgraph.Graph, keys []map[string]bo
 	return false
 }
 
-// planCosts evaluates the total cost of repairing rel with the given per-FD
-// independent sets, also returning the chosen target per group (nil for
-// groups that keep their values). abortAbove enables early exit: when the
-// accumulated cost exceeds it, evaluation stops with ok=false. A fired
-// cancel channel also stops evaluation with ok=false.
-func planCosts(groups []tupleGroup, graphs []*vgraph.Graph, sets [][]int, cfg *fd.DistConfig, disableTree bool, cancel <-chan struct{}, abortAbove float64) (targets []*targettree.Target, cost float64, visited int, ok bool) {
-	tree, err := targettree.Build(levelsFor(graphs, sets))
+// planWorkers picks the tuple-group fan-out for one plan evaluation: the
+// machine width when the caller is not already evaluating plans
+// concurrently, 1 otherwise (exactComponent's combination workers own the
+// cores then, and nesting the fan-outs would only oversubscribe them).
+func planWorkers(parallelPlans bool) int {
+	if parallelPlans {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// planner evaluates repair plans — per-FD independent sets joined into a
+// target tree — over a fixed grouping of the relation's rows. The group
+// Nearest searches of one plan are independent, so costs fans them across
+// workers goroutines; the cost reduction always folds in group order, so
+// totals are bitwise identical at any worker count.
+type planner struct {
+	groups      []tupleGroup
+	graphs      []*vgraph.Graph
+	cfg         *fd.DistConfig
+	disableTree bool
+	cancel      <-chan struct{}
+	// workers bounds the per-plan fan-out; values below 2 evaluate
+	// sequentially.
+	workers int
+}
+
+// groupResult is one group's nearest-target answer.
+type groupResult struct {
+	tg      targettree.Target
+	cost    float64
+	visited int
+}
+
+// costs evaluates the total cost of repairing the relation with the given
+// chosen-set keys and target-tree levels, also returning the chosen target
+// per group (nil for groups that keep their values). abortAbove, when
+// non-nil, supplies the incumbent cost to prune against: evaluation stops
+// with ok=false as soon as the accumulated (group-ordered) cost exceeds
+// it. It is re-read as the fold advances, so a concurrently improving
+// incumbent (exactComponent's watermark) tightens pruning mid-plan; since
+// the incumbent never rises and the fold order is fixed, a plan at least
+// as cheap as the final incumbent is never aborted. A fired cancel channel
+// also stops evaluation with ok=false.
+func (p *planner) costs(keys []map[string]bool, levels []targettree.Level, abortAbove func() float64) (targets []*targettree.Target, cost float64, visited int, ok bool) {
+	tree, err := targettree.Build(levels)
 	if err != nil {
 		return nil, 0, 0, false
 	}
-	keys := chosenKeys(graphs, sets)
-	targets = make([]*targettree.Target, len(groups))
-	for gi := range groups {
-		if canceled(cancel) {
+	targets = make([]*targettree.Target, len(p.groups))
+	// needs collects the indices of groups that actually repair; the
+	// nearest-target searches below only run for those.
+	var needs []int
+	for gi := range p.groups {
+		if needsRepair(p.groups[gi].rep, p.graphs, keys) {
+			needs = append(needs, gi)
+		}
+	}
+	if p.workers >= 2 && len(needs) >= 2*p.workers {
+		return p.costsParallel(tree, targets, needs, abortAbove)
+	}
+	for _, gi := range needs {
+		if canceled(p.cancel) {
 			return nil, cost, visited, false
 		}
-		g := &groups[gi]
-		if !needsRepair(g.rep, graphs, keys) {
-			continue
-		}
-		var tg targettree.Target
-		var c float64
-		var v int
-		if disableTree {
-			tg, c, v = tree.NearestScan(g.rep, cfg.RepairDist, cancel)
-		} else {
-			tg, c, v = tree.Nearest(g.rep, cfg.RepairDist, cancel)
-		}
-		visited += v
-		targets[gi] = &tg
-		cost += float64(len(g.rows)) * c
-		if cost > abortAbove {
+		g := &p.groups[gi]
+		res := p.nearest(tree, g.rep)
+		visited += res.visited
+		targets[gi] = &res.tg
+		cost += float64(len(g.rows)) * res.cost
+		if abortAbove != nil && cost > abortAbove() {
 			return nil, cost, visited, false
 		}
 	}
 	return targets, cost, visited, true
+}
+
+// costsParallel is the fan-out path of costs: chunks of groups are
+// searched concurrently (strided across workers), then folded
+// sequentially in group order so cost accumulation and abort decisions are
+// independent of scheduling. Pruning happens at chunk granularity — a
+// chunk is searched in full before its fold can abort — trading a bounded
+// amount of wasted search for determinism.
+func (p *planner) costsParallel(tree *targettree.Tree, targets []*targettree.Target, needs []int, abortAbove func() float64) (_ []*targettree.Target, cost float64, visited int, ok bool) {
+	res := make([]groupResult, len(needs))
+	chunk := p.workers * 8
+	for base := 0; base < len(needs); base += chunk {
+		end := base + chunk
+		if end > len(needs) {
+			end = len(needs)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < p.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := base + w; k < end; k += p.workers {
+					if canceled(p.cancel) {
+						return
+					}
+					res[k] = p.nearest(tree, p.groups[needs[k]].rep)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if canceled(p.cancel) {
+			return nil, cost, visited, false
+		}
+		for k := base; k < end; k++ {
+			gi := needs[k]
+			visited += res[k].visited
+			targets[gi] = &res[k].tg
+			cost += float64(len(p.groups[gi].rows)) * res[k].cost
+			if abortAbove != nil && cost > abortAbove() {
+				return nil, cost, visited, false
+			}
+		}
+	}
+	return targets, cost, visited, true
+}
+
+// nearest runs one group's target search through the configured strategy.
+func (p *planner) nearest(tree *targettree.Tree, rep dataset.Tuple) groupResult {
+	var r groupResult
+	if p.disableTree {
+		r.tg, r.cost, r.visited = tree.NearestScan(rep, p.cfg.RepairDist, p.cancel)
+	} else {
+		r.tg, r.cost, r.visited = tree.Nearest(rep, p.cfg.RepairDist, p.cancel)
+	}
+	return r
 }
 
 // applyPlan writes the chosen targets into out.

@@ -34,9 +34,20 @@ type node struct {
 	vals []string
 	// children of the node (empty at leaves).
 	children []*node
-	// valueSets: for every column bound somewhere strictly below this node,
-	// the set of values occurring in the subtree. Used for EDIST.
-	valueSets map[int]map[string]struct{}
+	// sub: for every column bound somewhere strictly below this node, the
+	// sorted distinct values occurring in the subtree. Used for EDIST.
+	// Sorted slices beat the maps they replaced twice over: iteration is
+	// much cheaper in the search hot loop, and the fixed order makes the
+	// f-bound summation deterministic (map-order iteration perturbed its
+	// last bits between runs, which could flip exploration order between
+	// equal-cost targets).
+	sub []colVals
+}
+
+// colVals is one column's sorted distinct subtree values.
+type colVals struct {
+	col  int
+	vals []string
 }
 
 // Tree is the built target tree.
@@ -178,21 +189,34 @@ func (t *Tree) prune() {
 	walk(t.root, 0)
 }
 
-// fillValueSets computes, for each node, the sets of attribute values bound
-// in its strict subtree.
-func (t *Tree) fillValueSets(nd *node) {
-	nd.valueSets = make(map[int]map[string]struct{})
+// fillValueSets computes, for each node, the attribute values bound in its
+// strict subtree, freezing them into the node's sorted sub slices. The
+// working representation is a map set per column; only the frozen slices
+// are retained.
+func (t *Tree) fillValueSets(nd *node) map[int]map[string]struct{} {
+	sets := make(map[int]map[string]struct{})
 	for _, c := range nd.children {
-		t.fillValueSets(c)
+		childSets := t.fillValueSets(c)
 		for i, col := range c.cols {
-			add(nd.valueSets, col, c.vals[i])
+			add(sets, col, c.vals[i])
 		}
-		for col, vs := range c.valueSets {
+		for col, vs := range childSets {
 			for v := range vs {
-				add(nd.valueSets, col, v)
+				add(sets, col, v)
 			}
 		}
 	}
+	nd.sub = make([]colVals, 0, len(sets))
+	for col, vs := range sets {
+		cv := colVals{col: col, vals: make([]string, 0, len(vs))}
+		for v := range vs {
+			cv.vals = append(cv.vals, v)
+		}
+		sort.Strings(cv.vals)
+		nd.sub = append(nd.sub, cv)
+	}
+	sort.Slice(nd.sub, func(i, j int) bool { return nd.sub[i].col < nd.sub[j].col })
+	return sets
 }
 
 func add(m map[int]map[string]struct{}, col int, v string) {
@@ -219,16 +243,41 @@ type pqItem struct {
 
 type pq []pqItem
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].f < p[j].f }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any {
 	old := *p
 	n := len(old)
 	it := old[n-1]
 	*p = old[:n-1]
 	return it
+}
+
+// distKey identifies one (column, candidate value) distance of a query.
+type distKey struct {
+	col int
+	val string
+}
+
+// distMemo caches one query's attribute distances: sibling subtrees share
+// most of their value sets, so each distinct (column, value) pair is
+// scored once per Nearest call instead of once per node that carries it.
+type distMemo struct {
+	t    dataset.Tuple
+	dist DistFunc
+	m    map[distKey]float64
+}
+
+func (dm *distMemo) at(col int, v string) float64 {
+	k := distKey{col, v}
+	if d, ok := dm.m[k]; ok {
+		return d
+	}
+	d := dm.dist(col, dm.t[col], v)
+	dm.m[k] = d
+	return d
 }
 
 // Nearest finds the target minimizing the summed attribute distance to t
@@ -238,6 +287,7 @@ func (p *pq) Pop() interface{} {
 // and, once it fires, returns the best incumbent found so far — callers
 // that need the exact optimum must check cancellation themselves.
 func (tr *Tree) Nearest(t dataset.Tuple, dist DistFunc, cancel <-chan struct{}) (Target, float64, int) {
+	dm := &distMemo{t: t, dist: dist, m: make(map[distKey]float64)}
 	q := pq{{nd: tr.root}}
 	heap.Init(&q)
 	bestCost := math.Inf(1)
@@ -264,9 +314,9 @@ func (tr *Tree) Nearest(t dataset.Tuple, dist DistFunc, cancel <-chan struct{}) 
 		for _, c := range nd.children {
 			r := it.rdist
 			for i, col := range c.cols {
-				r += dist(col, t[col], c.vals[i])
+				r += dm.at(col, c.vals[i])
 			}
-			f := r + edist(c, t, dist)
+			f := r + edist(c, dm)
 			if f < bestCost {
 				heap.Push(&q, pqItem{nd: c, f: f, rdist: r})
 			}
@@ -285,15 +335,18 @@ func (tr *Tree) Nearest(t dataset.Tuple, dist DistFunc, cancel <-chan struct{}) 
 
 // NearestScan is the linear-scan baseline: it materializes and scores every
 // target. Used for tests and the target-tree ablation. Like Nearest, it
-// stops at the best incumbent when cancel fires.
+// stops at the best incumbent when cancel fires; the visited count reflects
+// only the targets actually scored, not the full target list.
 func (tr *Tree) NearestScan(t dataset.Tuple, dist DistFunc, cancel <-chan struct{}) (Target, float64, int) {
 	targets := tr.All()
 	bestCost := math.Inf(1)
 	best := -1
+	visited := 0
 	for i, tg := range targets {
 		if i&63 == 0 && canceled(cancel) {
 			break
 		}
+		visited++
 		var c float64
 		for j, col := range tg.Cols {
 			c += dist(col, t[col], tg.Vals[j])
@@ -304,9 +357,9 @@ func (tr *Tree) NearestScan(t dataset.Tuple, dist DistFunc, cancel <-chan struct
 		}
 	}
 	if best < 0 {
-		return Target{}, math.Inf(1), len(targets)
+		return Target{}, math.Inf(1), visited
 	}
-	return targets[best], bestCost, len(targets)
+	return targets[best], bestCost, visited
 }
 
 // canceled reports whether the cancel channel has fired; a nil channel
@@ -321,14 +374,14 @@ func canceled(ch <-chan struct{}) bool {
 }
 
 // edist is the lower bound for the columns bound strictly below nd: per
-// column, the minimum distance from t's value to any value occurring in the
-// subtree.
-func edist(nd *node, t dataset.Tuple, dist DistFunc) float64 {
+// column, the minimum distance from the query's value to any value
+// occurring in the subtree.
+func edist(nd *node, dm *distMemo) float64 {
 	var sum float64
-	for col, vals := range nd.valueSets {
+	for _, sv := range nd.sub {
 		best := math.Inf(1)
-		for v := range vals {
-			if d := dist(col, t[col], v); d < best {
+		for _, v := range sv.vals {
+			if d := dm.at(sv.col, v); d < best {
 				best = d
 				// Distances are non-negative; the per-column minimum
 				// cannot improve past zero.
