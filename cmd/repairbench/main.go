@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"ftrepair/internal/experiments"
+	"ftrepair/internal/obs"
 )
 
 func main() {
@@ -37,9 +38,17 @@ func main() {
 		exact     = flag.Bool("exact", false, "include the exponential exact algorithms (small scales only)")
 		format    = flag.String("format", "text", "output format: text or json")
 		benchOut  = flag.String("benchout", "", "path for the graphbench/repairbench JSON output (e.g. BENCH_vgraph.json, BENCH_repair.json); empty disables the file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of every repair's phase spans to this path")
+		metricsOn = flag.Bool("metrics", false, "dump the metrics registry (Prometheus text format) on stderr at the end")
 	)
 	flag.Parse()
 	c := experiments.Config{Scale: *scale, Seed: *seed, Exact: *exact, JSON: *format == "json", BenchOut: *benchOut}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("repairbench " + *exp)
+		tr.SetMeta(obs.CollectMeta(*workloads))
+		c.Trace = tr
+	}
 	for _, w := range strings.Split(*workloads, ",") {
 		if w = strings.TrimSpace(strings.ToLower(w)); w != "" {
 			c.Workloads = append(c.Workloads, w)
@@ -60,6 +69,25 @@ func main() {
 	}()
 	c.Cancel = cancel
 
+	// flush exports the trace and metrics on every exit path (os.Exit skips
+	// defers), so even a canceled sweep leaves an inspectable trace behind.
+	flush := func() {
+		if tr != nil {
+			tr.CloseOpen()
+			if f, err := os.Create(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "repairbench: trace: %v\n", err)
+			} else {
+				if err := tr.WriteChrome(f); err != nil {
+					fmt.Fprintf(os.Stderr, "repairbench: trace: %v\n", err)
+				}
+				f.Close()
+			}
+		}
+		if *metricsOn {
+			_ = obs.Default().WritePrometheus(os.Stderr)
+		}
+	}
+
 	names := experiments.Names()
 	ran := false
 	for _, name := range names {
@@ -69,6 +97,7 @@ func main() {
 		select {
 		case <-cancel:
 			fmt.Fprintln(os.Stderr, "repairbench: canceled")
+			flush()
 			os.Exit(130)
 		default:
 		}
@@ -76,6 +105,7 @@ func main() {
 		fmt.Printf("# %s — %s (scale %g)\n\n", name, experiments.Describe(name), c.Scale)
 		if err := experiments.Run(name, c, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			flush()
 			os.Exit(1)
 		}
 	}
@@ -83,4 +113,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all %s\n", *exp, strings.Join(names, " "))
 		os.Exit(2)
 	}
+	flush()
 }

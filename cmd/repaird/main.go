@@ -12,6 +12,8 @@
 //	POST   /v1/sessions              open a streaming repair session
 //	POST   /v1/sessions/{id}/tuples  append tuples online
 //	GET    /healthz, GET /v1/stats   operations
+//	GET    /metrics                  Prometheus exposition (JSON: /v1/metrics)
+//	GET    /debug/pprof/*            profiling (only with -pprof)
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: intake stops, in-flight
 // jobs get a drain window, then outstanding work is canceled through the
@@ -24,7 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,25 +48,27 @@ func run(args []string, stderr io.Writer) int {
 	queue := fs.Int("queue", 0, "job queue depth (0 = 256); full queue rejects with 503")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window before canceling jobs")
 	quiet := fs.Bool("quiet", false, "suppress request and lifecycle logs")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	logger := log.New(stderr, "repaird: ", log.LstdFlags)
-	if *quiet {
-		logger = nil
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
 	}
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Logger:     logger,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Logger:      logger,
+		EnablePprof: *pprofOn,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
 	go func() {
 		if logger != nil {
-			logger.Printf("listening on %s", *addr)
+			logger.Info("listening", "addr", *addr, "pprof", *pprofOn)
 		}
 		errCh <- httpSrv.ListenAndServe()
 	}()
@@ -78,7 +82,7 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	case sig := <-sigCh:
 		if logger != nil {
-			logger.Printf("received %v; shutting down", sig)
+			logger.Info("shutting down", "signal", sig.String())
 		}
 	}
 	signal.Stop(sigCh)
@@ -93,7 +97,7 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 	if logger != nil {
-		logger.Printf("shutdown complete")
+		logger.Info("shutdown complete")
 	}
 	return 0
 }

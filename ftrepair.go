@@ -347,9 +347,6 @@ func RepairWithMaster(rel *Relation, engine *RuleEngine, set *Set, cfg *DistConf
 	out := *res
 	out.Changed = changed
 	out.Cost = cfg.DatabaseCost(rel, res.Repaired)
-	if out.Stats == nil {
-		out.Stats = make(map[string]int)
-	}
-	out.Stats["certainFixes"] = len(fixes)
+	out.AddStat("certainFixes", len(fixes))
 	return &out, nil
 }

@@ -2,8 +2,9 @@
 // set of analyzers over go/ast + go/types that pin down invariants the
 // repair algorithms rely on but the compiler cannot check — cooperative
 // cancellation polled inside unbounded loops, nil-guarded Stats maps,
-// epsilon-based float comparisons, locks never copied by value, and
-// idiomatic error construction.
+// Stats writes routed through Result.AddStat outside the packages that own
+// the obs-registry flush, epsilon-based float comparisons, locks never
+// copied by value, and idiomatic error construction.
 //
 // The analyzer logic is framework-agnostic: each analyzer is a pure
 // function from a type-checked package (a Pass) to diagnostics, mirroring
@@ -56,6 +57,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		CancelPoll,
 		StatsGuard,
+		ObsGuard,
 		FloatEq,
 		LockCopy,
 		ErrFmt,

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ObsGuard reports direct writes to Stats maps (index assignment, op-assign,
+// ++/--, or delete) outside the packages allowed to own them.
+//
+// Since the obs registry landed, Result.Stats is a per-run view whose totals
+// are flushed into the registry exactly once, inside internal/repair's
+// finish. A direct map write anywhere else bypasses that bookkeeping: the
+// value shows up in the run's Stats but never in /metrics, silently
+// desynchronizing the two. Callers outside internal/repair (and
+// internal/obs, which defines the flush) must go through Result.AddStat,
+// which keeps the sanctioned write sites enumerable. Reads (res.Stats[k] on
+// the right-hand side) stay unrestricted.
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "flags direct writes to Stats maps outside internal/obs and internal/repair; use Result.AddStat",
+	Run:  runObsGuard,
+}
+
+// obsGuardExempt reports whether pkg may write Stats maps directly: the
+// repair package owns the maps and the flush point, and obs defines the
+// registry they flush into.
+func obsGuardExempt(pkg string) bool {
+	return strings.HasSuffix(pkg, "internal/repair") ||
+		strings.HasSuffix(pkg, "internal/obs")
+}
+
+func runObsGuard(pass *Pass) error {
+	if pass.Pkg != nil && obsGuardExempt(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					reportObsGuardWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportObsGuardWrite(pass, st.X)
+			case *ast.CallExpr:
+				if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" && len(st.Args) > 0 {
+					if sel := statsSelector(pass, st.Args[0]); sel != "" {
+						pass.Reportf(st.Pos(), "delete from %s outside internal/obs/internal/repair; Stats is a registry view — use Result.AddStat for writes", sel)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportObsGuardWrite flags lhs when it indexes a Stats-map selector.
+func reportObsGuardWrite(pass *Pass, lhs ast.Expr) {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	sel := statsSelector(pass, idx.X)
+	if sel == "" {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "direct write to %s[...] outside internal/obs/internal/repair; use Result.AddStat so registry totals stay in sync", sel)
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+func TestObsGuard(t *testing.T) {
+	analyzertest.Run(t, analysis.ObsGuard, "testdata/src/obsguard")
+}
+
+// TestObsGuardExemptPath runs the analyzer over a package whose import path
+// ends in internal/repair: the whole package is exempt, so its direct Stats
+// writes (which would all be flagged elsewhere) must produce no
+// diagnostics. load.Dir uses the directory as the package path, which is
+// exactly what the exemption matches on.
+func TestObsGuardExemptPath(t *testing.T) {
+	analyzertest.Run(t, analysis.ObsGuard, "testdata/src/obsguard/internal/repair")
+}

@@ -1,0 +1,17 @@
+// Package repair sits under an internal/repair path, so obsguard exempts
+// it entirely: this package owns the Stats maps and the registry flush, and
+// its direct writes are the sanctioned ones. No line here may produce a
+// diagnostic.
+package repair
+
+type Result struct {
+	Stats map[string]int
+}
+
+func fill(r *Result) {
+	r.Stats = make(map[string]int)
+	r.Stats["nodes"] = 4
+	r.Stats["treeVisited"] += 2
+	r.Stats["combinations"]++
+	delete(r.Stats, "nodes")
+}

@@ -1,0 +1,47 @@
+// Package obsguard exercises the obsguard analyzer: outside internal/obs
+// and internal/repair, Stats maps must be written through Result.AddStat so
+// the obs registry sees every counter; direct writes are flagged, reads are
+// not.
+package obsguard
+
+// Result mirrors repair.Result's accounting map and its sanctioned writer.
+type Result struct {
+	Stats map[string]int
+}
+
+func (r *Result) AddStat(key string, n int) {
+	if r.Stats == nil {
+		r.Stats = make(map[string]int)
+	}
+	r.Stats[key] += n // want `direct write`
+}
+
+// Meter has a Stats field that is not a map; indexing it is out of scope.
+type Meter struct {
+	Stats [4]int
+}
+
+// directWrites bypass the registry bookkeeping in every assignment shape.
+func directWrites(r *Result) {
+	r.Stats["certainFixes"] = 1 // want `use Result\.AddStat`
+	r.Stats["rounds"] += 2      // want `use Result\.AddStat`
+	r.Stats["hits"]++           // want `use Result\.AddStat`
+	delete(r.Stats, "rounds")   // want `delete from r\.Stats`
+}
+
+// sanctioned goes through the helper and only reads the map directly.
+func sanctioned(r *Result) int {
+	r.AddStat("certainFixes", 1)
+	return r.Stats["certainFixes"] + len(r.Stats)
+}
+
+// notAMap indexes a non-map Stats field; out of scope.
+func notAMap(m *Meter) {
+	m.Stats[0] = 7
+}
+
+// localMap writes to a map that is not a Stats selector; out of scope.
+func localMap() {
+	stats := map[string]int{}
+	stats["x"] = 1
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"ftrepair"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/report"
 )
 
@@ -67,6 +68,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer, cancel <-chan
 		detect    = fs.Bool("detect", false, "only detect and print FT-violations; no repair")
 		discover  = fs.Bool("discover", false, "profile the input for approximate FDs and exit (no -fd needed)")
 		repReport = fs.Bool("report", false, "print a full repair report (violations before/after, edits by attribute) on stderr")
+		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the repair's phase spans to this path (load via chrome://tracing or go tool trace -http)")
+		metricsOn = fs.Bool("metrics", false, "dump the metrics registry (Prometheus text format) on stderr after the run")
 	)
 	fs.Var(&fds, "fd", "functional dependency spec, e.g. \"City,Street -> District\" (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +80,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer, cancel <-chan
 		in: *in, out: *out, types: *types, algoName: *algo,
 		fdSpecs: fds, tau: *tau, autoTau: *autoTau, wl: *wl, wr: *wr,
 		quiet: *quiet, detect: *detect, report: *repReport,
+		traceOut: *traceOut, metrics: *metricsOn,
 	}
 	var err error
 	if *discover {
@@ -105,6 +109,38 @@ type command struct {
 	tau, wl, wr              float64
 	autoTau                  bool
 	quiet, detect, report    bool
+	traceOut                 string
+	metrics                  bool
+}
+
+// newTrace builds the run trace when -trace was given (nil otherwise) and
+// returns a flush function that exports it; the trace is written even after
+// a canceled run so partial repairs stay inspectable.
+func (c *command) newTrace() (*obs.Trace, func() error) {
+	if c.traceOut == "" {
+		return nil, func() error { return nil }
+	}
+	tr := obs.NewTrace("ftrepair " + c.in)
+	tr.SetMeta(obs.CollectMeta(c.in))
+	return tr, func() error {
+		tr.CloseOpen()
+		f, err := os.Create(c.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// dumpMetrics writes the default registry on stderr when -metrics was given.
+func (c *command) dumpMetrics() {
+	if c.metrics {
+		_ = obs.Default().WritePrometheus(c.stderr)
+	}
 }
 
 func (c *command) load() (*ftrepair.Relation, error) {
@@ -208,12 +244,18 @@ func (c *command) run() error {
 		return err
 	}
 
+	tr, flushTrace := c.newTrace()
 	if c.detect {
-		report.WriteViolations(c.stdout, ftrepair.Detect(rel, set, cfg, ftrepair.Options{Cancel: c.cancel}))
-		return nil
+		report.WriteViolations(c.stdout, ftrepair.Detect(rel, set, cfg, ftrepair.Options{Cancel: c.cancel, Trace: tr}))
+		c.dumpMetrics()
+		return flushTrace()
 	}
 
-	res, err := ftrepair.Repair(rel, set, cfg, algo, ftrepair.Options{Cancel: c.cancel})
+	res, err := ftrepair.Repair(rel, set, cfg, algo, ftrepair.Options{Cancel: c.cancel, Trace: tr})
+	if terr := flushTrace(); terr != nil && err == nil {
+		err = terr
+	}
+	c.dumpMetrics()
 	canceled := errors.Is(err, ftrepair.ErrCanceled)
 	if err != nil && !(canceled && res != nil) {
 		return err

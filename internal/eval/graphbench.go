@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ftrepair/internal/fd"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/repair"
 	"ftrepair/internal/vgraph"
 )
@@ -40,10 +41,13 @@ type GraphBenchEntry struct {
 // GraphBenchDoc is the BENCH_vgraph.json payload: the vgraph/detect timing
 // family on one instance, plus derived speedup ratios.
 type GraphBenchDoc struct {
-	Workload   string            `json:"workload"`
-	N          int               `json:"n"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Entries    []GraphBenchEntry `json:"entries"`
+	Workload   string `json:"workload"`
+	N          int    `json:"n"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Meta records the run environment (go version, commit, dataset) so a
+	// checked-in BENCH_*.json is self-describing.
+	Meta    obs.RunMeta       `json:"meta"`
+	Entries []GraphBenchEntry `json:"entries"`
 	// Speedups are ns/op ratios: "<mode>-cache" (cache off → on, sequential),
 	// "<mode>-workers" (1 → GOMAXPROCS workers, cached), "<mode>-combined".
 	Speedups map[string]float64 `json:"speedups"`
@@ -84,6 +88,7 @@ func GraphBench(c GraphBenchConfig) (*GraphBenchDoc, error) {
 		Workload:   c.Workload,
 		N:          c.N,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Meta:       obs.CollectMeta(c.Workload),
 		Speedups:   make(map[string]float64),
 	}
 

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"ftrepair/internal/obs"
 	"ftrepair/internal/repair"
 	"ftrepair/internal/vgraph"
 )
@@ -50,10 +51,13 @@ type RepairBenchEntry struct {
 // vs workers, and parallel plan-evaluation throughput, plus derived
 // speedup ratios.
 type RepairBenchDoc struct {
-	Workload   string             `json:"workload"`
-	N          int                `json:"n"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Entries    []RepairBenchEntry `json:"entries"`
+	Workload   string `json:"workload"`
+	N          int    `json:"n"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Meta records the run environment (go version, commit, dataset) so a
+	// checked-in BENCH_*.json is self-describing.
+	Meta    obs.RunMeta        `json:"meta"`
+	Entries []RepairBenchEntry `json:"entries"`
 	// Speedups are ns/op ratios: "greedy-heap-n<size>" (naive → heap at each
 	// greedy size), "exact-workers" and "plan-workers" (1 → GOMAXPROCS
 	// workers; present only on multicore hosts).
@@ -74,6 +78,7 @@ func RepairBench(c RepairBenchConfig) (*RepairBenchDoc, error) {
 		Workload:   c.Workload,
 		N:          c.N,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Meta:       obs.CollectMeta(c.Workload),
 		Speedups:   make(map[string]float64),
 	}
 

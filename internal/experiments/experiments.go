@@ -14,6 +14,7 @@ import (
 
 	"ftrepair/internal/eval"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/repair"
 	"ftrepair/internal/vgraph"
 )
@@ -31,11 +32,14 @@ type Config struct {
 	// experiments also write their measurements as JSON to this path
 	// (e.g. BENCH_vgraph.json, BENCH_repair.json).
 	BenchOut string
+	// Trace, when non-nil, collects phase spans from every repair the
+	// experiments run (observational only).
+	Trace *obs.Trace
 }
 
 // opts is the baseline repair.Options every experiment starts from.
 func (c Config) opts() repair.Options {
-	return repair.Options{Cancel: c.Cancel}
+	return repair.Options{Cancel: c.Cancel, Trace: c.Trace}
 }
 
 // canceled reports whether the cancel channel has fired; a nil channel

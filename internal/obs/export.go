@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// traceDoc is the plain-JSON export shape.
+type traceDoc struct {
+	Name  string        `json:"name"`
+	Meta  RunMeta       `json:"meta"`
+	Spans []SpanSummary `json:"spans"`
+}
+
+// WriteJSON renders the trace as an indented JSON document: a header with
+// the trace name and run metadata, then every finished span.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	doc := traceDoc{}
+	if t != nil {
+		t.mu.Lock()
+		doc.Name = t.name
+		doc.Meta = t.meta
+		t.mu.Unlock()
+		doc.Spans = t.Summaries()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// chromeEvent is one Chrome trace_event entry (ph "X" = complete event,
+// timestamps and durations in microseconds).
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeDoc is the trace_event JSON-object container format: an event
+// array plus free-form metadata, loadable by chrome://tracing and Perfetto.
+type chromeDoc struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChrome renders the trace in Chrome trace_event format. Spans map to
+// complete ("X") events; worker-labeled spans land on tid worker+1 so each
+// worker gets its own track, unlabeled spans share tid 0. Run metadata goes
+// into otherData.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}}
+	if t != nil {
+		t.mu.Lock()
+		name, meta := t.name, t.meta
+		t.mu.Unlock()
+		doc.OtherData = map[string]any{
+			"trace":      name,
+			"goVersion":  meta.GoVersion,
+			"gomaxprocs": meta.GOMAXPROCS,
+		}
+		if meta.Dataset != "" {
+			doc.OtherData["dataset"] = meta.Dataset
+		}
+		if meta.Commit != "" {
+			doc.OtherData["commit"] = meta.Commit
+			doc.OtherData["dirty"] = meta.Dirty
+		}
+		for _, s := range t.Summaries() {
+			name := string(s.Phase)
+			if s.FD != "" {
+				name += " " + s.FD
+			}
+			tid := 0
+			if s.Worker >= 0 {
+				tid = s.Worker + 1
+			}
+			ev := chromeEvent{
+				Name: name,
+				Cat:  "ftrepair",
+				Ph:   "X",
+				TS:   s.Start * float64(time.Millisecond/time.Microsecond),
+				Dur:  s.DurMs * float64(time.Millisecond/time.Microsecond),
+				PID:  1,
+				TID:  tid,
+			}
+			if len(s.Attrs) > 0 {
+				ev.Args = make(map[string]int64, len(s.Attrs))
+				for _, a := range s.Attrs {
+					ev.Args[a.Key] = a.Value
+				}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,129 @@
+package obs
+
+import "time"
+
+// std is the process-wide default registry. Pipeline instrumentation and
+// the repaird /metrics endpoint share it, so one scrape sees every repair
+// the process ran regardless of which subsystem drove it.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Pipeline bundles the pre-registered pipeline metrics. Handles are fetched
+// once at init, so instrumentation sites pay one atomic add per flush and
+// never touch the registry lock.
+//
+// Naming scheme: ftrepair_<subsystem>_<thing>_total for counters,
+// ftrepair_<what>_seconds for duration histograms. Units always in the
+// name; labels only where cardinality is fixed (phase, algorithm).
+var Pipeline = struct {
+	// GraphBuilds / GraphVertices / GraphEdges flush once per vgraph.Build:
+	// builds run, pattern vertices grouped, violation edges verified.
+	GraphBuilds   *Counter
+	GraphVertices *Counter
+	GraphEdges    *Counter
+	// DistCacheHits / DistCacheMisses are per-run distance-cache deltas
+	// (the "distCacheHits"/"distCacheMisses" Stats entries).
+	DistCacheHits   *Counter
+	DistCacheMisses *Counter
+	// MISNodes / MISPruned count expansion-tree nodes explored and subtrees
+	// pruned by the exact single-FD search.
+	MISNodes  *Counter
+	MISPruned *Counter
+	// BnBCombos counts branch-and-bound combinations evaluated by ExactM;
+	// BnBIncumbents counts incumbent-watermark updates during the search.
+	BnBCombos     *Counter
+	BnBIncumbents *Counter
+	// TreeVisited counts target-tree nodes visited across nearest-target
+	// searches (targettree.Nearest / NearestScan).
+	TreeVisited *Counter
+	// GreedySetSize accumulates grown independent-set sizes; JoinFallbacks
+	// counts empty joined-set fallbacks to sequential per-FD repair.
+	GreedySetSize *Counter
+	JoinFallbacks *Counter
+}{
+	GraphBuilds: std.Counter("ftrepair_graph_builds_total",
+		"Violation-graph constructions (vgraph.Build calls)."),
+	GraphVertices: std.Counter("ftrepair_graph_vertices_total",
+		"Pattern vertices grouped across violation-graph builds."),
+	GraphEdges: std.Counter("ftrepair_graph_edges_built_total",
+		"FT-violation edges verified across violation-graph builds."),
+	DistCacheHits: std.Counter("ftrepair_distcache_hits_total",
+		"Distance-cache hits reported by finished repair runs."),
+	DistCacheMisses: std.Counter("ftrepair_distcache_misses_total",
+		"Distance-cache misses reported by finished repair runs."),
+	MISNodes: std.Counter("ftrepair_mis_nodes_explored_total",
+		"Expansion-tree nodes explored by the exact MIS search."),
+	MISPruned: std.Counter("ftrepair_mis_subtrees_pruned_total",
+		"Expansion subtrees cut by bound pruning in the exact MIS search."),
+	BnBCombos: std.Counter("ftrepair_bnb_combinations_total",
+		"Independent-set combinations evaluated by ExactM branch-and-bound."),
+	BnBIncumbents: std.Counter("ftrepair_bnb_incumbent_updates_total",
+		"Incumbent-watermark improvements during ExactM branch-and-bound."),
+	TreeVisited: std.Counter("ftrepair_targettree_nodes_visited_total",
+		"Target-tree nodes visited across nearest-target searches."),
+	GreedySetSize: std.Counter("ftrepair_greedy_set_vertices_total",
+		"Vertices admitted into greedily grown independent sets."),
+	JoinFallbacks: std.Counter("ftrepair_join_fallbacks_total",
+		"Empty joined-set fallbacks to sequential per-FD greedy repair."),
+}
+
+// phaseDurations maps each pipeline phase to its pre-created duration
+// histogram, so Span.End observes without a registry lookup.
+var phaseDurations = func() map[Phase]*Histogram {
+	m := make(map[Phase]*Histogram, len(Phases()))
+	for _, p := range Phases() {
+		m[p] = std.Histogram("ftrepair_phase_duration_seconds",
+			"Wall-clock duration of pipeline phases.",
+			DurationBuckets(), Label{Key: "phase", Value: string(p)})
+	}
+	return m
+}()
+
+// ObservePhase records one phase duration in the default registry.
+func ObservePhase(p Phase, d time.Duration) {
+	if h := phaseDurations[p]; h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// ObserveRepair records one finished repair run: a per-algorithm run
+// counter and duration histogram. Called once per Result, far from hot
+// loops, so the registry lookup for the algorithm label is fine.
+func ObserveRepair(algorithm string, d time.Duration) {
+	std.Counter("ftrepair_repairs_total",
+		"Finished repair runs by algorithm.",
+		Label{Key: "algorithm", Value: algorithm}).Inc()
+	std.Histogram("ftrepair_repair_duration_seconds",
+		"End-to-end repair wall-clock by algorithm.",
+		DurationBuckets(), Label{Key: "algorithm", Value: algorithm}).Observe(d.Seconds())
+}
+
+// runStatCounters maps repair Stats keys to their registry counters. The
+// "vertices"/"edges" keys are deliberately absent: vgraph.Build flushes
+// those itself (covering builds outside finished Results too), and a second
+// flush here would double count.
+var runStatCounters = map[string]*Counter{
+	"nodes":           Pipeline.MISNodes,
+	"pruned":          Pipeline.MISPruned,
+	"combinations":    Pipeline.BnBCombos,
+	"bnbIncumbents":   Pipeline.BnBIncumbents,
+	"treeVisited":     Pipeline.TreeVisited,
+	"setSize":         Pipeline.GreedySetSize,
+	"joinFallback":    Pipeline.JoinFallbacks,
+	"distCacheHits":   Pipeline.DistCacheHits,
+	"distCacheMisses": Pipeline.DistCacheMisses,
+}
+
+// FlushRunStats folds a finished run's Stats map into the registry. This is
+// what makes the Stats maps a thin view over the registry: the algorithms
+// keep accumulating into their deterministic per-run maps, and the totals
+// land here exactly once, when the run's Result is finalized.
+func FlushRunStats(stats map[string]int) {
+	for k, v := range stats {
+		if c := runStatCounters[k]; c != nil {
+			c.AddInt(v)
+		}
+	}
+}

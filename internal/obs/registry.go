@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use; a zero Counter is ready to use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// AddInt adds n when it is positive (repair stat deltas are occasionally
+// zero and must never go negative).
+func (c *Counter) AddInt(n int) {
+	if n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value (float64 under atomic bits).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus a
+// +Inf overflow bucket, a total count, and a sum. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one measurement.
+func (h *Histogram) Observe(v float64) {
+	// Bucket search is linear: duration histograms have ~15 buckets, and a
+	// branchy scan over a short slice beats binary search in practice.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		cur := math.Float64frombits(old)
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DurationBuckets is the default upper-bound ladder for phase-duration
+// histograms, in seconds: half-millisecond to ten-second phases.
+func DurationBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// labelSignature canonicalizes a label set: sorted by key, rendered in
+// exposition form. Used both as the series map key and in output.
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (metric family, label set) time series.
+type series struct {
+	sig    string
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64
+	series map[string]*series
+	order  []string
+}
+
+// Registry is a get-or-create metric store. Metric handles returned by
+// Counter/Gauge/Histogram are stable: hot paths fetch them once and update
+// via atomics, never touching the registry lock again.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, bounds []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds,
+			series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) get(labels []Label) *series {
+	sig := labelSignature(labels)
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{sig: sig, labels: append([]Label(nil), labels...)}
+		switch f.kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		default:
+			s.h = newHistogram(f.bounds)
+		}
+		f.series[sig] = s
+		f.order = append(f.order, sig)
+		sort.Strings(f.order)
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.family(name, help, kindCounter, nil).get(labels).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.family(name, help, kindGauge, nil).get(labels).g
+}
+
+// Histogram returns the histogram for (name, labels) with the given bucket
+// upper bounds (+Inf implicit), creating it on first use. Bounds are fixed
+// at creation; later calls reuse the first bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.family(name, help, kindHistogram, bounds).get(labels).h
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// signature, histograms with cumulative le buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, sig := range f.order {
+			s := f.series[sig]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, sig, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatFloat(s.g.Value()))
+			default:
+				writeHistogram(&b, f.name, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with the
+// le label merged into the series labels, then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	cum := uint64(0)
+	for i := range s.h.counts {
+		cum += s.h.counts[i].Load()
+		bound := math.Inf(1)
+		if i < len(s.h.bounds) {
+			bound = s.h.bounds[i]
+		}
+		labels := append(append([]Label(nil), s.labels...), Label{Key: "le", Value: formatFloat(bound)})
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelSignature(labels), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.sig, formatFloat(s.h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.sig, s.h.Count())
+}
+
+// BucketSnapshot is one histogram bucket in a snapshot (cumulative count).
+// JSON cannot encode +Inf, so the overflow bucket sets Inf instead of LE.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
+	Inf   bool    `json:"inf,omitempty"`
+	Count uint64  `json:"count"`
+}
+
+// SeriesSnapshot is one series in a snapshot.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value holds counter and gauge readings.
+	Value *float64 `json:"value,omitempty"`
+	// Histogram readings.
+	Count   uint64           `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// MetricSnapshot is one metric family in a snapshot.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot returns a point-in-time JSON-marshalable view of every metric,
+// families sorted by name.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	out := make([]MetricSnapshot, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		ms := MetricSnapshot{Name: f.name, Type: f.kind.String(), Help: f.help}
+		for _, sig := range f.order {
+			s := f.series[sig]
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				v := float64(s.c.Value())
+				ss.Value = &v
+			case kindGauge:
+				v := s.g.Value()
+				ss.Value = &v
+			default:
+				ss.Count = s.h.Count()
+				ss.Sum = s.h.Sum()
+				cum := uint64(0)
+				for i := range s.h.counts {
+					cum += s.h.counts[i].Load()
+					bs := BucketSnapshot{Count: cum}
+					if i < len(s.h.bounds) {
+						bs.LE = s.h.bounds[i]
+					} else {
+						bs.Inf = true
+					}
+					ss.Buckets = append(ss.Buckets, bs)
+				}
+			}
+			ms.Series = append(ms.Series, ss)
+		}
+		out = append(out, ms)
+	}
+	return out
+}

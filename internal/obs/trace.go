@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	rtrace "runtime/trace"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace collects phase-scoped spans for one run (a CLI invocation, a
+// repaird job). A nil *Trace is valid everywhere: spans started on a nil
+// Trace still time themselves and feed phase-duration histograms, they just
+// are not retained for export.
+type Trace struct {
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	meta  RunMeta
+	spans []*Span
+	seq   int
+	open  int
+}
+
+// NewTrace starts an empty trace.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// Name returns the trace's name.
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// SetMeta attaches run metadata, embedded in export headers.
+func (t *Trace) SetMeta(m RunMeta) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.meta = m
+	t.mu.Unlock()
+}
+
+// Span is one timed phase region. Spans are created through Begin or
+// Span.Child and closed with End; attachments (FD label, worker id, named
+// counters) may be set any time before End. Methods are safe on a nil Span
+// and safe for concurrent use with other spans, but one span must not be
+// mutated from multiple goroutines.
+type Span struct {
+	tr     *Trace
+	parent *Span
+
+	phase  Phase
+	fd     string
+	worker int
+	start  time.Time
+	endT   time.Time
+	attrs  []Attr
+	ended  bool
+
+	rt *rtrace.Region
+}
+
+// Attr is one named counter attached to a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// Begin opens a top-level span for phase p. Always returns a usable span:
+// with a nil trace the span is detached — it still mirrors into
+// runtime/trace and observes the phase-duration histogram at End, it just
+// is not exported.
+func Begin(t *Trace, p Phase) *Span {
+	return newSpan(t, nil, p)
+}
+
+// Child opens a sub-span of s (same trace) for phase p. Valid on nil or
+// detached spans.
+func (s *Span) Child(p Phase) *Span {
+	if s == nil {
+		return newSpan(nil, nil, p)
+	}
+	return newSpan(s.tr, s, p)
+}
+
+func newSpan(t *Trace, parent *Span, p Phase) *Span {
+	s := &Span{tr: t, parent: parent, phase: p, worker: -1, start: time.Now()}
+	if rtrace.IsEnabled() {
+		s.rt = rtrace.StartRegion(context.Background(), "ftrepair/"+string(p))
+	}
+	if t != nil {
+		t.mu.Lock()
+		t.seq++
+		t.spans = append(t.spans, s)
+		t.open++
+		t.mu.Unlock()
+	}
+	return s
+}
+
+// SetFD labels the span with the FD it processed.
+func (s *Span) SetFD(fd string) {
+	if s != nil {
+		s.fd = fd
+	}
+}
+
+// SetWorker labels the span with a worker id (>= 0).
+func (s *Span) SetWorker(w int) {
+	if s != nil {
+		s.worker = w
+	}
+}
+
+// Add attaches (or accumulates into) a named counter on the span.
+func (s *Span) Add(key string, n int64) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value += n
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: n})
+}
+
+// End closes the span, records its phase duration in the default registry,
+// and closes the mirrored runtime/trace region. Idempotent: second and
+// later calls are no-ops, so cancel paths can End eagerly while an outer
+// defer stays as the safety net.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.endT = time.Now()
+	if s.rt != nil {
+		s.rt.End()
+		s.rt = nil
+	}
+	ObservePhase(s.phase, s.endT.Sub(s.start))
+	if s.tr != nil {
+		s.tr.mu.Lock()
+		s.tr.open--
+		s.tr.mu.Unlock()
+	}
+}
+
+// Duration returns the span's wall time (time since start if still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.endT.Sub(s.start)
+}
+
+// OpenSpans returns the number of spans started but not yet ended.
+func (t *Trace) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.open
+}
+
+// CloseOpen force-ends every open span, oldest last so children close
+// before parents. Exporters call it as a safety net before rendering a
+// trace from a canceled run; on a fully ended trace it is a no-op.
+func (t *Trace) CloseOpen() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	for i := len(spans) - 1; i >= 0; i-- {
+		spans[i].End()
+	}
+}
+
+// SpanSummary is the export/reporting form of one finished span.
+type SpanSummary struct {
+	Phase  Phase  `json:"phase"`
+	FD     string `json:"fd,omitempty"`
+	Worker int    `json:"worker,omitempty"`
+	// Depth is the nesting level (0 = top-level phase span).
+	Depth int     `json:"depth,omitempty"`
+	Start float64 `json:"startMs"`
+	DurMs float64 `json:"durMs"`
+	Attrs []Attr  `json:"attrs,omitempty"`
+}
+
+func (s *Span) depth() int {
+	d := 0
+	for p := s.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// Summaries returns every ended span in start order, with timestamps
+// relative to the trace start. Open spans are skipped — run CloseOpen
+// first if the trace may have been abandoned mid-phase.
+func (t *Trace) Summaries() []SpanSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanSummary, 0, len(t.spans))
+	for _, s := range t.spans {
+		if !s.ended {
+			continue
+		}
+		out = append(out, SpanSummary{
+			Phase:  s.phase,
+			FD:     s.fd,
+			Worker: s.worker,
+			Depth:  s.depth(),
+			Start:  float64(s.start.Sub(t.start)) / float64(time.Millisecond),
+			DurMs:  float64(s.endT.Sub(s.start)) / float64(time.Millisecond),
+			Attrs:  append([]Attr(nil), s.attrs...),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndSummaries(t *testing.T) {
+	tr := NewTrace("test")
+	root := Begin(tr, PhaseGraphBuild)
+	root.SetFD("City->State")
+	root.Add("edges", 5)
+	root.Add("edges", 2)
+	child := root.Child(PhaseExpand)
+	child.SetWorker(3)
+	child.End()
+	root.End()
+
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("open spans = %d, want 0", n)
+	}
+	sums := tr.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	if sums[0].Phase != PhaseGraphBuild || sums[0].Depth != 0 || sums[0].FD != "City->State" {
+		t.Fatalf("root summary wrong: %+v", sums[0])
+	}
+	if len(sums[0].Attrs) != 1 || sums[0].Attrs[0] != (Attr{Key: "edges", Value: 7}) {
+		t.Fatalf("attrs wrong: %+v", sums[0].Attrs)
+	}
+	if sums[1].Phase != PhaseExpand || sums[1].Depth != 1 || sums[1].Worker != 3 {
+		t.Fatalf("child summary wrong: %+v", sums[1])
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTrace("test")
+	s := Begin(tr, PhaseApply)
+	s.End()
+	d := s.Duration()
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatal("second End changed the recorded duration")
+	}
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("open spans = %d, want 0 (double End must not go negative)", n)
+	}
+}
+
+func TestCloseOpen(t *testing.T) {
+	tr := NewTrace("test")
+	root := Begin(tr, PhaseGreedyGrow)
+	root.Child(PhaseTargetSearch) // deliberately left open (simulated cancel)
+	if n := tr.OpenSpans(); n != 2 {
+		t.Fatalf("open spans = %d, want 2", n)
+	}
+	tr.CloseOpen()
+	if n := tr.OpenSpans(); n != 0 {
+		t.Fatalf("open spans after CloseOpen = %d, want 0", n)
+	}
+	if len(tr.Summaries()) != 2 {
+		t.Fatal("CloseOpen must make abandoned spans exportable")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	s := Begin(tr, PhaseDetect)
+	if s == nil {
+		t.Fatal("Begin on nil trace must return a usable span")
+	}
+	s.SetFD("x")
+	s.Add("n", 1)
+	c := s.Child(PhaseApply)
+	c.End()
+	s.End()
+	tr.SetMeta(RunMeta{})
+	tr.CloseOpen()
+	if tr.OpenSpans() != 0 || tr.Summaries() != nil || tr.Name() != "" {
+		t.Fatal("nil trace accessors must be inert")
+	}
+	var ns *Span
+	ns.SetWorker(1)
+	ns.Add("k", 1)
+	ns.End()
+	if ns.Child(PhaseApply) == nil {
+		t.Fatal("Child on nil span must return a usable span")
+	}
+}
+
+func TestDetachedSpanFeedsPhaseHistogram(t *testing.T) {
+	h := phaseDurations[PhaseDetect]
+	before := h.Count()
+	s := Begin(nil, PhaseDetect)
+	s.End()
+	if got := h.Count() - before; got != 1 {
+		t.Fatalf("phase histogram delta = %d, want 1", got)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTrace("unit")
+	tr.SetMeta(RunMeta{GoVersion: "go1.x", GOMAXPROCS: 4, Dataset: "hosp"})
+	root := Begin(tr, PhaseGraphBuild)
+	root.SetFD("A->B")
+	root.SetWorker(0)
+	root.Add("edges", 12)
+	root.End()
+	Begin(tr, PhaseApply).End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			PID  int              `json:"pid"`
+			TID  int              `json:"tid"`
+			Dur  float64          `json:"dur"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "graphbuild A->B" || ev.Ph != "X" || ev.PID != 1 || ev.TID != 1 {
+		t.Fatalf("event wrong: %+v", ev)
+	}
+	if ev.Args["edges"] != 12 {
+		t.Fatalf("args wrong: %+v", ev.Args)
+	}
+	if doc.OtherData["dataset"] != "hosp" {
+		t.Fatalf("otherData wrong: %+v", doc.OtherData)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := NewTrace("unit")
+	Begin(tr, PhaseDetect).End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name  string        `json:"name"`
+		Meta  RunMeta       `json:"meta"`
+		Spans []SpanSummary `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "unit" || len(doc.Spans) != 1 || doc.Spans[0].Phase != PhaseDetect {
+		t.Fatalf("json export wrong: %+v", doc)
+	}
+}
+
+func TestCollectMeta(t *testing.T) {
+	m := CollectMeta("dataset.csv")
+	if m.GoVersion == "" || m.GOMAXPROCS < 1 || m.GOOS == "" || m.Dataset != "dataset.csv" {
+		t.Fatalf("meta incomplete: %+v", m)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ftrepair/internal/eval"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/repair"
 	"ftrepair/internal/vgraph"
 )
@@ -32,6 +33,30 @@ func BenchmarkGreedyGrowth(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead guards the observability budget: "instrumented"
+// wraps the same greedy growth in exactly the per-run obs work a traced
+// repair performs (trace + span + attrs + registry flush) and must stay
+// within 2% of the bare loop. The span/flush cost is constant per phase
+// while the growth is superlinear in the graph, so headroom grows with N.
+func BenchmarkObsOverhead(b *testing.B) {
+	g := greedyBenchGraph(b)
+	b.Run("noop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repair.GrowGreedy(g, false)
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace("bench")
+			sp := obs.Begin(tr, obs.PhaseGreedyGrow)
+			set := repair.GrowGreedy(g, false)
+			sp.Add("setSize", int64(len(set)))
+			sp.End()
+			obs.FlushRunStats(map[string]int{"setSize": len(set)})
+		}
+	})
 }
 
 func BenchmarkJointGrowth(b *testing.B) {

@@ -27,6 +27,7 @@ import (
 // surviving winner does not depend on scheduling.
 type watermark struct {
 	bits    atomic.Uint64 // math.Float64bits of the incumbent cost
+	updates atomic.Int64  // accepted offers (incumbent improvements)
 	mu      sync.Mutex
 	idx     int
 	targets []*targettree.Target
@@ -59,6 +60,7 @@ func (w *watermark) offer(cost float64, idx int, targets []*targettree.Target) {
 		w.targets = targets
 		w.has = true
 		w.bits.Store(math.Float64bits(cost))
+		w.updates.Add(1)
 	}
 }
 
@@ -67,9 +69,11 @@ func (w *watermark) offer(cost float64, idx int, targets []*targettree.Target) {
 // sets). Combination index idx decodes mixed-radix with the last FD
 // varying fastest — the same order the sequential loop used. It returns
 // the winning plan's targets (nil when no combination joins into targets),
-// the total target-tree visit count, and ErrCanceled if the search was
-// cut short.
-func searchCombos(groups []tupleGroup, graphs []*vgraph.Graph, families [][][]int, combos int, opts Options, p *planner) (bestTargets []*targettree.Target, visited int, err error) {
+// the total target-tree visit count, the number of incumbent-watermark
+// updates, and ErrCanceled if the search was cut short. The update count
+// is observability only — it depends on worker scheduling (how offers
+// interleave), unlike the winning plan, which is deterministic.
+func searchCombos(groups []tupleGroup, graphs []*vgraph.Graph, families [][][]int, combos int, opts Options, p *planner) (bestTargets []*targettree.Target, visited, updates int, err error) {
 	n := len(families)
 	levelCache := make([][]targettree.Level, n)
 	keyCache := make([][]map[string]bool, n)
@@ -130,7 +134,7 @@ func searchCombos(groups []tupleGroup, graphs []*vgraph.Graph, families [][][]in
 		}
 	}
 	if err != nil {
-		return nil, int(visitedTotal.Load()), err
+		return nil, int(visitedTotal.Load()), int(w.updates.Load()), err
 	}
-	return w.targets, int(visitedTotal.Load()), nil
+	return w.targets, int(visitedTotal.Load()), int(w.updates.Load()), nil
 }

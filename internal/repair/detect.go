@@ -5,6 +5,7 @@ import (
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/obs"
 )
 
 // Violation describes one fault-tolerant violation: a pair of distinct
@@ -84,7 +85,10 @@ func DetectCFDs(rel *dataset.Relation, cfds []*fd.CFD) []CFDViolation {
 // the distance the graph builder already evaluated (Edge.D) rather than a
 // recomputation.
 func Detect(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options) []Violation {
+	sp := obs.Begin(opts.Trace, obs.PhaseDetect)
+	defer sp.End()
 	var out []Violation
+	defer func() { sp.Add("violations", int64(len(out))) }()
 	graphs := buildGraphs(rel, set, cfg, opts)
 	for i, f := range set.FDs {
 		g := graphs[i]

@@ -10,6 +10,7 @@ import (
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
 	"ftrepair/internal/mis"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/vgraph"
 )
 
@@ -164,12 +165,16 @@ func buildGraphs(rel *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Op
 	var wg sync.WaitGroup
 	for i, f := range sub.FDs {
 		i, f := i, f
+		// Each concurrent build gets its own 1-based slot label so trace
+		// viewers show per-FD builds on separate tracks.
+		slot := gopts
+		slot.Worker = i + 1
 		if canceled(opts.Cancel) {
 			// Canceled: fill the remaining slots inline. With a fired Cancel
 			// threaded into gopts, Build stops verifying pairs immediately
 			// and returns a vertex-only graph, so no slot is ever nil and
 			// callers surface the cancellation themselves.
-			graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], gopts)
+			graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], slot)
 			continue
 		}
 		wg.Add(1)
@@ -177,7 +182,7 @@ func buildGraphs(rel *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Op
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], gopts)
+			graphs[i] = vgraph.Build(rel, f, cfg, sub.Tau[i], slot)
 		}()
 	}
 	wg.Wait()
@@ -190,12 +195,16 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 	if len(sub.FDs) == 1 {
 		// Single-FD component: the expansion algorithm is optimal
 		// (Theorem 5) and far cheaper than enumeration + join.
+		sp := obs.Begin(opts.Trace, obs.PhaseExpand)
+		sp.SetFD(sub.FDs[0].String())
 		res, err := mis.BestMIS(graphs[0], mis.Options{
 			DisablePruning: opts.DisablePruning,
 			NaturalOrder:   opts.NaturalOrder,
 			MaxNodes:       opts.MaxNodes,
 			Cancel:         opts.Cancel,
 		})
+		sp.Add("nodes", int64(res.NodesExplored))
+		sp.End()
 		if errors.Is(err, mis.ErrCanceled) {
 			return ErrCanceled
 		}
@@ -203,25 +212,33 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 			return err
 		}
 		stats["nodes"] += res.NodesExplored
+		ap := obs.Begin(opts.Trace, obs.PhaseApply)
 		applyInPlace(out, graphs[0], repairTargets(graphs[0], res.Set))
+		ap.End()
 		return nil
 	}
 
+	sp := obs.Begin(opts.Trace, obs.PhaseExpand)
 	families := make([][][]int, len(sub.FDs))
 	combos := 1
 	for i, g := range graphs {
 		if canceled(opts.Cancel) {
+			sp.End()
 			return ErrCanceled
 		}
 		families[i] = mis.EnumerateMaximal(g)
 		if opts.MaxMISPerFD > 0 && len(families[i]) > opts.MaxMISPerFD {
+			sp.End()
 			return fmt.Errorf("%w: %d sets for %s (cap %d)", ErrTooManyMIS, len(families[i]), sub.FDs[i], opts.MaxMISPerFD)
 		}
 		combos *= len(families[i])
 		if combos > maxCombos || combos <= 0 {
+			sp.End()
 			return fmt.Errorf("%w: combination count overflows budget", ErrTooManyMIS)
 		}
 	}
+	sp.Add("combinations", int64(combos))
+	sp.End()
 	stats["combinations"] += combos
 
 	groups := groupTuples(rel, unionAttrs(sub.FDs))
@@ -233,35 +250,47 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 		cancel:      opts.Cancel,
 		workers:     planWorkers(opts.Parallel >= 2 && combos > 1),
 	}
-	bestTargets, visited, err := searchCombos(groups, graphs, families, combos, opts, p)
+	ts := obs.Begin(opts.Trace, obs.PhaseTargetSearch)
+	bestTargets, visited, updates, err := searchCombos(groups, graphs, families, combos, opts, p)
+	ts.Add("treeVisited", int64(visited))
+	ts.Add("incumbents", int64(updates))
+	ts.End()
 	stats["treeVisited"] += visited
+	stats["bnbIncumbents"] += updates
 	if err != nil {
 		return err
 	}
 	if bestTargets == nil {
 		return fmt.Errorf("repair: no feasible combination of independent sets joins into targets")
 	}
+	ap := obs.Begin(opts.Trace, obs.PhaseApply)
 	applyPlan(out, groups, bestTargets)
+	ap.End()
 	return nil
 }
 
 // approComponent implements §4.3 for one component.
 func approComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error {
 	graphs := buildGraphs(rel, sub, cfg, opts)
+	sp := obs.Begin(opts.Trace, obs.PhaseGreedyGrow)
 	sets := make([][]int, len(graphs))
 	for i, g := range graphs {
 		sets[i] = greedySet(g, opts.Cancel)
 		if canceled(opts.Cancel) {
+			sp.End()
 			return ErrCanceled
 		}
 	}
+	sp.End()
 	return applyJoinedSets(rel, out, sub, cfg, opts, stats, graphs, sets)
 }
 
 // greedyComponent implements §4.4 for one component.
 func greedyComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error {
 	graphs := buildGraphs(rel, sub, cfg, opts)
+	sp := obs.Begin(opts.Trace, obs.PhaseGreedyGrow)
 	sets := jointGreedySets(rel, graphs, opts.Cancel)
+	sp.End()
 	if canceled(opts.Cancel) {
 		// The joint growth stopped early; leave this component untouched
 		// rather than applying a half-grown plan.
@@ -276,7 +305,9 @@ func greedyComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig
 // sets), it falls back to iterated per-FD greedy repair.
 func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, graphs []*vgraph.Graph, sets [][]int) error {
 	if len(graphs) == 1 {
+		ap := obs.Begin(opts.Trace, obs.PhaseApply)
 		applyInPlace(out, graphs[0], repairTargets(graphs[0], sets[0]))
+		ap.End()
 		return nil
 	}
 	groups := groupTuples(rel, unionAttrs(sub.FDs))
@@ -288,7 +319,10 @@ func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig
 		cancel:      opts.Cancel,
 		workers:     planWorkers(false),
 	}
+	ts := obs.Begin(opts.Trace, obs.PhaseTargetSearch)
 	targets, _, visited, ok := p.costs(chosenKeys(graphs, sets), levelsFor(graphs, sets), nil)
+	ts.Add("treeVisited", int64(visited))
+	ts.End()
 	stats["treeVisited"] += visited
 	if canceled(opts.Cancel) {
 		return ErrCanceled
@@ -297,7 +331,9 @@ func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig
 		stats["joinFallback"]++
 		return sequentialFallback(out, sub, cfg, opts)
 	}
+	ap := obs.Begin(opts.Trace, obs.PhaseApply)
 	applyPlan(out, groups, targets)
+	ap.End()
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/vgraph"
 )
 
@@ -38,8 +39,21 @@ type Result struct {
 	// Elapsed is the wall-clock repair time.
 	Elapsed time.Duration
 	// Stats carries algorithm-specific counters (expansion nodes, pruned
-	// subtrees, targets considered, ...). May be nil.
+	// subtrees, targets considered, ...). May be nil. Write through AddStat
+	// (enforced by the obsguard repairlint analyzer outside this package)
+	// so counters stay a consistent view over the obs registry.
 	Stats map[string]int
+}
+
+// AddStat accumulates n into the named Stats counter, allocating the map on
+// first use. This is the sanctioned write path for Stats outside
+// internal/repair: direct map writes bypass the registry bookkeeping and
+// are flagged by the obsguard analyzer.
+func (res *Result) AddStat(key string, n int) {
+	if res.Stats == nil {
+		res.Stats = make(map[string]int)
+	}
+	res.Stats[key] += n
 }
 
 // Options tunes the repair algorithms.
@@ -73,6 +87,12 @@ type Options struct {
 	// ErrCanceled. Long-running repairs driven by servers or CLIs close the
 	// channel from a signal handler or a cancel endpoint.
 	Cancel <-chan struct{}
+	// Trace, when non-nil, collects phase-scoped spans (graph builds, MIS
+	// expansion, greedy growth, target search, apply) for this run. Purely
+	// observational: the algorithms never consult it, so tracing cannot
+	// perturb repair decisions. Metrics flow into the obs default registry
+	// whether or not a trace is attached.
+	Trace *obs.Trace
 }
 
 // ErrCanceled is returned when Options.Cancel fires mid-repair. The Result
@@ -89,6 +109,9 @@ func graphOpts(opts Options) vgraph.Options {
 	g := opts.Graph
 	if g.Cancel == nil {
 		g.Cancel = opts.Cancel
+	}
+	if g.Trace == nil {
+		g.Trace = opts.Trace
 	}
 	return g
 }
@@ -135,12 +158,19 @@ func finish(orig *dataset.Relation, repaired *dataset.Relation, cfg *fd.DistConf
 	if err != nil {
 		return nil, err
 	}
+	elapsed := time.Since(start)
+	// The one flush point for run-level stats: every algorithm funnels its
+	// finished (or canceled-partial) Result through finish, so registry
+	// totals see each run exactly once. Graph vertex/edge totals are
+	// excluded — vgraph.Build flushes those at construction.
+	obs.FlushRunStats(stats)
+	obs.ObserveRepair(algorithm, elapsed)
 	return &Result{
 		Repaired:  repaired,
 		Cost:      cfg.DatabaseCost(orig, repaired),
 		Changed:   changed,
 		Algorithm: algorithm,
-		Elapsed:   time.Since(start),
+		Elapsed:   elapsed,
 		Stats:     stats,
 	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
 	"ftrepair/internal/mis"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/vgraph"
 )
 
@@ -21,12 +22,17 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 	start := time.Now()
 	snap := snapCacheStats(cfg)
 	g := vgraph.Build(rel, f, cfg, tau, graphOpts(opts))
+	sp := obs.Begin(opts.Trace, obs.PhaseExpand)
+	sp.SetFD(f.String())
 	res, err := mis.BestMIS(g, mis.Options{
 		DisablePruning: opts.DisablePruning,
 		NaturalOrder:   opts.NaturalOrder,
 		MaxNodes:       opts.MaxNodes,
 		Cancel:         opts.Cancel,
 	})
+	sp.Add("nodes", int64(res.NodesExplored))
+	sp.Add("pruned", int64(res.Pruned))
+	sp.End()
 	if errors.Is(err, mis.ErrCanceled) {
 		// Canceled mid-search: no set was chosen, so the partial repair is
 		// the untouched input.
@@ -44,7 +50,9 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 	if err != nil {
 		return nil, err
 	}
+	ap := obs.Begin(opts.Trace, obs.PhaseApply)
 	repaired := applyVertexRepairs(rel, g, repairTargets(g, res.Set))
+	ap.End()
 	stats := map[string]int{
 		"vertices": len(g.Vertices),
 		"edges":    g.NumEdges(),
@@ -88,8 +96,14 @@ func GreedyS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, o
 	start := time.Now()
 	snap := snapCacheStats(cfg)
 	g := vgraph.Build(rel, f, cfg, tau, graphOpts(opts))
+	sp := obs.Begin(opts.Trace, obs.PhaseGreedyGrow)
+	sp.SetFD(f.String())
 	set := greedySet(g, opts.Cancel)
+	sp.Add("setSize", int64(len(set)))
+	sp.End()
+	ap := obs.Begin(opts.Trace, obs.PhaseApply)
 	repaired := applyVertexRepairs(rel, g, repairTargets(g, set))
+	ap.End()
 	stats := map[string]int{
 		"vertices": len(g.Vertices),
 		"edges":    g.NumEdges(),

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
+
+	"ftrepair/internal/obs"
 )
 
 // apiError is the uniform error body.
@@ -41,6 +44,15 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -64,6 +76,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	view := s.metrics.snapshot(time.Since(s.started), s.jobs.gauges(), s.sessions.count())
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handleMetrics serves the obs default registry in Prometheus text
+// exposition format: the whole pipeline's counters and phase histograms
+// plus the repaird job/session counters mirrored into the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.metrics.syncGauges(time.Since(s.started), s.jobs.gauges(), s.sessions.count())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
+}
+
+// handleMetricsJSON serves the same registry as a JSON snapshot, for
+// dashboards that would rather not parse the exposition format.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	s.metrics.syncGauges(time.Since(s.started), s.jobs.gauges(), s.sessions.count())
+	writeJSON(w, http.StatusOK, map[string]any{"metrics": obs.Default().Snapshot()})
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -112,7 +140,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if job.Cancel() {
-		s.logf("job %s: cancel requested", job.id)
+		s.logInfo("job cancel requested", "job", job.id)
 	}
 	writeJSON(w, http.StatusAccepted, job.View(false))
 }
@@ -131,7 +159,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "invalid session: %v", err)
 		return
 	}
-	s.logf("session %s: created (%d tuples)", sess.id, sess.view().Tuples)
+	s.logInfo("session created", "session", sess.id, "tuples", sess.view().Tuples)
 	writeJSON(w, http.StatusCreated, sess.view())
 }
 
@@ -204,6 +232,6 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
-	s.logf("session %s: closed", id)
+	s.logInfo("session closed", "session", id)
 	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
 }

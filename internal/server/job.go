@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ftrepair/internal/dataset"
+	"ftrepair/internal/obs"
 )
 
 // JobState is the lifecycle state of a repair job.
@@ -54,6 +55,9 @@ type JobResult struct {
 	// Partial marks results attached to a canceled job: only the work
 	// committed before the cancellation is applied.
 	Partial bool `json:"partial,omitempty"`
+	// Spans summarizes the job's phase trace: where the wall time went
+	// (graph build, expansion, target search, apply), per FD and worker.
+	Spans []obs.SpanSummary `json:"spans,omitempty"`
 }
 
 // JobView is the JSON representation of a job returned by the API.

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ftrepair/internal/obs"
+)
+
+// The obs default registry is process-global, so these tests assert presence
+// and deltas rather than exact values: other tests in the package (and prior
+// repairs in the same binary) contribute to the same counters.
+
+// TestMetricsEndpoint runs one job and checks the Prometheus exposition
+// carries both the pipeline counters and the repaird mirrors.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	before := obs.Default().Counter("repaird_jobs_submitted_total", "").Value()
+
+	v := submitJob(t, ts.URL, JobSpec{CSV: hospCSV(), FDs: []string{"City -> State"}, Algorithm: "GreedyS"})
+	final := pollJob(t, ts.URL, v.ID, 10e9)
+	if final.State != JobDone {
+		t.Fatalf("job state = %s (%s)", final.State, final.Error)
+	}
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"ftrepair_graph_builds_total",
+		"ftrepair_graph_edges_built_total",
+		"ftrepair_phase_duration_seconds_bucket",
+		`ftrepair_repairs_total{algorithm="GreedyS"}`,
+		"repaird_jobs_submitted_total",
+		"repaird_uptime_seconds",
+		`repaird_jobs_finished_total{state="done"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q\n%s", want, text[:min(len(text), 2000)])
+		}
+	}
+	after := obs.Default().Counter("repaird_jobs_submitted_total", "").Value()
+	if after-before < 1 {
+		t.Fatalf("jobs-submitted counter delta = %d, want >= 1", after-before)
+	}
+}
+
+// TestMetricsJSONEndpoint checks the JSON snapshot variant decodes and
+// carries at least one counter.
+func TestMetricsJSONEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: %d", resp.StatusCode)
+	}
+	var doc struct {
+		Metrics []obs.MetricSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("empty metrics snapshot")
+	}
+}
+
+// TestJobResultCarriesSpans asserts a finished job's result includes the
+// phase-span summaries from its per-job trace.
+func TestJobResultCarriesSpans(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	v := submitJob(t, ts.URL, JobSpec{CSV: hospCSV(), FDs: []string{"City -> State"}, Algorithm: "GreedyM"})
+	final := pollJob(t, ts.URL, v.ID, 10e9)
+	if final.State != JobDone {
+		t.Fatalf("job state = %s (%s)", final.State, final.Error)
+	}
+	if final.Result == nil || len(final.Result.Spans) == 0 {
+		t.Fatal("job result has no spans")
+	}
+	phases := make(map[obs.Phase]bool)
+	for _, sp := range final.Result.Spans {
+		phases[sp.Phase] = true
+	}
+	if !phases[obs.PhaseGraphBuild] {
+		t.Fatalf("no graphbuild span; phases = %v", phases)
+	}
+}
+
+// TestSessionProgressEvents appends two batches and expects two ordered
+// progress events in the session view.
+func TestSessionProgressEvents(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/sessions", SessionSpec{CSV: hospCSV(), FDs: []string{"City -> State"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST session: %d %s", resp.StatusCode, body)
+	}
+	var sv SessionView
+	if err := json.Unmarshal(body, &sv); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/sessions/"+sv.ID+"/tuples",
+			appendRequest{Rows: [][]string{{"BOSTON", "MA"}}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	_, body = doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+sv.ID)
+	if err := json.Unmarshal(body, &sv); err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.Events) != 2 {
+		t.Fatalf("events = %d, want 2 (%+v)", len(sv.Events), sv.Events)
+	}
+	if sv.Events[0].Seq != 1 || sv.Events[1].Seq != 2 {
+		t.Fatalf("event seqs = %d,%d, want 1,2", sv.Events[0].Seq, sv.Events[1].Seq)
+	}
+	if sv.Events[1].TotalTuples <= sv.Events[0].TotalTuples {
+		t.Fatalf("totalTuples not increasing: %+v", sv.Events)
+	}
+}
+
+// TestPprofGating: the profiling endpoints exist only with EnablePprof.
+func TestPprofGating(t *testing.T) {
+	_, off := newTestServer(t, Config{Workers: 1})
+	resp, _ := doJSON(t, http.MethodGet, off.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without opt-in: %d, want 404", resp.StatusCode)
+	}
+	_, on := newTestServer(t, Config{Workers: 1, EnablePprof: true})
+	resp, body := doJSON(t, http.MethodGet, on.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with opt-in: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestStatusRecorderForwardsFlush guards the Flusher passthrough: wrapping
+// a flushable writer must not hide the interface from handlers.
+func TestStatusRecorderForwardsFlush(t *testing.T) {
+	rr := httptest.NewRecorder()
+	var w http.ResponseWriter = &statusRecorder{ResponseWriter: rr, status: http.StatusOK}
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder does not expose http.Flusher")
+	}
+	f.Flush()
+	if !rr.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}
+
+// TestRequestIDHeader checks every response carries an X-Request-ID and a
+// client-supplied id is echoed back.
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz")
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no X-Request-ID header")
+	}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "client-abc")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "client-abc" {
+		t.Fatalf("X-Request-ID = %q, want client-abc", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"ftrepair/internal/obs"
 	"ftrepair/internal/repair"
 )
 
@@ -97,13 +98,20 @@ func (s *Server) execJob(j *Job) {
 	if j.spec.TimeoutMs > 0 {
 		cancel = withDeadline(j.cancelCh, time.Duration(j.spec.TimeoutMs)*time.Millisecond)
 	}
+	// Every job gets its own trace; the summaries ride along in the job
+	// result so clients can see where the wall time went without any
+	// server-side profiling. CloseOpen is the safety net for error paths
+	// that unwound before a span's deferred End ran.
+	tr := obs.NewTrace("job:" + j.id)
 	start := time.Now()
-	res, err := j.prob.run(cancel)
+	res, err := j.prob.run(cancel, tr)
 	elapsed := time.Since(start)
+	tr.CloseOpen()
 
 	switch {
 	case err == nil:
 		jr := buildResult(j.prob, &jobRunOutcome{result: res})
+		jr.Spans = tr.Summaries()
 		s.verifyIfRequested(j, jr, res)
 		j.complete(JobDone, jr, "")
 		s.metrics.jobFinished(JobDone, j.prob.algo, elapsed, len(res.Changed))
@@ -113,6 +121,7 @@ func (s *Server) execJob(j *Job) {
 		changed := 0
 		if res != nil {
 			jr = buildResult(j.prob, &jobRunOutcome{result: res, partial: true})
+			jr.Spans = tr.Summaries()
 			changed = len(res.Changed)
 			s.metrics.addDistCache(res.Stats)
 		}
@@ -135,7 +144,7 @@ func (s *Server) verifyIfRequested(j *Job, jr *JobResult, res *repair.Result) {
 	jr.FTConsistent = &ft
 	jr.Valid = &valid
 	if !ft || !valid {
-		s.logf("job %s: verification failed (ftConsistent=%v valid=%v)", j.id, ft, valid)
+		s.logInfo("job verification failed", "job", j.id, "ftConsistent", ft, "valid", valid)
 	}
 }
 

@@ -9,17 +9,21 @@
 //   - streaming sessions: POST /v1/sessions builds repair.Incremental
 //     state over a base relation; POST /v1/sessions/{id}/tuples appends
 //     tuples online, repairing each against the accepted patterns.
-//   - operations: GET /healthz liveness, GET /v1/stats counters, request
-//     logging, and graceful shutdown with in-flight job draining.
+//   - operations: GET /healthz liveness, GET /v1/stats counters,
+//     GET /metrics Prometheus exposition (GET /v1/metrics for the JSON
+//     snapshot), opt-in /debug/pprof/*, structured request logging with
+//     request ids, and graceful shutdown with in-flight job draining.
 //
-// Everything is stdlib-only (net/http, encoding/json).
+// Everything is stdlib-only (net/http, encoding/json, log/slog).
 package server
 
 import (
 	"context"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,8 +36,13 @@ type Config struct {
 	QueueDepth int
 	// MaxBodyBytes caps request bodies; 0 means 64 MiB.
 	MaxBodyBytes int64
-	// Logger receives request and lifecycle logs; nil silences them.
-	Logger *log.Logger
+	// Logger receives structured request and lifecycle logs; nil silences
+	// them.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and can run CPU
+	// profiles on demand, so operators opt in per process.
+	EnablePprof bool
 }
 
 // Server is the repair service: job store, worker pool, session registry
@@ -46,6 +55,7 @@ type Server struct {
 	pool     *pool
 	mux      *http.ServeMux
 	started  time.Time
+	reqSeq   atomic.Uint64
 }
 
 // New builds a Server and starts its worker pool.
@@ -87,10 +97,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		deadline = time.Until(d)
 	}
 	if deadline > 0 && s.pool.wait(deadline) {
-		s.logf("shutdown: drained cleanly")
+		s.logInfo("shutdown: drained cleanly")
 		return nil
 	}
-	s.logf("shutdown: draining timed out; canceling outstanding jobs")
+	s.logInfo("shutdown: draining timed out; canceling outstanding jobs")
 	s.jobs.cancelAll()
 	if !s.pool.wait(5 * time.Second) {
 		return context.DeadlineExceeded
@@ -98,13 +108,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-func (s *Server) logf(format string, args ...any) {
+// logInfo emits one structured lifecycle log line (no-op without a Logger).
+func (s *Server) logInfo(msg string, args ...any) {
 	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
+		s.cfg.Logger.Info(msg, args...)
 	}
 }
 
-// statusRecorder captures the response code for the request log.
+// statusRecorder captures the response code for the request log. It must
+// forward the optional ResponseWriter interfaces it would otherwise mask:
+// streaming handlers probe for http.Flusher, and a wrapper that hides it
+// would silently buffer session responses behind the logging middleware.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -115,11 +129,41 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer's http.Flusher, when present.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests assigns every request a process-unique id (echoed in the
+// X-Request-ID response header so clients can quote it back) and logs one
+// structured line per request.
 func (s *Server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := requestID(r, s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", reqID)
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		s.logf("%s %s %d %v", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("request",
+				"id", reqID,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"durMs", float64(time.Since(start).Microseconds())/1000,
+				"remote", r.RemoteAddr,
+			)
+		}
 	})
+}
+
+// requestID returns the client-supplied X-Request-ID when present (so
+// distributed callers can correlate) and a sequential req-NNNNNN otherwise.
+func requestID(r *http.Request, seq uint64) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 128 {
+		return id
+	}
+	return fmt.Sprintf("req-%06d", seq)
 }

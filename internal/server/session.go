@@ -27,6 +27,29 @@ type session struct {
 	// baseRepaired counts cells the base repair changed at creation.
 	baseRepaired int
 	baseAlgo     string
+	// events is a bounded ring of recent append batches (progress stream);
+	// eventSeq numbers them monotonically so a poller can detect gaps after
+	// the ring wrapped.
+	events   []ProgressEvent
+	eventSeq int
+}
+
+// progressRingCap bounds the per-session event ring; a poller that falls
+// more than this many batches behind sees a gap in Seq.
+const progressRingCap = 64
+
+// ProgressEvent describes one append batch processed by a session.
+type ProgressEvent struct {
+	// Seq numbers events monotonically from 1; a gap between consecutive
+	// events means the ring wrapped between polls.
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	// Tuples and Repaired count the batch's rows and how many were repaired;
+	// TotalTuples is the relation size after the batch.
+	Tuples      int     `json:"tuples"`
+	Repaired    int     `json:"repaired"`
+	TotalTuples int     `json:"totalTuples"`
+	DurMs       float64 `json:"durMs"`
 }
 
 // SessionView is the JSON representation of a session.
@@ -44,6 +67,9 @@ type SessionView struct {
 	// already consistent).
 	BaseRepairedCells int    `json:"baseRepairedCells"`
 	BaseAlgorithm     string `json:"baseAlgorithm,omitempty"`
+	// Events is the session's recent append batches, oldest first (at most
+	// the last 64).
+	Events []ProgressEvent `json:"events,omitempty"`
 }
 
 // AppendedTuple is the per-row outcome of a tuple append.
@@ -60,6 +86,8 @@ func (s *session) view() SessionView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	accepted, repaired := s.inc.Stats()
+	events := make([]ProgressEvent, len(s.events))
+	copy(events, s.events)
 	return SessionView{
 		ID:                s.id,
 		Created:           s.created,
@@ -68,6 +96,7 @@ func (s *session) view() SessionView {
 		Repaired:          repaired,
 		BaseRepairedCells: s.baseRepaired,
 		BaseAlgorithm:     s.baseAlgo,
+		Events:            events,
 	}
 }
 
@@ -76,6 +105,7 @@ func (s *session) view() SessionView {
 func (s *session) append(rows [][]string) ([]AppendedTuple, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
 	out := make([]AppendedTuple, 0, len(rows))
 	repaired := 0
 	for _, row := range rows {
@@ -88,6 +118,18 @@ func (s *session) append(rows [][]string) ([]AppendedTuple, int) {
 			repaired++
 		}
 		out = append(out, AppendedTuple{Values: accepted, Repaired: changed})
+	}
+	s.eventSeq++
+	s.events = append(s.events, ProgressEvent{
+		Seq:         s.eventSeq,
+		Time:        start,
+		Tuples:      len(rows),
+		Repaired:    repaired,
+		TotalTuples: s.inc.Relation().Len(),
+		DurMs:       float64(time.Since(start).Microseconds()) / 1000,
+	})
+	if len(s.events) > progressRingCap {
+		s.events = s.events[len(s.events)-progressRingCap:]
 	}
 	return out, repaired
 }
@@ -138,7 +180,7 @@ func (r *sessionRegistry) create(spec SessionSpec) (*session, error) {
 	baseAlgo := ""
 	if repair.VerifyFTConsistent(rel, set, cfg) != nil {
 		prob := &problem{rel: rel, set: set, cfg: cfg, algo: algo}
-		res, err := prob.run(nil)
+		res, err := prob.run(nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("repairing session base: %w", err)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/profile"
 	"ftrepair/internal/repair"
 )
@@ -228,10 +229,12 @@ func (spec *JobSpec) compile() (*problem, error) {
 	}, nil
 }
 
-// run executes the compiled problem with the given cancellation channel.
-func (p *problem) run(cancel <-chan struct{}) (*repair.Result, error) {
+// run executes the compiled problem with the given cancellation channel and
+// an optional trace collecting phase spans (nil disables tracing).
+func (p *problem) run(cancel <-chan struct{}, tr *obs.Trace) (*repair.Result, error) {
 	opts := p.opts
 	opts.Cancel = cancel
+	opts.Trace = tr
 	switch p.algo {
 	case "ExactS":
 		return repair.ExactS(p.rel, p.set.FDs[0], p.cfg, p.set.Tau[0], opts)

@@ -3,6 +3,8 @@ package server
 import (
 	"sync"
 	"time"
+
+	"ftrepair/internal/obs"
 )
 
 // AlgoStat aggregates latency for one algorithm.
@@ -30,7 +32,11 @@ type StatsView struct {
 }
 
 // metrics collects operational counters under one mutex; every counter is
-// incremented on job/session completion paths, far from the hot loops.
+// incremented on job/session completion paths, far from the hot loops. The
+// same events are mirrored into the obs default registry so GET /metrics
+// exposes them next to the pipeline counters; the distance-cache totals are
+// deliberately NOT mirrored here because repair's finish() already flushes
+// them into ftrepair_distcache_*_total.
 type metrics struct {
 	mu             sync.Mutex
 	jobsSubmitted  int
@@ -40,16 +46,33 @@ type metrics struct {
 	distCacheHits  int
 	distCacheMiss  int
 	perAlgo        map[string]*AlgoStat
+
+	obsJobsSubmitted  *obs.Counter
+	obsCellsRepaired  *obs.Counter
+	obsSessionTuples  *obs.Counter
+	obsSessionRepairs *obs.Counter
+	obsUptime         *obs.Gauge
+	obsSessionsOpen   *obs.Gauge
 }
 
 func newMetrics() *metrics {
-	return &metrics{perAlgo: make(map[string]*AlgoStat)}
+	reg := obs.Default()
+	return &metrics{
+		perAlgo:           make(map[string]*AlgoStat),
+		obsJobsSubmitted:  reg.Counter("repaird_jobs_submitted_total", "Repair jobs accepted by POST /v1/jobs."),
+		obsCellsRepaired:  reg.Counter("repaird_cells_repaired_total", "Cells changed by completed jobs."),
+		obsSessionTuples:  reg.Counter("repaird_session_tuples_total", "Tuples appended to streaming sessions."),
+		obsSessionRepairs: reg.Counter("repaird_session_repairs_total", "Appended tuples that needed an online repair."),
+		obsUptime:         reg.Gauge("repaird_uptime_seconds", "Seconds since the server started."),
+		obsSessionsOpen:   reg.Gauge("repaird_sessions_open", "Streaming sessions currently open."),
+	}
 }
 
 func (m *metrics) jobSubmitted() {
 	m.mu.Lock()
 	m.jobsSubmitted++
 	m.mu.Unlock()
+	m.obsJobsSubmitted.Inc()
 }
 
 func (m *metrics) jobFinished(state JobState, algo string, elapsed time.Duration, cellsRepaired int) {
@@ -57,6 +80,7 @@ func (m *metrics) jobFinished(state JobState, algo string, elapsed time.Duration
 	defer m.mu.Unlock()
 	if state == JobDone || state == JobCanceled {
 		m.cellsRepaired += cellsRepaired
+		m.obsCellsRepaired.AddInt(cellsRepaired)
 	}
 	if state == JobDone {
 		st := m.perAlgo[algo]
@@ -71,6 +95,9 @@ func (m *metrics) jobFinished(state JobState, algo string, elapsed time.Duration
 			st.MaxMs = ms
 		}
 	}
+	obs.Default().Counter("repaird_jobs_finished_total",
+		"Jobs finished, by terminal state.",
+		obs.Label{Key: "state", Value: string(state)}).Inc()
 }
 
 // addDistCache accumulates the distance-cache counters a finished job
@@ -90,6 +117,21 @@ func (m *metrics) sessionAppend(tuples, repaired int) {
 	m.sessionTuples += tuples
 	m.sessionRepairs += repaired
 	m.mu.Unlock()
+	m.obsSessionTuples.AddInt(tuples)
+	m.obsSessionRepairs.AddInt(repaired)
+}
+
+// syncGauges refreshes the point-in-time gauges in the obs registry just
+// before an exposition; counters flow in as events happen, but uptime and
+// the job/session population only exist as snapshots.
+func (m *metrics) syncGauges(uptime time.Duration, jobs map[JobState]int, sessions int) {
+	m.obsUptime.Set(uptime.Seconds())
+	m.obsSessionsOpen.Set(float64(sessions))
+	reg := obs.Default()
+	for state, n := range jobs {
+		reg.Gauge("repaird_jobs", "Jobs currently in the store, by state.",
+			obs.Label{Key: "state", Value: string(state)}).Set(float64(n))
+	}
 }
 
 // snapshot merges the counters with the caller-supplied gauges.

@@ -17,6 +17,7 @@ import (
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/strsim"
 )
 
@@ -87,10 +88,24 @@ type Options struct {
 	// the edges verified so far; callers that pass Cancel must poll it
 	// after Build and treat the graph as partial when it fired.
 	Cancel <-chan struct{}
+	// Trace, when non-nil, receives a graphbuild span per Build call.
+	// Purely observational: never consulted by construction decisions.
+	Trace *obs.Trace
+	// Worker is the 1-based build-slot label for the trace span when
+	// several graphs build concurrently; 0 (the zero value) leaves the
+	// span unlabeled.
+	Worker int
 }
 
 // Build constructs the violation graph of f over rel at threshold tau.
 func Build(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opts Options) *Graph {
+	sp := obs.Begin(opts.Trace, obs.PhaseGraphBuild)
+	sp.SetFD(f.String())
+	if opts.Worker > 0 {
+		sp.SetWorker(opts.Worker - 1)
+	}
+	defer sp.End()
+
 	g := &Graph{FD: f, Cfg: cfg, Tau: tau, byKey: make(map[string]int), probe: -1}
 	for i, t := range rel.Tuples {
 		k := t.Key(f.Attrs())
@@ -125,6 +140,18 @@ func Build(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opt
 	for _, es := range g.adj {
 		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
 	}
+
+	// Flush build totals into the default registry here — the single flush
+	// point for graph metrics, covering every Build regardless of caller
+	// (repairs, Detect, benchmarks). FlushRunStats deliberately skips the
+	// vertices/edges Stats keys for the same reason.
+	edges := g.NumEdges()
+	obs.Pipeline.GraphBuilds.Inc()
+	obs.Pipeline.GraphVertices.AddInt(len(g.Vertices))
+	obs.Pipeline.GraphEdges.AddInt(edges)
+	sp.Add("vertices", int64(len(g.Vertices)))
+	sp.Add("edges", int64(edges))
+	sp.Add("workers", int64(workers))
 	return g
 }
 
