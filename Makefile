@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint test short bench bench-json bench-repair experiments fuzz cover examples serve
+.PHONY: all build lint test short bench bench-json bench-repair bench-incremental experiments fuzz cover examples serve
 
 all: build lint test
 
@@ -34,6 +34,12 @@ bench-json:
 # writes BENCH_repair.json.
 bench-repair:
 	go run ./cmd/repairbench -exp repairbench -benchout BENCH_repair.json
+
+# Replays a timed ingest stream against the sharded incremental engine and
+# against monolithic per-batch recomputation, and writes
+# BENCH_incremental.json (per-batch latency, shard telemetry, ratios).
+bench-incremental:
+	go run ./cmd/repairbench -exp incrbench -benchout BENCH_incremental.json
 
 experiments:
 	go run ./cmd/repairbench -exp all -scale 0.2

@@ -5,10 +5,19 @@
 //
 //	genworkload -workload hosp -n 2000 -rate 0.04 -dir out/
 //	ftrepair -in out/dirty.csv $(sed 's/^/-fd /' out/fds.txt) -out repaired.csv
+//
+// Streaming mode (-stream) materializes a timed ingest workload for the
+// repaird session API instead: base.csv (the relation a session starts
+// from), stream.jsonl (one JSON batch per line with an arrival offset), and
+// fds.txt. The same generation pass produces base and stream, so streamed
+// errors can repair toward the standing patterns.
+//
+//	genworkload -workload hosp -stream -n 2000 -batches 20 -batchsize 100 -interval 250 -dir out/
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,17 +32,68 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "hosp", "workload: hosp, tax, citizens")
-		n        = flag.Int("n", 2000, "number of tuples (ignored for citizens)")
-		rate     = flag.Float64("rate", 0.04, "error rate (ignored for citizens, which carries the paper's 8 errors)")
-		seed     = flag.Int64("seed", 1, "RNG seed")
-		dir      = flag.String("dir", ".", "output directory")
+		workload  = flag.String("workload", "hosp", "workload: hosp, tax, citizens")
+		n         = flag.Int("n", 2000, "number of tuples (ignored for citizens); in stream mode, the base relation size")
+		rate      = flag.Float64("rate", 0.04, "error rate (ignored for citizens, which carries the paper's 8 errors)")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		dir       = flag.String("dir", ".", "output directory")
+		stream    = flag.Bool("stream", false, "emit a timed ingest workload (base.csv + stream.jsonl) instead of a batch one")
+		batches   = flag.Int("batches", 20, "stream mode: number of arrival batches")
+		batchSize = flag.Int("batchsize", 100, "stream mode: rows per arrival batch")
+		interval  = flag.Int("interval", 250, "stream mode: milliseconds between arrivals")
+		nfds      = flag.Int("fds", 0, "stream mode: limit to the workload's first N FDs (0 = all)")
 	)
 	flag.Parse()
-	if err := run(*workload, *n, *rate, *seed, *dir); err != nil {
+	var err error
+	if *stream {
+		err = runStream(gen.StreamConfig{
+			Workload: *workload, Base: *n, Batches: *batches, BatchSize: *batchSize,
+			FDs: *nfds, Rate: *rate, Seed: *seed, IntervalMs: *interval,
+		}, *dir)
+	} else {
+		err = run(*workload, *n, *rate, *seed, *dir)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "genworkload:", err)
 		os.Exit(1)
 	}
+}
+
+// runStream writes the streaming-ingest triple: base.csv, stream.jsonl
+// (one StreamBatch per line), fds.txt.
+func runStream(cfg gen.StreamConfig, dir string) error {
+	base, stream, fds, err := gen.Stream(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	bf, err := os.Create(filepath.Join(dir, "base.csv"))
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	if err := dataset.WriteCSV(bf, base); err != nil {
+		return err
+	}
+	sf, err := os.Create(filepath.Join(dir, "stream.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	enc := json.NewEncoder(sf)
+	for _, b := range stream {
+		if err := enc.Encode(b); err != nil {
+			return err
+		}
+	}
+	if err := writeFDSpecs(filepath.Join(dir, "fds.txt"), fds); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: wrote base.csv (%d tuples), stream.jsonl (%d batches × %d rows), fds.txt to %s\n",
+		cfg.Workload, base.Len(), len(stream), cfg.BatchSize, dir)
+	return nil
 }
 
 func run(workload string, n int, rate float64, seed int64, dir string) error {
@@ -108,8 +168,18 @@ func run(workload string, n int, rate float64, seed int64, dir string) error {
 		return err
 	}
 
-	// Constraint specs, one per line, usable as -fd arguments.
-	ff, err := os.Create(filepath.Join(dir, "fds.txt"))
+	if err := writeFDSpecs(filepath.Join(dir, "fds.txt"), fds); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: wrote clean.csv (%d tuples), dirty.csv (%d errors), truth.csv, fds.txt to %s\n",
+		workload, clean.Len(), len(injections), dir)
+	return nil
+}
+
+// writeFDSpecs writes constraint specs, one per line, usable as -fd
+// arguments.
+func writeFDSpecs(path string, fds []*fd.FD) error {
+	ff, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -124,7 +194,5 @@ func run(workload string, n int, rate float64, seed int64, dir string) error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%s: wrote clean.csv (%d tuples), dirty.csv (%d errors), truth.csv, fds.txt to %s\n",
-		workload, clean.Len(), len(injections), dir)
 	return nil
 }

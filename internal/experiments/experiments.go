@@ -115,6 +115,7 @@ func list() []experiment {
 		{"autotau", "SelectTau heuristic vs fixed threshold", autotauAblation},
 		{"graphbench", "construction-phase timings: parallel + memoized graph build", graphbench},
 		{"repairbench", "repair-phase timings: heap greedy growth, parallel B&B, plan evaluation", repairbench},
+		{"incrbench", "incremental-ingest timings: sharded engine per-batch latency vs from-scratch", incrbench},
 	}
 }
 
@@ -587,6 +588,40 @@ func repairbench(c Config, w io.Writer) error {
 		return err
 	}
 	eval.PrintRepairBench(w, doc)
+	if c.BenchOut != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.BenchOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("experiments: writing %s: %w", c.BenchOut, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", c.BenchOut)
+	}
+	return nil
+}
+
+// incrbench replays a timed ingest stream against the sharded incremental
+// engine and against monolithic per-batch recomputation, at three relation
+// sizes, and optionally writes the measurements to Config.BenchOut as JSON
+// (BENCH_incremental.json). The claim under test: per-batch latency tracks
+// the touched components, not the standing relation size.
+func incrbench(c Config, w io.Writer) error {
+	wk := c.Workloads[0]
+	n := int(25000 * c.Scale)
+	if n < 400 {
+		n = 400
+	}
+	doc, err := eval.IncrBench(eval.IncrBenchConfig{
+		Workload: wk,
+		N:        n,
+		Seed:     c.Seed,
+		Cancel:   c.Cancel,
+	})
+	if err != nil {
+		return err
+	}
+	eval.PrintIncrBench(w, doc)
 	if c.BenchOut != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

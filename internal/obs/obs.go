@@ -44,12 +44,20 @@ const (
 	PhaseTargetSearch Phase = "targetsearch"
 	// PhaseApply covers writing chosen repairs back into the relation.
 	PhaseApply Phase = "apply"
+	// PhaseShardSelect covers incremental-engine shard selection: registering
+	// a batch's patterns, detecting their violations against the warm
+	// registry, and union-finding the touched shards.
+	PhaseShardSelect Phase = "shardselect"
+	// PhaseIncRepair covers one incremental shard re-repair (the touched
+	// shard's sub-relation run through the configured algorithm).
+	PhaseIncRepair Phase = "increpair"
 )
 
 // Phases lists every phase in pipeline order.
 func Phases() []Phase {
 	return []Phase{PhaseDetect, PhaseGraphBuild, PhaseExpand,
-		PhaseGreedyGrow, PhaseTargetSearch, PhaseApply}
+		PhaseGreedyGrow, PhaseTargetSearch, PhaseApply,
+		PhaseShardSelect, PhaseIncRepair}
 }
 
 // RunMeta is the run metadata embedded in trace headers and BENCH_*.json

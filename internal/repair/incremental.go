@@ -34,10 +34,22 @@ type incComponent struct {
 	// projection of FD fdIdx[f]; keys[f] the projection-key set.
 	patterns [][]dataset.Tuple
 	keys     []map[string]bool
-	// tree is rebuilt lazily when new patterns arrive.
+	// tree is the memoized nearest-target index. Multi-FD components
+	// rebuild it lazily when treeDirty (a new pattern arrived since the
+	// last build). Single-FD components defer harder: tree covers only
+	// patterns[0][:treeBuilt], fresher patterns are scanned linearly
+	// alongside the tree search, and the tree refolds only once the fresh
+	// tail outgrows incFreshFold — so alternating absorb/repair workloads
+	// stop paying a full O(patterns) rebuild per repaired tuple.
 	tree      *targettree.Tree
 	treeDirty bool
+	treeBuilt int
+	// treeBuilds counts Build calls (observability for the memoization).
+	treeBuilds int
 }
+
+// incFreshFold is the single-FD fresh-tail length that triggers a refold.
+const incFreshFold = 64
 
 // NewIncremental builds incremental state over base, which must already be
 // FT-consistent w.r.t. the set (e.g. the Repaired relation of a prior
@@ -133,15 +145,10 @@ func (c *incComponent) accept(set *fd.Set, cfg *fd.DistConfig, t dataset.Tuple) 
 		c.absorb(set, t)
 		return false, nil
 	}
-	if c.treeDirty {
-		tree, err := c.buildTree(set)
-		if err != nil {
-			return false, err
-		}
-		c.tree = tree
-		c.treeDirty = false
+	tg, err := c.nearestTarget(set, cfg, t)
+	if err != nil {
+		return false, err
 	}
-	tg, _, _ := c.tree.Nearest(t, cfg.RepairDist, nil)
 	changed := false
 	for j, col := range tg.Cols {
 		if t[col] != tg.Vals[j] {
@@ -152,7 +159,62 @@ func (c *incComponent) accept(set *fd.Set, cfg *fd.DistConfig, t dataset.Tuple) 
 	return changed, nil
 }
 
+// nearestTarget finds the closest accepted join-target for t. Single-FD
+// components search the memoized tree prefix plus a linear scan of the
+// fresh tail (refolding past incFreshFold); multi-FD components rebuild
+// the joined tree when dirty.
+func (c *incComponent) nearestTarget(set *fd.Set, cfg *fd.DistConfig, t dataset.Tuple) (targettree.Target, error) {
+	if len(c.fdIdx) == 1 {
+		return c.nearestSingle(set, cfg, t)
+	}
+	if c.treeDirty {
+		tree, err := c.buildTree(set)
+		if err != nil {
+			return targettree.Target{}, err
+		}
+		c.tree = tree
+		c.treeDirty = false
+	}
+	tg, _, _ := c.tree.Nearest(t, cfg.RepairDist, nil)
+	return tg, nil
+}
+
+// nearestSingle is the single-FD search: best of the tree over the folded
+// prefix and a scan of the fresh tail. The tree wins distance ties, so a
+// refold never changes which of two equidistant targets is picked away
+// from the earlier-accepted one.
+func (c *incComponent) nearestSingle(set *fd.Set, cfg *fd.DistConfig, t dataset.Tuple) (targettree.Target, error) {
+	if len(c.patterns[0])-c.treeBuilt > incFreshFold {
+		tree, err := c.buildTree(set)
+		if err != nil {
+			return targettree.Target{}, err
+		}
+		c.tree = tree
+		c.treeBuilt = len(c.patterns[0])
+		c.treeDirty = false
+	}
+	attrs := set.FDs[c.fdIdx[0]].Attrs()
+	var best targettree.Target
+	bestDist := -1.0
+	if c.treeBuilt > 0 {
+		tg, d, _ := c.tree.Nearest(t, cfg.RepairDist, nil)
+		best, bestDist = tg, d
+	}
+	for _, p := range c.patterns[0][c.treeBuilt:] {
+		var d float64
+		for _, col := range attrs {
+			d += cfg.RepairDist(col, t[col], p[col])
+		}
+		if bestDist < 0 || d < bestDist {
+			best = targettree.Target{Cols: attrs, Vals: p.Project(attrs)}
+			bestDist = d
+		}
+	}
+	return best, nil
+}
+
 func (c *incComponent) buildTree(set *fd.Set) (*targettree.Tree, error) {
+	c.treeBuilds++
 	levels := make([]targettree.Level, len(c.fdIdx))
 	for f, i := range c.fdIdx {
 		attrs := set.FDs[i].Attrs()
@@ -172,4 +234,14 @@ func (inc *Incremental) Relation() *dataset.Relation { return inc.rel }
 // Stats reports how many tuples were appended and how many needed repair.
 func (inc *Incremental) Stats() (accepted, repaired int) {
 	return inc.accepted, inc.repaired
+}
+
+// TreeBuilds reports how many target-tree constructions the stream has
+// paid for across components — the cost the fresh-tail memoization bounds.
+func (inc *Incremental) TreeBuilds() int {
+	n := 0
+	for _, c := range inc.comps {
+		n += c.treeBuilds
+	}
+	return n
 }

@@ -1,6 +1,7 @@
 package repair_test
 
 import (
+	"fmt"
 	"testing"
 
 	"ftrepair/internal/dataset"
@@ -101,6 +102,69 @@ func TestIncrementalArityCheck(t *testing.T) {
 	inc, _, _ := incrementalFixture(t)
 	if _, _, err := inc.Add(dataset.Tuple{"too", "short"}); err == nil {
 		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestIncrementalTreeBuildsBounded(t *testing.T) {
+	// Alternate novel patterns (each dirties the tree) with violating
+	// tuples (each needs a nearest-target search). The fresh-tail
+	// memoization must not rebuild the tree per violation: builds stay
+	// bounded by patterns/incFreshFold-ish, not by the violation count.
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "City", Type: dataset.String},
+		dataset.Attribute{Name: "State", Type: dataset.String},
+	)
+	rel := dataset.NewRelation(schema)
+	if err := rel.Append(dataset.Tuple{"Boston", "MA"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fd.Parse(schema, "City -> State")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fd.NewSet([]*fd.FD{f}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := fd.NewDistConfig(rel, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := repair.NewIncremental(rel, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 300
+	for i := 0; i < rounds; i++ {
+		// A novel pattern extends the state. Tripling two base-26 digits
+		// keeps every pair of names >= 3 edits apart (normalized 0.5, past
+		// the city budget tau/wl = 0.43) while a 1-char typo stays at 1/6.
+		a, b := rune('a'+i/26), rune('a'+i%26)
+		city := fmt.Sprintf("%c%c%c%c%c%c", a, a, a, b, b, b)
+		if _, changed, err := inc.Add(dataset.Tuple{city, "ZZ"}); err != nil || changed {
+			t.Fatalf("novel tuple %d: changed=%v err=%v", i, changed, err)
+		}
+		// ...and a typo of it violates and repairs toward it.
+		typo := city[:len(city)-1]
+		out, changed, err := inc.Add(dataset.Tuple{typo, "ZZ"})
+		if err != nil || !changed {
+			t.Fatalf("typo tuple %d: changed=%v err=%v", i, changed, err)
+		}
+		if out[0] != city {
+			t.Fatalf("typo %d repaired to %q, want %q", i, out[0], city)
+		}
+	}
+	builds := inc.TreeBuilds()
+	if builds == 0 {
+		t.Fatal("no tree was ever built despite violations")
+	}
+	// Pre-fix behavior rebuilt once per violation (~rounds builds); the
+	// fold threshold of 64 fresh patterns caps it near rounds/64.
+	if builds > rounds/8 {
+		t.Fatalf("tree built %d times over %d violations — memoization is not deferring", builds, rounds)
+	}
+	if err := repair.VerifyFTConsistent(inc.Relation(), set, cfg); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -221,17 +221,25 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "rows is empty")
 		return
 	}
-	results, repaired := sess.append(req.Rows)
+	results, repaired, err := sess.append(r.Context(), req.Rows)
+	if err != nil {
+		// The batcher rejected the enqueue: session closed underneath us or
+		// backpressure outlasted the client's patience.
+		writeError(w, http.StatusServiceUnavailable, "append: %v", err)
+		return
+	}
 	s.metrics.sessionAppend(len(req.Rows), repaired)
 	writeJSON(w, http.StatusOK, appendResponse{Results: results, Repaired: repaired})
 }
 
 func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.sessions.remove(id) {
+	sess, ok := s.sessions.remove(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	sess.close()
 	s.logInfo("session closed", "session", id)
 	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
 }

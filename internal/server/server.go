@@ -6,9 +6,11 @@
 //     bounded worker pool executes the repair; GET /v1/jobs/{id} polls
 //     status and result; DELETE /v1/jobs/{id} cancels a queued or running
 //     job through the repair.Options cancellation hook.
-//   - streaming sessions: POST /v1/sessions builds repair.Incremental
-//     state over a base relation; POST /v1/sessions/{id}/tuples appends
-//     tuples online, repairing each against the accepted patterns.
+//   - streaming sessions: POST /v1/sessions builds an incr.Engine over a
+//     base relation (sharded by violation-graph component, with warm
+//     per-shard state); POST /v1/sessions/{id}/tuples enqueues rows into
+//     the session's batcher, which coalesces concurrent appends and
+//     flushes only the touched shards through the repair machinery.
 //   - operations: GET /healthz liveness, GET /v1/stats counters,
 //     GET /metrics Prometheus exposition (GET /v1/metrics for the JSON
 //     snapshot), opt-in /debug/pprof/*, structured request logging with
@@ -92,6 +94,7 @@ func (s *Server) Handler() http.Handler {
 // awaited briefly so workers observe the cancel.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.pool.close()
+	s.sessions.closeAll()
 	deadline := 5 * time.Second
 	if d, ok := ctx.Deadline(); ok {
 		deadline = time.Until(d)

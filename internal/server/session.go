@@ -1,35 +1,39 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
-	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
-	"ftrepair/internal/repair"
+	"ftrepair/internal/incr"
 )
 
-// session is one long-lived streaming repair: an FT-consistent base
-// relation plus repair.Incremental state that keeps it consistent as tuples
-// arrive. Incremental is not safe for concurrent use, so every operation
-// holds mu — appends from concurrent clients serialize here.
+// session is one long-lived streaming repair: an incr.Engine holding the
+// sharded warm state, fronted by an incr.Batcher so concurrent POSTs
+// coalesce into flushes instead of serializing per tuple. The engine has
+// its own fine-grained locking — view() and relationCSV() read through it
+// without waiting for an in-flight append batch; the session only guards
+// its progress-event ring with a small mutex.
 type session struct {
 	id      string
 	created time.Time
 
-	mu  sync.Mutex
-	inc *repair.Incremental
+	eng *incr.Engine
+	bat *incr.Batcher
 	set *fd.Set
 	cfg *fd.DistConfig
-	// baseRepaired counts cells the base repair changed at creation.
+	// baseRepaired counts cells the initial flush changed to make the base
+	// consistent.
 	baseRepaired int
 	baseAlgo     string
-	// events is a bounded ring of recent append batches (progress stream);
-	// eventSeq numbers them monotonically so a poller can detect gaps after
-	// the ring wrapped.
+
+	// evMu guards only the bounded ring of recent flushes; eventSeq numbers
+	// them monotonically so a poller can detect gaps after the ring wrapped.
+	evMu     sync.Mutex
 	events   []ProgressEvent
 	eventSeq int
 }
@@ -38,7 +42,7 @@ type session struct {
 // more than this many batches behind sees a gap in Seq.
 const progressRingCap = 64
 
-// ProgressEvent describes one append batch processed by a session.
+// ProgressEvent describes one flushed append batch.
 type ProgressEvent struct {
 	// Seq numbers events monotonically from 1; a gap between consecutive
 	// events means the ring wrapped between polls.
@@ -50,6 +54,12 @@ type ProgressEvent struct {
 	Repaired    int     `json:"repaired"`
 	TotalTuples int     `json:"totalTuples"`
 	DurMs       float64 `json:"durMs"`
+	// FlushReason is what triggered the flush: size, interval, or close.
+	FlushReason string `json:"flushReason,omitempty"`
+	// ShardsTouched and MaxShardRows describe the batch's blast radius: how
+	// many shards it dirtied and the largest one's row count.
+	ShardsTouched int `json:"shardsTouched,omitempty"`
+	MaxShardRows  int `json:"maxShardRows,omitempty"`
 }
 
 // SessionView is the JSON representation of a session.
@@ -62,6 +72,10 @@ type SessionView struct {
 	// needed repair.
 	Accepted int `json:"accepted"`
 	Repaired int `json:"repaired"`
+	// Batches counts engine flushes (including the base flush); Shards is
+	// the live shard population.
+	Batches int `json:"batches"`
+	Shards  int `json:"shards"`
 	// BaseRepairedCells counts cells changed to make the base consistent;
 	// BaseAlgorithm names the algorithm that did it ("" when the base was
 	// already consistent).
@@ -82,68 +96,87 @@ type AppendedTuple struct {
 	Error string `json:"error,omitempty"`
 }
 
+// view snapshots the session without blocking behind an in-flight batch:
+// engine stats are read under the engine's state read-lock, events under
+// the small ring mutex.
 func (s *session) view() SessionView {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	accepted, repaired := s.inc.Stats()
+	st := s.eng.Stats()
+	s.evMu.Lock()
 	events := make([]ProgressEvent, len(s.events))
 	copy(events, s.events)
+	s.evMu.Unlock()
 	return SessionView{
 		ID:                s.id,
 		Created:           s.created,
-		Tuples:            s.inc.Relation().Len(),
-		Accepted:          accepted,
-		Repaired:          repaired,
+		Tuples:            st.Rows,
+		Accepted:          st.Accepted,
+		Repaired:          st.Repaired,
+		Batches:           st.Batches,
+		Shards:            st.Shards,
 		BaseRepairedCells: s.baseRepaired,
 		BaseAlgorithm:     s.baseAlgo,
 		Events:            events,
 	}
 }
 
-// append feeds rows through the incremental repair, returning per-row
-// outcomes and how many rows were repaired.
-func (s *session) append(rows [][]string) ([]AppendedTuple, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	start := time.Now()
-	out := make([]AppendedTuple, 0, len(rows))
-	repaired := 0
-	for _, row := range rows {
-		accepted, changed, err := s.inc.Add(dataset.Tuple(row))
-		if err != nil {
-			out = append(out, AppendedTuple{Error: err.Error()})
-			continue
-		}
-		if changed {
-			repaired++
-		}
-		out = append(out, AppendedTuple{Values: accepted, Repaired: changed})
-	}
+// onFlush records one flushed batch in the progress ring; registered as
+// the batcher's OnFlush callback, so it fires exactly once per flush no
+// matter how many requests the batch coalesced.
+func (s *session) onFlush(br *incr.BatchResult) {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
 	s.eventSeq++
 	s.events = append(s.events, ProgressEvent{
-		Seq:         s.eventSeq,
-		Time:        start,
-		Tuples:      len(rows),
-		Repaired:    repaired,
-		TotalTuples: s.inc.Relation().Len(),
-		DurMs:       float64(time.Since(start).Microseconds()) / 1000,
+		Seq:           s.eventSeq,
+		Time:          time.Now().Add(-br.Elapsed),
+		Tuples:        len(br.Rows),
+		Repaired:      br.Repaired,
+		TotalTuples:   br.TotalRows,
+		DurMs:         float64(br.Elapsed.Microseconds()) / 1000,
+		FlushReason:   br.Reason,
+		ShardsTouched: br.ShardsTouched,
+		MaxShardRows:  br.MaxShardRows,
 	})
 	if len(s.events) > progressRingCap {
 		s.events = s.events[len(s.events)-progressRingCap:]
 	}
-	return out, repaired
 }
 
-// relationCSV serializes the session's current relation.
+// append enqueues rows and waits for their flush, returning per-row
+// outcomes and how many rows were repaired. Concurrent callers coalesce
+// into shared batches instead of serializing per tuple.
+func (s *session) append(ctx context.Context, rows [][]string) ([]AppendedTuple, int, error) {
+	res, err := s.bat.Enqueue(ctx, rows)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]AppendedTuple, 0, len(res.Rows))
+	repaired := 0
+	for _, rr := range res.Rows {
+		if rr.Err != nil {
+			out = append(out, AppendedTuple{Error: rr.Err.Error()})
+			continue
+		}
+		if rr.Repaired {
+			repaired++
+		}
+		out = append(out, AppendedTuple{Values: rr.Values, Repaired: rr.Repaired})
+	}
+	return out, repaired, res.Err
+}
+
+// relationCSV serializes the session's current relation; it reads under
+// the engine's state lock and never waits for a flush to finish.
 func (s *session) relationCSV() (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var buf strings.Builder
-	if err := dataset.WriteCSV(&buf, s.inc.Relation()); err != nil {
+	if err := s.eng.WriteCSV(&buf); err != nil {
 		return "", err
 	}
 	return buf.String(), nil
 }
+
+// close drains and stops the session's batcher.
+func (s *session) close() { s.bat.Close() }
 
 // sessionRegistry tracks live sessions under a mutex.
 type sessionRegistry struct {
@@ -156,9 +189,9 @@ func newSessionRegistry() *sessionRegistry {
 	return &sessionRegistry{sessions: make(map[string]*session)}
 }
 
-// create compiles a session spec: the base relation is repaired first when
-// it is not already FT-consistent, so NewIncremental always starts from a
-// consistent state.
+// create compiles a session spec and builds its engine; the engine's
+// initial flush repairs the base relation when it is not already
+// FT-consistent.
 func (r *sessionRegistry) create(spec SessionSpec) (*session, error) {
 	algo, err := canonicalAlgo(spec.Algorithm)
 	if err != nil {
@@ -172,36 +205,34 @@ func (r *sessionRegistry) create(spec SessionSpec) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	if (algo == "ExactS" || algo == "GreedyS") && len(set.FDs) != 1 {
-		return nil, fmt.Errorf("%s repairs a single FD, spec has %d", algo, len(set.FDs))
-	}
-	base := rel
-	baseRepaired := 0
-	baseAlgo := ""
-	if repair.VerifyFTConsistent(rel, set, cfg) != nil {
-		prob := &problem{rel: rel, set: set, cfg: cfg, algo: algo}
-		res, err := prob.run(nil, nil)
-		if err != nil {
-			return nil, fmt.Errorf("repairing session base: %w", err)
-		}
-		base = res.Repaired
-		baseRepaired = len(res.Changed)
-		baseAlgo = res.Algorithm
-	}
-	inc, err := repair.NewIncremental(base, set, cfg)
+	eng, initRes, err := incr.NewEngine(rel, set, cfg, incr.Options{Algorithm: algo})
 	if err != nil {
 		return nil, err
 	}
+	baseAlgo := ""
+	if initRes.ChangedCells > 0 {
+		baseAlgo = algo
+	}
+	s := &session{
+		created: time.Now(),
+		eng:     eng, set: set, cfg: cfg,
+		baseRepaired: initRes.ChangedCells,
+		baseAlgo:     baseAlgo,
+	}
+	maxDelay := 5 * time.Millisecond
+	if spec.MaxDelayMs > 0 {
+		maxDelay = time.Duration(spec.MaxDelayMs) * time.Millisecond
+	}
+	s.bat = incr.NewBatcher(eng, incr.BatcherConfig{
+		MaxBatch:   spec.MaxBatch,
+		MaxDelay:   maxDelay,
+		MaxPending: spec.MaxPending,
+		OnFlush:    s.onFlush,
+	})
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
-	s := &session{
-		id:      fmt.Sprintf("sess-%06d", r.seq),
-		created: time.Now(),
-		inc:     inc, set: set, cfg: cfg,
-		baseRepaired: baseRepaired,
-		baseAlgo:     baseAlgo,
-	}
+	s.id = fmt.Sprintf("sess-%06d", r.seq)
 	r.sessions[s.id] = s
 	return s, nil
 }
@@ -213,14 +244,17 @@ func (r *sessionRegistry) get(id string) (*session, bool) {
 	return s, ok
 }
 
-func (r *sessionRegistry) remove(id string) bool {
+// remove unregisters a session and returns it so the caller can close it
+// outside the registry lock.
+func (r *sessionRegistry) remove(id string) (*session, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.sessions[id]; !ok {
-		return false
+	s, ok := r.sessions[id]
+	if !ok {
+		return nil, false
 	}
 	delete(r.sessions, id)
-	return true
+	return s, true
 }
 
 func (r *sessionRegistry) count() int {
@@ -238,4 +272,11 @@ func (r *sessionRegistry) list() []*session {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
 	return out
+}
+
+// closeAll drains every session's batcher (server shutdown).
+func (r *sessionRegistry) closeAll() {
+	for _, s := range r.list() {
+		s.close()
+	}
 }

@@ -65,6 +65,13 @@ type SessionSpec struct {
 	WL        float64    `json:"wl,omitempty"`
 	WR        float64    `json:"wr,omitempty"`
 	Algorithm string     `json:"algorithm,omitempty"`
+	// Streaming-ingest knobs: appends enqueue into a batcher that flushes on
+	// MaxBatch rows or MaxDelayMs milliseconds (whichever first) and pushes
+	// back once MaxPending rows are queued. Zero values take the batcher
+	// defaults (MaxBatch 256, MaxPending 4×MaxBatch) with a 5ms MaxDelay.
+	MaxBatch   int `json:"maxBatch,omitempty"`
+	MaxDelayMs int `json:"maxDelayMs,omitempty"`
+	MaxPending int `json:"maxPending,omitempty"`
 }
 
 // problem is a compiled job: the parsed relation, constraint set and
