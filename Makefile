@@ -1,17 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint test short bench bench-json bench-repair bench-incremental experiments fuzz cover examples serve
+.PHONY: all build lint lint-json lint-sarif test short bench bench-json bench-repair bench-incremental experiments fuzz cover examples serve
 
 all: build lint test
 
 build:
 	go build ./...
-	go vet ./...
 
 lint:
-	go run ./cmd/repairlint ./...
+	go vet ./...
+	go run ./cmd/repairlint -baseline=.repairlint.baseline ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
+# Machine-readable findings (all of them, suppressed included) on stdout.
+lint-json:
+	go run ./cmd/repairlint -format=json -baseline=.repairlint.baseline ./...
+
+# SARIF 2.1.0 log of the active findings, for CI annotation/upload.
+lint-sarif:
+	go run ./cmd/repairlint -format=sarif -baseline=.repairlint.baseline ./... > repairlint.sarif || true
+	@echo wrote repairlint.sarif
 
 test:
 	go test ./...

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The baseline file accepts findings that cannot carry an in-file
+// directive. One entry per line:
+//
+//	internal/server/session.go: mapiter: append to names # response field order is JSON-canonicalized downstream
+//
+// The first two colon-separated fields are the file path (as repairlint
+// prints it) and the analyzer; the rest up to '#' is a substring the
+// finding's message must contain; the '#' tail is the mandatory
+// justification. Blank lines and '#' comment lines are skipped. Line
+// numbers are deliberately absent so unrelated edits above a finding do
+// not invalidate the baseline.
+//
+// Every entry must match at least one finding of the current run — stale
+// entries are reported as findings themselves — so the file can only
+// shrink truthfully and CI notices when a baselined issue gets fixed.
+
+// baselineEntry is one accepted finding pattern.
+type baselineEntry struct {
+	file     string
+	analyzer string
+	substr   string
+	reason   string
+	line     int // line in the baseline file, for stale reports
+	used     bool
+}
+
+type baselineSet struct {
+	path    string
+	entries []*baselineEntry
+}
+
+// loadBaseline parses path ("" means an empty baseline).
+func loadBaseline(path string) (*baselineSet, error) {
+	bl := &baselineSet{path: path}
+	if path == "" {
+		return bl, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entry, reason, ok := strings.Cut(line, "#")
+		if !ok || strings.TrimSpace(reason) == "" {
+			return nil, fmt.Errorf("baseline: %s:%d: entry has no '# <justification>' tail", path, lineNo)
+		}
+		parts := strings.SplitN(entry, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline: %s:%d: want 'file: analyzer: message substring # reason'", path, lineNo)
+		}
+		bl.entries = append(bl.entries, &baselineEntry{
+			file:     strings.TrimSpace(parts[0]),
+			analyzer: strings.TrimSpace(parts[1]),
+			substr:   strings.TrimSpace(parts[2]),
+			reason:   strings.TrimSpace(reason),
+			line:     lineNo,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return bl, nil
+}
+
+// apply marks findings covered by the baseline as suppressed (in place)
+// and returns one synthetic finding per stale entry.
+func (bl *baselineSet) apply(findings []finding) []finding {
+	for i := range findings {
+		f := &findings[i]
+		if f.Suppressed != "" {
+			continue
+		}
+		for _, e := range bl.entries {
+			if e.analyzer != f.Analyzer {
+				continue
+			}
+			if !strings.HasSuffix(f.File, e.file) {
+				continue
+			}
+			if e.substr != "" && !strings.Contains(f.Message, e.substr) {
+				continue
+			}
+			e.used = true
+			f.Suppressed = "baseline: " + e.reason
+			break
+		}
+	}
+	var stale []finding
+	for _, e := range bl.entries {
+		if !e.used {
+			stale = append(stale, finding{
+				File:     bl.path,
+				Line:     e.line,
+				Col:      1,
+				Analyzer: "baseline",
+				Message:  fmt.Sprintf("stale baseline entry (%s: %s) matches no current finding; delete it", e.file, e.analyzer),
+			})
+		}
+	}
+	return stale
+}

@@ -1,11 +1,28 @@
 // Command repairlint runs ftrepair's project-specific static analyzers
 // (internal/analysis) over Go packages and reports findings in the usual
-// file:line:col style. It exits 1 when any finding or type error is
-// reported, so `go run ./cmd/repairlint ./...` gates CI.
+// file:line:col style. It exits 1 when any unsuppressed finding or type
+// error is reported, so `go run ./cmd/repairlint ./...` gates CI.
 //
-//	repairlint ./...                         # whole module
-//	repairlint -analyzers cancelpoll ./...   # one analyzer
-//	repairlint -list                         # describe the suite
+//	repairlint ./...                          # whole module, text output
+//	repairlint -analyzers cancelpoll ./...    # one analyzer
+//	repairlint -format=json ./...             # machine-readable findings
+//	repairlint -format=sarif ./... > out.sarif# SARIF 2.1.0 for CI annotation
+//	repairlint -baseline=.repairlint.baseline ./...
+//	repairlint -list                          # describe the suite
+//
+// The module is loaded and type-checked once (`go list -export` + go/types)
+// and that load is shared by every analyzer pass; packages are then
+// analyzed in parallel, bounded by GOMAXPROCS. A wall-time line on stderr
+// reports the split between loading and analysis.
+//
+// Suppression comes in two forms, both requiring a justification:
+//
+//   - in-file: `//lint:ignore <analyzer> <reason>` on the finding's line or
+//     the line above (malformed directives are themselves findings);
+//   - baseline file (-baseline): lines of `path/file.go: analyzer: message
+//     substring # reason` for findings that cannot carry a comment. Stale
+//     entries that match nothing are findings too, so the baseline can only
+//     shrink truthfully.
 package main
 
 import (
@@ -13,7 +30,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"ftrepair/internal/analysis"
 	"ftrepair/internal/analysis/load"
@@ -23,6 +44,10 @@ func main() {
 	var (
 		listFlag  = flag.Bool("list", false, "list available analyzers and exit")
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		format    = flag.String("format", "text", "output format: text, json, or sarif")
+		baseline  = flag.String("baseline", "", "baseline file of accepted findings (empty: none)")
+		workers   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max packages analyzed concurrently")
+		quiet     = flag.Bool("quiet", false, "suppress the wall-time summary on stderr")
 	)
 	flag.Parse()
 	if *listFlag {
@@ -31,55 +56,226 @@ func main() {
 		}
 		return
 	}
-	findings, err := run(os.Stdout, *analyzers, flag.Args())
+	res, err := run(os.Stdout, config{
+		analyzerSpec: *analyzers,
+		format:       *format,
+		baselineFile: *baseline,
+		workers:      *workers,
+		patterns:     flag.Args(),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repairlint:", err)
 		os.Exit(2)
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "repairlint: %d finding(s)\n", findings)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "repairlint: %d analyzer(s) × %d package(s) in %s (load %s, analyze %s); %d finding(s), %d suppressed\n",
+			res.analyzers, res.packages, round(res.loadTime+res.analyzeTime),
+			round(res.loadTime), round(res.analyzeTime), len(res.active), res.suppressed)
+	}
+	if len(res.active) > 0 {
 		os.Exit(1)
 	}
 }
 
-// run loads the packages, applies the selected analyzers, prints findings
-// to w, and returns how many were reported.
-func run(w io.Writer, analyzerSpec string, patterns []string) (int, error) {
+// config carries one driver invocation's settings.
+type config struct {
+	analyzerSpec string
+	format       string
+	baselineFile string
+	workers      int
+	patterns     []string
+}
+
+// finding is one diagnostic with its provenance, ready for any output
+// format.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Suppressed notes why the finding does not gate: "directive: <reason>"
+	// or "baseline: <reason>". Empty for active findings.
+	Suppressed string `json:"suppressed,omitempty"`
+}
+
+// result aggregates a run for the summary line and the exit code.
+type result struct {
+	active      []finding
+	suppressed  int
+	analyzers   int
+	packages    int
+	loadTime    time.Duration
+	analyzeTime time.Duration
+}
+
+// run loads the packages once, fans the analyzer suite out over them, and
+// renders the findings in the requested format.
+func run(w io.Writer, cfg config) (*result, error) {
 	var names []string
-	if analyzerSpec != "" {
-		names = strings.Split(analyzerSpec, ",")
+	if cfg.analyzerSpec != "" {
+		names = strings.Split(cfg.analyzerSpec, ",")
 	}
 	selected, err := analysis.ByName(names)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	pkgs, err := load.Packages("", patterns...)
+	switch cfg.format {
+	case "":
+		cfg.format = "text"
+	case "text", "json", "sarif":
+	default:
+		return nil, fmt.Errorf("unknown -format %q (want text, json, or sarif)", cfg.format)
+	}
+	bl, err := loadBaseline(cfg.baselineFile)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	findings := 0
-	for _, pkg := range pkgs {
-		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(w, "%v: typecheck: %v\n", pkg.Path, terr)
-			findings++
-		}
-		for _, a := range selected {
-			a := a
-			pass := &analysis.Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Report: func(d analysis.Diagnostic) {
-					fmt.Fprintf(w, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
-					findings++
-				},
+
+	loadStart := time.Now()
+	pkgs, err := load.Packages("", cfg.patterns...)
+	if err != nil {
+		return nil, err
+	}
+	loadTime := time.Since(loadStart)
+
+	// Analyze packages in parallel: each package runs the full analyzer
+	// suite on the one shared load. Findings are collected per package and
+	// merged in deterministic order afterwards, so the output is identical
+	// at any worker count — the same discipline the analyzers enforce.
+	analyzeStart := time.Now()
+	workers := cfg.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	perPkg := make([][]finding, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perPkg[i], errs[i] = analyzePackage(pkgs[i], selected)
 			}
-			if err := a.Run(pass); err != nil {
-				return findings, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
-			}
+		}()
+	}
+	for i := range pkgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
 		}
+	}
+	var findings []finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	findings = append(findings, bl.apply(findings)...)
+
+	res := &result{
+		analyzers:   len(selected),
+		packages:    len(pkgs),
+		loadTime:    loadTime,
+		analyzeTime: time.Since(analyzeStart),
+	}
+	for _, f := range findings {
+		if f.Suppressed == "" {
+			res.active = append(res.active, f)
+		} else {
+			res.suppressed++
+		}
+	}
+
+	switch cfg.format {
+	case "text":
+		for _, f := range res.active {
+			fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	case "json":
+		if err := writeJSON(w, findings, res); err != nil {
+			return nil, err
+		}
+	case "sarif":
+		if err := writeSARIF(w, selected, res.active); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// analyzePackage runs the selected analyzers over one loaded package and
+// applies in-file suppression.
+func analyzePackage(pkg *load.Package, selected []*analysis.Analyzer) ([]finding, error) {
+	var findings []finding
+	for _, terr := range pkg.TypeErrors {
+		findings = append(findings, finding{
+			File:     pkg.Path,
+			Analyzer: "typecheck",
+			Message:  terr.Error(),
+		})
+	}
+	ignores := analysis.ParseIgnores(pkg.Fset, pkg.Files)
+	for _, a := range selected {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				f := finding{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				}
+				if dir := ignores.Suppressed(pos.Filename, pos.Line, a.Name); dir != nil {
+					f.Suppressed = "directive: " + dir.Reason
+				}
+				findings = append(findings, f)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	// A directive that does not parse is itself a finding: suppressions
+	// must name an analyzer and carry a reason.
+	for _, d := range ignores.Malformed() {
+		pos := pkg.Fset.Position(d.Pos)
+		findings = append(findings, finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: "lintdirective",
+			Message:  "malformed //lint:ignore directive: want `//lint:ignore <analyzer> <reason>`",
+		})
 	}
 	return findings, nil
 }
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }

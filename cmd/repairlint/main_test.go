@@ -2,38 +2,59 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 // TestCleanTree is the repo's lint gate in test form: the analyzer suite
-// must report nothing on the current source tree.
+// must report nothing on the current source tree beyond what the shipped
+// baseline justifies.
 func TestCleanTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
 	var buf bytes.Buffer
-	findings, err := run(&buf, "", []string{"ftrepair/..."})
+	res, err := run(&buf, config{patterns: []string{"ftrepair/..."}, baselineFile: baselinePath(t)})
 	if err != nil {
 		t.Fatalf("repairlint driver failed: %v", err)
 	}
-	if findings != 0 {
-		t.Fatalf("repairlint reported %d finding(s) on a tree expected to be clean:\n%s", findings, buf.String())
+	if len(res.active) != 0 {
+		t.Fatalf("repairlint reported %d finding(s) on a tree expected to be clean:\n%s", len(res.active), buf.String())
 	}
 }
 
-// TestAnalyzerSelection exercises the -analyzers flag path.
+// baselinePath finds the checked-in baseline relative to this test's
+// directory (cmd/repairlint → repo root).
+func baselinePath(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join("..", "..", ".repairlint.baseline")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("baseline file missing: %v", err)
+	}
+	return p
+}
+
+// TestAnalyzerSelection exercises the -analyzers subset path.
 func TestAnalyzerSelection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks packages")
 	}
 	var buf bytes.Buffer
-	findings, err := run(&buf, "floateq,lockcopy", []string{"ftrepair/internal/fd"})
+	res, err := run(&buf, config{
+		analyzerSpec: "floateq,lockcopy",
+		patterns:     []string{"ftrepair/internal/fd"},
+	})
 	if err != nil {
 		t.Fatalf("repairlint driver failed: %v", err)
 	}
-	if findings != 0 {
+	if len(res.active) != 0 {
 		t.Fatalf("unexpected findings in internal/fd:\n%s", buf.String())
+	}
+	if res.analyzers != 2 {
+		t.Fatalf("analyzer subset: got %d analyzers, want 2", res.analyzers)
 	}
 }
 
@@ -41,7 +62,173 @@ func TestAnalyzerSelection(t *testing.T) {
 // silently empty run.
 func TestUnknownAnalyzer(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, "nosuch", nil); err == nil || !strings.Contains(err.Error(), "nosuch") {
+	if _, err := run(&buf, config{analyzerSpec: "nosuch"}); err == nil || !strings.Contains(err.Error(), "nosuch") {
 		t.Fatalf("want unknown-analyzer error naming it, got %v", err)
+	}
+}
+
+// TestUnknownFormat: a bad -format is a driver error before any load.
+func TestUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(&buf, config{format: "xml"}); err == nil || !strings.Contains(err.Error(), "xml") {
+		t.Fatalf("want unknown-format error naming it, got %v", err)
+	}
+}
+
+// TestJSONOutput: -format=json emits a parseable document with telemetry.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	var buf bytes.Buffer
+	res, err := run(&buf, config{
+		format:   "json",
+		patterns: []string{"ftrepair/internal/fd"},
+	})
+	if err != nil {
+		t.Fatalf("repairlint driver failed: %v", err)
+	}
+	var doc struct {
+		Findings  []finding `json:"findings"`
+		Active    int       `json:"active"`
+		Analyzers int       `json:"analyzers"`
+		Packages  int       `json:"packages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Active != len(res.active) {
+		t.Fatalf("json active=%d, result active=%d", doc.Active, len(res.active))
+	}
+	if doc.Analyzers == 0 || doc.Packages == 0 {
+		t.Fatalf("json telemetry missing: %+v", doc)
+	}
+	if doc.Findings == nil {
+		t.Fatalf("json findings must be [] even when empty")
+	}
+}
+
+// TestSARIFOutput: -format=sarif emits a valid SARIF 2.1.0 skeleton with a
+// rule per analyzer.
+func TestSARIFOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	var buf bytes.Buffer
+	_, err := run(&buf, config{
+		format:   "sarif",
+		patterns: []string{"ftrepair/internal/fd"},
+	})
+	if err != nil {
+		t.Fatalf("repairlint driver failed: %v", err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("sarif output does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-schema-2.1.0") {
+		t.Fatalf("not a SARIF 2.1.0 log: version=%q schema=%q", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("want exactly one run, got %d", len(doc.Runs))
+	}
+	drv := doc.Runs[0].Tool.Driver
+	if drv.Name != "repairlint" {
+		t.Fatalf("driver name = %q", drv.Name)
+	}
+	ids := map[string]bool{}
+	for _, r := range drv.Rules {
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"cancelpoll", "mapiter", "nondeterm", "atomicmix", "goguard", "spanend", "typecheck", "lintdirective"} {
+		if !ids[want] {
+			t.Fatalf("sarif rules missing %q (have %v)", want, ids)
+		}
+	}
+	if doc.Runs[0].Results == nil {
+		t.Fatalf("sarif results must be [] even when empty")
+	}
+}
+
+// TestBaselineRoundTrip: a baseline entry suppresses a matching finding;
+// a stale entry becomes a finding of its own.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("good.baseline",
+		"# accepted findings\ninternal/incr/batcher.go: nondeterm: time.Now # arrival stamp only drives flush deadlines\n")
+	bl, err := loadBaseline(good)
+	if err != nil {
+		t.Fatalf("loadBaseline: %v", err)
+	}
+	findings := []finding{{
+		File:     "/abs/path/internal/incr/batcher.go",
+		Line:     119,
+		Col:      9,
+		Analyzer: "nondeterm",
+		Message:  "time.Now() result is stored as data",
+	}}
+	stale := bl.apply(findings)
+	if len(stale) != 0 {
+		t.Fatalf("no stale entries expected, got %v", stale)
+	}
+	if !strings.HasPrefix(findings[0].Suppressed, "baseline: ") {
+		t.Fatalf("finding not suppressed by baseline: %+v", findings[0])
+	}
+
+	// The same baseline against an empty run reports its entry as stale.
+	bl2, err := loadBaseline(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale = bl2.apply(nil)
+	if len(stale) != 1 || stale[0].Analyzer != "baseline" {
+		t.Fatalf("want one stale-entry finding, got %v", stale)
+	}
+
+	// Entries without a justification are rejected outright.
+	bad := write("bad.baseline", "internal/incr/batcher.go: nondeterm: time.Now\n")
+	if _, err := loadBaseline(bad); err == nil || !strings.Contains(err.Error(), "justification") {
+		t.Fatalf("want missing-justification error, got %v", err)
+	}
+}
+
+// TestParallelDeterminism: the merged finding order must not depend on the
+// worker count.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	var serial, parallel bytes.Buffer
+	if _, err := run(&serial, config{workers: 1, patterns: []string{"ftrepair/internal/..."}, baselineFile: baselinePath(t)}); err != nil {
+		t.Fatalf("serial run failed: %v", err)
+	}
+	if _, err := run(&parallel, config{workers: 8, patterns: []string{"ftrepair/internal/..."}, baselineFile: baselinePath(t)}); err != nil {
+		t.Fatalf("parallel run failed: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("output differs between 1 and 8 workers:\n--- serial ---\n%s--- parallel ---\n%s", serial.String(), parallel.String())
 	}
 }

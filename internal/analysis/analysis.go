@@ -52,7 +52,9 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// All returns every analyzer in the suite, in stable order.
+// All returns every analyzer in the suite, in stable order: the AST-local
+// checks from the original suite first, then the determinism, concurrency
+// and observability analyzers that came with the CFG layer.
 func All() []*Analyzer {
 	return []*Analyzer{
 		CancelPoll,
@@ -61,6 +63,11 @@ func All() []*Analyzer {
 		FloatEq,
 		LockCopy,
 		ErrFmt,
+		MapIter,
+		NonDeterm,
+		AtomicMix,
+		GoGuard,
+		SpanEnd,
 	}
 }
 

@@ -10,6 +10,15 @@
 // Each back-quoted or double-quoted string is a regular expression that
 // must match the message of one diagnostic reported on that line; lines
 // without annotations must produce no diagnostics.
+//
+// The harness applies //lint:ignore suppression exactly as cmd/repairlint
+// does: a diagnostic covered by a well-formed directive for its analyzer is
+// dropped before matching, so fixtures prove both that an analyzer fires
+// and that its findings can be suppressed with a justified directive.
+//
+// Fixtures may span multiple files (every non-test .go file in dir is one
+// package) and may import sibling fixture packages by a path relative to
+// dir's parent — see load.Dir — for cross-package cases.
 package analyzertest
 
 import (
@@ -52,6 +61,18 @@ func Run(t *testing.T, analyzer *analysis.Analyzer, dir string) {
 	if err := analyzer.Run(pass); err != nil {
 		t.Fatalf("%s failed on %s: %v", analyzer.Name, dir, err)
 	}
+
+	// Drop suppressed diagnostics the same way the driver does, so
+	// fixtures can carry //lint:ignore cases.
+	ignores := analysis.ParseIgnores(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if ignores.Suppressed(pos.Filename, pos.Line, analyzer.Name) == nil {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
 
 	matched := make([]bool, len(wants))
 	for _, d := range diags {

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix reports struct fields accessed both through sync/atomic
+// call-style primitives (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&s.w))
+// and by plain loads or stores elsewhere in the package. A field either
+// belongs to the atomic domain or it does not: one plain `s.n++` next to
+// atomic adders is a lost-update and torn-read bug the race detector only
+// catches when the interleaving happens to fire. The B&B incumbent
+// watermark pattern (PR 4) is the local precedent — it avoided the trap by
+// using the atomic.Uint64 wrapper type, which makes plain access
+// impossible; this analyzer pins the discipline for fields that stay on
+// the call-style API.
+//
+// Fields of the wrapper types (atomic.Int64, atomic.Uint64, ...) are out of
+// scope: methods are the only access path, and `go vet -copylocks` guards
+// their copying.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags struct fields accessed both via sync/atomic calls and by plain load/store",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: fields handed by address to a sync/atomic function, plus the
+	// exact selector nodes used there (excluded from pass 2).
+	atomicFields := make(map[*types.Var]string) // field -> atomic func name seen
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isPkgFunc(pass, fn, "sync/atomic", fn.Sel.Name) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(pass, sel); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = "atomic." + fn.Sel.Name
+					}
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other selector reaching one of those fields is a plain
+	// access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			fv := fieldOf(pass, sel)
+			if fv == nil {
+				return true
+			}
+			if fnName, mixed := atomicFields[fv]; mixed {
+				pass.Reportf(sel.Pos(), "plain access to field %s, elsewhere accessed via %s: mixing atomic and non-atomic access tears reads and loses updates; use atomic for every access (or an atomic.%s-style wrapper field)", fv.Name(), fnName, wrapperHint(fv.Type()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// wrapperHint names the sync/atomic wrapper type matching a field's type.
+func wrapperHint(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	}
+	return "Value"
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+// TestAtomicMix: fields mixing atomic.* access with plain loads/stores are
+// flagged at the plain site; consistently atomic and consistently plain
+// fields are not, and a justified directive suppresses.
+func TestAtomicMix(t *testing.T) {
+	analyzertest.Run(t, analysis.AtomicMix, "testdata/src/atomicmix")
+}

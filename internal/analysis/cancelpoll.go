@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+
+	"ftrepair/internal/analysis/cfg"
 )
 
 // CancelPoll reports loops that can run unboundedly long without polling
@@ -25,10 +27,15 @@ import (
 //     a loop breaks end-to-end cancellation: the callee unwinds promptly
 //     but the loop marches on to the next component, FD or candidate.
 //
-// A loop nest is considered responsive when any poll appears anywhere
-// inside it: a call whose name mentions cancel (canceled(ch),
-// pollCancel(...)), a direct receive, or a select with a receive from a
-// cancel/done/quit-style channel. Bounded three-clause setup scans
+// A loop nest is considered responsive when a poll — a call whose name
+// mentions cancel (canceled(ch), pollCancel(...)), a direct receive, or a
+// select with a receive from a cancel/done/quit-style channel — lies on an
+// iterating path of the loop or of an enclosing loop. That judgment is
+// control-flow based (internal/analysis/cfg.OnCycle): the poll's block
+// must sit on a cycle through the loop header, so a poll parked on an arm
+// that immediately returns or breaks does not count — it runs once on the
+// way out, not once per iteration, which is exactly the shape the old
+// syntactic matcher was blind to. Bounded three-clause setup scans
 // (for i := 0; i < n; i++) and range loops doing plain per-element work
 // are exempt: their trip counts are input-sized and each iteration is
 // cheap, so flagging them would drown the signal.
@@ -43,79 +50,82 @@ func runCancelPoll(pass *Pass) error {
 		if unit.sig == nil || !signatureCarriesCancel(unit.sig) {
 			continue
 		}
-		checkCancelLoops(pass, unit.body.List, nil, false)
+		// One CFG per gated unit answers every on-cycle poll query for its
+		// loops; ungated units never pay for construction.
+		g := cfg.New(unit.body)
+		checkCancelLoops(pass, g, unit.body.List, nil, false)
 	}
 	return nil
 }
 
-// checkCancelLoops walks statements, tracking whether any enclosing loop's
-// nest polls (nestPolls) and whether an enclosing loop was already reported
-// (reported), and flags poll-free checked loops.
-func checkCancelLoops(pass *Pass, stmts []ast.Stmt, enclosing []ast.Stmt, reported bool) {
+// checkCancelLoops walks statements, tracking the enclosing loop statements
+// and whether an enclosing loop was already reported, and flags checked
+// loops with no poll on an iterating path.
+func checkCancelLoops(pass *Pass, g *cfg.Graph, stmts []ast.Stmt, enclosing []ast.Stmt, reported bool) {
 	for _, s := range stmts {
-		checkCancelStmt(pass, s, enclosing, reported)
+		checkCancelStmt(pass, g, s, enclosing, reported)
 	}
 }
 
 // checkCancelStmt dispatches one statement. enclosing holds the loop
 // statements the walk is currently inside (innermost last).
-func checkCancelStmt(pass *Pass, s ast.Stmt, enclosing []ast.Stmt, reported bool) {
+func checkCancelStmt(pass *Pass, g *cfg.Graph, s ast.Stmt, enclosing []ast.Stmt, reported bool) {
 	switch st := s.(type) {
 	case *ast.ForStmt:
 		checked := st.Init == nil && st.Post == nil
-		reported = flagCancelLoop(pass, s, st.Body, "for", checked, enclosing, reported)
-		checkCancelLoops(pass, st.Body.List, append(enclosing, s), reported)
+		reported = flagCancelLoop(pass, g, s, "for", checked, enclosing, reported)
+		checkCancelLoops(pass, g, st.Body.List, append(enclosing, s), reported)
 	case *ast.RangeStmt:
 		checked := containsCancelAwareCall(pass, st.Body)
-		reported = flagCancelLoop(pass, s, st.Body, "range", checked, enclosing, reported)
-		checkCancelLoops(pass, st.Body.List, append(enclosing, s), reported)
+		reported = flagCancelLoop(pass, g, s, "range", checked, enclosing, reported)
+		checkCancelLoops(pass, g, st.Body.List, append(enclosing, s), reported)
 	case *ast.BlockStmt:
-		checkCancelLoops(pass, st.List, enclosing, reported)
+		checkCancelLoops(pass, g, st.List, enclosing, reported)
 	case *ast.IfStmt:
-		checkCancelStmt(pass, st.Body, enclosing, reported)
+		checkCancelStmt(pass, g, st.Body, enclosing, reported)
 		if st.Else != nil {
-			checkCancelStmt(pass, st.Else, enclosing, reported)
+			checkCancelStmt(pass, g, st.Else, enclosing, reported)
 		}
 	case *ast.SwitchStmt:
 		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				checkCancelLoops(pass, cc.Body, enclosing, reported)
+				checkCancelLoops(pass, g, cc.Body, enclosing, reported)
 			}
 		}
 	case *ast.TypeSwitchStmt:
 		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				checkCancelLoops(pass, cc.Body, enclosing, reported)
+				checkCancelLoops(pass, g, cc.Body, enclosing, reported)
 			}
 		}
 	case *ast.SelectStmt:
 		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CommClause); ok {
-				checkCancelLoops(pass, cc.Body, enclosing, reported)
+				checkCancelLoops(pass, g, cc.Body, enclosing, reported)
 			}
 		}
 	case *ast.LabeledStmt:
-		checkCancelStmt(pass, st.Stmt, enclosing, reported)
+		checkCancelStmt(pass, g, st.Stmt, enclosing, reported)
 	}
 }
 
-// flagCancelLoop reports the loop when it is a checked shape whose whole
-// nest (itself and every enclosing loop) is poll-free and nothing enclosing
-// was already reported. It returns whether the subtree now counts as
-// reported.
-func flagCancelLoop(pass *Pass, loop ast.Stmt, body *ast.BlockStmt, kind string, checked bool, enclosing []ast.Stmt, reported bool) bool {
+// flagCancelLoop reports the loop when it is a checked shape with no poll
+// on an iterating path of its own cycle or any enclosing loop's, and
+// nothing enclosing was already reported. It returns whether the subtree
+// now counts as reported.
+func flagCancelLoop(pass *Pass, g *cfg.Graph, loop ast.Stmt, kind string, checked bool, enclosing []ast.Stmt, reported bool) bool {
 	if !checked || reported {
 		return reported
 	}
-	if containsCancelPoll(body) {
+	if g.OnCycle(loop, containsCancelPoll) {
 		return reported
 	}
 	for _, enc := range enclosing {
-		if containsCancelPoll(enc) {
+		if g.OnCycle(enc, containsCancelPoll) {
 			return reported
 		}
 	}
-	pass.Reportf(loop.Pos(), "%s loop never polls the cancel channel; poll canceled(...) or select on it so the loop stays cancelable", kind)
+	pass.Reportf(loop.Pos(), "%s loop never polls the cancel channel on an iterating path; poll canceled(...) or select on it so the loop stays cancelable", kind)
 	return true
 }
 

@@ -1,0 +1,593 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// statements, with no dependency outside the standard library. It exists so
+// the analyzers in internal/analysis can answer path questions the AST
+// alone cannot: "does every return path End this span?" (spanend), "is this
+// cancellation poll on an iterating path of the loop, or only on the way
+// out?" (cancelpoll). The graphs are deliberately small and conservative —
+// one graph per function body, basic blocks of ast.Stmt, a virtual Exit
+// block that return statements, panics and the fall-off-the-end path all
+// feed — because the analyzers need reachability and all-paths queries, not
+// SSA.
+//
+// Branch conditions (if/for conditions, switch tags and case expressions,
+// select communication clauses) are attached to the block that evaluates
+// them (Block.Conds), not to the successor blocks, so a predicate like "this
+// block polls the cancel channel" sees `case <-cancel:` at the select's
+// dispatch point — the place it actually blocks — rather than inside the
+// clause body that runs afterwards.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal run of statements with a single entry
+// point, ending at a control transfer. Succs are the blocks control can
+// reach next; the virtual Exit block collects every way out of the function.
+type Block struct {
+	Index int
+	// Stmts are the statements executed in this block, in order. Compound
+	// statements (if/for/switch/select) never appear here — their pieces are
+	// split across blocks — but plain statements (assignments, calls, sends,
+	// defers, go statements, declarations) do.
+	Stmts []ast.Stmt
+	// Conds are the expressions or communication clauses this block
+	// evaluates to choose a successor: an if or for condition, a range
+	// operand, switch tag and case expressions, select comm statements.
+	Conds []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+	// Panics marks a block that ends in a call that never returns (panic,
+	// runtime.Goexit, os.Exit, log.Fatal*, testing's t.Fatal*). Its edge to
+	// Exit models unwinding, and queries can choose to exempt such paths.
+	Panics bool
+	// unreachable marks blocks created for code after an unconditional
+	// control transfer (statements after return/break/goto). They are kept
+	// so every statement maps to a block, but they have no predecessors.
+	unreachable bool
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is virtual: it holds no statements and collects returns, panics
+	// and the implicit return at the end of the body.
+	Exit *Block
+
+	stmtBlock map[ast.Stmt]*Block
+	loopHead  map[ast.Stmt]*Block
+}
+
+// New builds the CFG of body. A nil body yields a graph whose entry falls
+// straight through to exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{
+		stmtBlock: make(map[ast.Stmt]*Block),
+		loopHead:  make(map[ast.Stmt]*Block),
+	}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.cur, g.Exit)
+	b.resolveGotos()
+	return g
+}
+
+// BlockOf returns the block executing statement s, or nil when s is not a
+// plain statement of this graph (compound statements span several blocks).
+func (g *Graph) BlockOf(s ast.Stmt) *Block { return g.stmtBlock[s] }
+
+// LoopHead returns the header block of a For or Range statement: the block
+// re-entered on every iteration (it evaluates the loop condition or the
+// next range element). Nil when s is not a loop of this graph.
+func (g *Graph) LoopHead(s ast.Stmt) *Block { return g.loopHead[s] }
+
+// Reaches reports whether control can flow from block `from` to block `to`
+// along one or more edges (a block does not trivially reach itself; it does
+// when it sits on a cycle).
+func (g *Graph) Reaches(from, to *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	var stack []*Block
+	stack = append(stack, from.Succs...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// OnCycle reports whether some statement or condition inside loop (a For or
+// Range statement of this graph) satisfying hit lies on a cycle through the
+// loop header — i.e. it runs on iterating paths, not only on the way out of
+// the loop. The loop's own condition counts: a poll in `for !canceled(ch)`
+// or in a select the loop blocks on is executed every iteration.
+func (g *Graph) OnCycle(loop ast.Stmt, hit func(ast.Node) bool) bool {
+	head := g.loopHead[loop]
+	if head == nil {
+		return false
+	}
+	lo, hi := loop.Pos(), loop.End()
+	within := func(n ast.Node) bool { return n.Pos() >= lo && n.End() <= hi }
+	for _, b := range g.Blocks {
+		found := false
+		for _, s := range b.Stmts {
+			if within(s) && hit(s) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, c := range b.Conds {
+				if within(c) && hit(c) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		// The hit must iterate: its block is the header itself (re-entered
+		// each round) on a real cycle, or a body block that can reach the
+		// header again.
+		if b == head {
+			if g.Reaches(head, head) {
+				return true
+			}
+			continue
+		}
+		if g.Reaches(head, b) && g.Reaches(b, head) {
+			return true
+		}
+	}
+	return false
+}
+
+// EveryPathHits reports whether every path from just after statement index
+// i of block b to Exit passes a statement or condition for which hit
+// returns true. Pass i = -1 to start at the beginning of b. When
+// exemptPanic is true, paths that unwind through a panicking block are not
+// required to hit (a deferred cleanup covers them instead). Paths trapped
+// in an infinite loop never reach Exit and so never fail the query.
+func (g *Graph) EveryPathHits(b *Block, i int, hit func(ast.Node) bool, exemptPanic bool) bool {
+	// A block is "clean" when scanning it start-to-end finds no hit; the
+	// query fails iff Exit is reachable through clean blocks only.
+	clean := func(blk *Block, from int) bool {
+		for j := from; j < len(blk.Stmts); j++ {
+			if hit(blk.Stmts[j]) {
+				return false
+			}
+		}
+		for _, c := range blk.Conds {
+			if hit(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if !clean(b, i+1) {
+		return true
+	}
+	if b == g.Exit {
+		return false
+	}
+	seen := make([]bool, len(g.Blocks))
+	var stack []*Block
+	push := func(blk *Block) {
+		if !seen[blk.Index] {
+			seen[blk.Index] = true
+			stack = append(stack, blk)
+		}
+	}
+	if !(exemptPanic && b.Panics) {
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == g.Exit {
+			return false
+		}
+		if !clean(blk, 0) {
+			continue
+		}
+		if exemptPanic && blk.Panics {
+			continue
+		}
+		for _, s := range blk.Succs {
+			push(s)
+		}
+	}
+	return true
+}
+
+// builder threads the construction state: the current block (nil after an
+// unconditional transfer — following statements are unreachable), the
+// break/continue target stacks, and label bookkeeping for goto.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// breakables and continuables are target stacks; entries carry the
+	// optional statement label so `break L` / `continue L` resolve.
+	breakables   []ctrlTarget
+	continuables []ctrlTarget
+
+	// pendingLabel is the label of a LabeledStmt whose inner statement is
+	// about to be built; loops and switches consume it.
+	pendingLabel string
+
+	labels map[string]*Block
+	gotos  []pendingGoto
+}
+
+type ctrlTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) jump(from, to *Block) {
+	if from == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// ensure returns the current block, materializing an unreachable one for
+// statements that follow an unconditional transfer.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+		b.cur.unreachable = true
+	}
+	return b.cur
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) add(s ast.Stmt) {
+	blk := b.ensure()
+	blk.Stmts = append(blk.Stmts, s)
+	b.g.stmtBlock[s] = blk
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+	case *ast.LabeledStmt:
+		// Start a fresh block so goto targets and labeled loops have a
+		// well-defined entry point.
+		lbl := b.newBlock()
+		b.jump(b.cur, lbl)
+		b.cur = lbl
+		b.labels[st.Label.Name] = lbl
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.jump(b.cur, b.g.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(st)
+	case *ast.IfStmt:
+		b.ifStmt(st)
+	case *ast.ForStmt:
+		b.forStmt(st, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(st, label)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.switchBody(st, st.Tag, nil, st.Body, label)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.switchBody(st, nil, st.Assign, st.Body, label)
+	case *ast.SelectStmt:
+		b.selectStmt(st, label)
+	default:
+		// Plain statement: assignment, call, send, inc/dec, defer, go,
+		// declaration, empty. Calls that never return end the block.
+		b.add(s)
+		if terminates(s) {
+			blk := b.cur
+			blk.Panics = true
+			b.jump(blk, b.g.Exit)
+			b.cur = nil
+		}
+	}
+}
+
+func (b *builder) branch(st *ast.BranchStmt) {
+	b.add(st)
+	name := ""
+	if st.Label != nil {
+		name = st.Label.Name
+	}
+	switch st.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breakables, name); t != nil {
+			b.jump(b.cur, t)
+		} else {
+			b.jump(b.cur, b.g.Exit)
+		}
+	case token.CONTINUE:
+		if t := findTarget(b.continuables, name); t != nil {
+			b.jump(b.cur, t)
+		} else {
+			b.jump(b.cur, b.g.Exit)
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: name})
+	case token.FALLTHROUGH:
+		// Handled by switchBody, which links the clause to its successor;
+		// nothing to do here.
+		return
+	}
+	b.cur = nil
+}
+
+func findTarget(stack []ctrlTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) ifStmt(st *ast.IfStmt) {
+	if st.Init != nil {
+		b.stmt(st.Init)
+	}
+	cond := b.ensure()
+	cond.Conds = append(cond.Conds, st.Cond)
+	then := b.newBlock()
+	after := b.newBlock()
+	b.jump(cond, then)
+	b.cur = then
+	b.stmtList(st.Body.List)
+	b.jump(b.cur, after)
+	if st.Else != nil {
+		els := b.newBlock()
+		b.jump(cond, els)
+		b.cur = els
+		b.stmt(st.Else)
+		b.jump(b.cur, after)
+	} else {
+		b.jump(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(st *ast.ForStmt, label string) {
+	if st.Init != nil {
+		b.stmt(st.Init)
+	}
+	head := b.newBlock()
+	if st.Cond != nil {
+		head.Conds = append(head.Conds, st.Cond)
+	}
+	b.jump(b.cur, head)
+	b.g.loopHead[st] = head
+
+	body := b.newBlock()
+	after := b.newBlock()
+	b.jump(head, body)
+	if st.Cond != nil {
+		b.jump(head, after)
+	}
+
+	// continue re-runs Post (when present) before re-testing the condition.
+	cont := head
+	var post *Block
+	if st.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	b.breakables = append(b.breakables, ctrlTarget{label, after})
+	b.continuables = append(b.continuables, ctrlTarget{label, cont})
+	b.cur = body
+	b.stmtList(st.Body.List)
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	b.continuables = b.continuables[:len(b.continuables)-1]
+	if post != nil {
+		b.jump(b.cur, post)
+		b.cur = post
+		b.stmt(st.Post)
+		// stmt(Post) keeps cur == post for plain statements.
+		b.jump(b.cur, head)
+	} else {
+		b.jump(b.cur, head)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(st *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	head.Conds = append(head.Conds, st.X)
+	b.jump(b.ensure(), head)
+	b.g.loopHead[st] = head
+
+	body := b.newBlock()
+	after := b.newBlock()
+	b.jump(head, body)
+	b.jump(head, after)
+
+	b.breakables = append(b.breakables, ctrlTarget{label, after})
+	b.continuables = append(b.continuables, ctrlTarget{label, head})
+	b.cur = body
+	b.stmtList(st.Body.List)
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	b.continuables = b.continuables[:len(b.continuables)-1]
+	b.jump(b.cur, head)
+	b.cur = after
+}
+
+// switchBody builds expression and type switches: the dispatch block
+// evaluates the tag (or the type-switch assign) and every case expression,
+// then branches to one clause block. Fallthrough links a clause to the next
+// clause's block.
+func (b *builder) switchBody(sw ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	dispatch := b.ensure()
+	if tag != nil {
+		dispatch.Conds = append(dispatch.Conds, tag)
+	}
+	if assign != nil {
+		dispatch.Conds = append(dispatch.Conds, assign)
+	}
+	after := b.newBlock()
+	b.breakables = append(b.breakables, ctrlTarget{label, after})
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.jump(dispatch, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			dispatch.Conds = append(dispatch.Conds, e)
+		}
+	}
+	if !hasDefault {
+		b.jump(dispatch, after)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		stmts := cc.Body
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				stmts = stmts[:n-1]
+			}
+		}
+		b.stmtList(stmts)
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(b.cur, blocks[i+1])
+			b.cur = nil
+		} else {
+			b.jump(b.cur, after)
+		}
+	}
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(st *ast.SelectStmt, label string) {
+	dispatch := b.ensure()
+	after := b.newBlock()
+	b.breakables = append(b.breakables, ctrlTarget{label, after})
+	hasDefault := false
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+		} else {
+			// The dispatch block is where the select blocks on (or polls)
+			// its channels, so the comm statements belong to it.
+			dispatch.Conds = append(dispatch.Conds, cc.Comm)
+		}
+		blk := b.newBlock()
+		b.jump(dispatch, blk)
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.jump(b.cur, after)
+	}
+	_ = hasDefault // a select without default blocks, but some case always fires eventually
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	b.cur = after
+}
+
+func (b *builder) resolveGotos() {
+	for _, pg := range b.gotos {
+		if t, ok := b.labels[pg.label]; ok {
+			b.jump(pg.from, t)
+		} else {
+			// Unresolvable label (malformed source); be conservative.
+			b.jump(pg.from, b.g.Exit)
+		}
+	}
+}
+
+// terminates reports whether a plain statement is a call that never
+// returns: panic, runtime.Goexit, os.Exit, log.Fatal*, or a testing
+// Fatal/Fatalf/Skip via any receiver named like a *testing.T.
+func terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fn.Sel.Name
+		if name == "Goexit" || name == "Exit" {
+			if id, ok := fn.X.(*ast.Ident); ok {
+				return id.Name == "runtime" || id.Name == "os"
+			}
+			return false
+		}
+		if name == "Fatal" || name == "Fatalf" || name == "FailNow" {
+			return true
+		}
+	}
+	return false
+}

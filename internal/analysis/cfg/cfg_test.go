@@ -1,0 +1,363 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ftrepair/internal/analysis/cfg"
+)
+
+// build parses src as the body of a function and returns its CFG plus the
+// parsed file for node lookups. src is the full function declaration.
+func build(t *testing.T, src string) (*cfg.Graph, *ast.FuncDecl, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package x\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return cfg.New(fd.Body), fd, fset
+}
+
+// hitCall returns a predicate matching any node containing a call to a
+// function whose printed name contains substr.
+func hitCall(substr string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch f := call.Fun.(type) {
+			case *ast.Ident:
+				if strings.Contains(f.Name, substr) {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if strings.Contains(f.Sel.Name, substr) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+// firstStmtBlock returns the block of the first statement of the body.
+func firstStmtBlock(t *testing.T, g *cfg.Graph, fd *ast.FuncDecl) *cfg.Block {
+	t.Helper()
+	b := g.BlockOf(fd.Body.List[0])
+	if b == nil {
+		t.Fatalf("first statement has no block")
+	}
+	return b
+}
+
+// TestDiamond: both arms of an if/else End, so every path hits; removing
+// one arm's End breaks the all-paths property.
+func TestDiamond(t *testing.T) {
+	g, fd, _ := build(t, `
+func f(c bool) {
+	start()
+	if c {
+		end()
+	} else {
+		end()
+	}
+	tail()
+}`)
+	b := firstStmtBlock(t, g, fd)
+	if !g.EveryPathHits(b, 0, hitCall("end"), true) {
+		t.Fatalf("diamond with end() in both arms must satisfy EveryPathHits")
+	}
+
+	g2, fd2, _ := build(t, `
+func f(c bool) {
+	start()
+	if c {
+		end()
+	}
+	tail()
+}`)
+	b2 := firstStmtBlock(t, g2, fd2)
+	if g2.EveryPathHits(b2, 0, hitCall("end"), true) {
+		t.Fatalf("one-armed diamond must fail EveryPathHits (else path skips end)")
+	}
+}
+
+// TestEarlyReturn: a return before the cleanup call escapes to Exit without
+// hitting it; ending before the early return fixes the property.
+func TestEarlyReturn(t *testing.T) {
+	g, fd, _ := build(t, `
+func f(c bool) {
+	start()
+	if c {
+		return
+	}
+	end()
+}`)
+	b := firstStmtBlock(t, g, fd)
+	if g.EveryPathHits(b, 0, hitCall("end"), true) {
+		t.Fatalf("early return must be reported as a path that skips end()")
+	}
+
+	g2, fd2, _ := build(t, `
+func f(c bool) {
+	start()
+	if c {
+		end()
+		return
+	}
+	end()
+}`)
+	b2 := firstStmtBlock(t, g2, fd2)
+	if !g2.EveryPathHits(b2, 0, hitCall("end"), true) {
+		t.Fatalf("ending before the early return must satisfy EveryPathHits")
+	}
+}
+
+// TestPanicPath: a panicking arm is exempt when exemptPanic is true (a
+// deferred cleanup owns unwinds) and a failing path otherwise.
+func TestPanicPath(t *testing.T) {
+	src := `
+func f(c bool) {
+	start()
+	if c {
+		panic("boom")
+	}
+	end()
+}`
+	g, fd, _ := build(t, src)
+	b := firstStmtBlock(t, g, fd)
+	if !g.EveryPathHits(b, 0, hitCall("end"), true) {
+		t.Fatalf("panic path must be exempt when exemptPanic is set")
+	}
+	if g.EveryPathHits(b, 0, hitCall("end"), false) {
+		t.Fatalf("panic path must count as an escape when exemptPanic is false")
+	}
+}
+
+// TestLoopCycle: OnCycle distinguishes polls that run every iteration from
+// polls only on the way out of the loop.
+func TestLoopCycle(t *testing.T) {
+	// Poll in the loop condition path: executes every iteration.
+	g, fd, _ := build(t, `
+func f() {
+	for i := 0; cond(i); i++ {
+		if poll() {
+			break
+		}
+		work()
+	}
+}`)
+	loop := fd.Body.List[0]
+	if !g.OnCycle(loop, hitCall("poll")) {
+		t.Fatalf("poll guarding a break must be on the iterating cycle")
+	}
+	if g.OnCycle(loop, hitCall("nosuch")) {
+		t.Fatalf("absent call reported on cycle")
+	}
+
+	// Poll only on an exiting arm: hit, then unconditional return. The
+	// common (non-exiting) iteration never polls.
+	g2, fd2, _ := build(t, `
+func f() {
+	for {
+		if rare() {
+			poll()
+			return
+		}
+		work()
+	}
+}`)
+	loop2 := fd2.Body.List[0]
+	if g2.OnCycle(loop2, hitCall("poll")) {
+		t.Fatalf("poll on an exit-only arm must not count as iterating")
+	}
+	if !g2.OnCycle(loop2, hitCall("rare")) {
+		t.Fatalf("the guard condition runs every iteration; it is on the cycle")
+	}
+}
+
+// TestSelectComms: the comm clauses of a select belong to the dispatch
+// block, so a `case <-cancel` receive counts on the iterating cycle even
+// when its clause body immediately returns.
+func TestSelectComms(t *testing.T) {
+	g, fd, _ := build(t, `
+func f(cancel chan struct{}, ticks chan int) {
+	for {
+		select {
+		case <-cancel:
+			return
+		case <-ticks:
+			work()
+		}
+	}
+}`)
+	loop := fd.Body.List[0]
+	recv := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				if id, ok := u.X.(*ast.Ident); ok && id.Name == "cancel" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	if !g.OnCycle(loop, recv) {
+		t.Fatalf("select receive from cancel must sit at the dispatch point, on the cycle")
+	}
+}
+
+// TestRangeLoop: range loops have a head re-entered per element; body hits
+// reach it back.
+func TestRangeLoop(t *testing.T) {
+	g, fd, _ := build(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		poll()
+		use(x)
+	}
+}`)
+	loop := fd.Body.List[0]
+	if !g.OnCycle(loop, hitCall("poll")) {
+		t.Fatalf("poll in range body must be on the cycle")
+	}
+	if g.LoopHead(loop) == nil {
+		t.Fatalf("range loop must have a head block")
+	}
+}
+
+// TestLabeledBreak: break L from the inner loop leaves the outer loop, so
+// a poll placed after it is not on the outer cycle.
+func TestLabeledBreak(t *testing.T) {
+	g, fd, _ := build(t, `
+func f(xs []int) {
+outer:
+	for {
+		for _, x := range xs {
+			if bad(x) {
+				break outer
+			}
+		}
+		poll()
+	}
+}`)
+	var outer ast.Stmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok && ls.Label.Name == "outer" {
+			outer = ls.Stmt
+			return false
+		}
+		return true
+	})
+	if outer == nil {
+		t.Fatalf("no labeled loop found")
+	}
+	if !g.OnCycle(outer, hitCall("poll")) {
+		t.Fatalf("poll at the tail of the outer body iterates with the outer loop")
+	}
+	if !g.OnCycle(outer, hitCall("bad")) {
+		t.Fatalf("inner guard runs on outer iterations too")
+	}
+}
+
+// TestSwitchFallthrough: fallthrough chains clause blocks, so a hit in the
+// fallen-into clause covers paths through the preceding clause.
+func TestSwitchFallthrough(t *testing.T) {
+	g, fd, _ := build(t, `
+func f(n int) {
+	start()
+	switch n {
+	case 0:
+		fallthrough
+	case 1:
+		end()
+	default:
+		end()
+	}
+}`)
+	b := firstStmtBlock(t, g, fd)
+	if !g.EveryPathHits(b, 0, hitCall("end"), true) {
+		t.Fatalf("fallthrough into an ending clause must cover the case 0 path")
+	}
+}
+
+// TestInfiniteLoopNoEscape: paths stuck in `for {}` never reach Exit and
+// must not fail EveryPathHits.
+func TestInfiniteLoopNoEscape(t *testing.T) {
+	g, fd, _ := build(t, `
+func f(c bool) {
+	start()
+	if c {
+		for {
+			work()
+		}
+	}
+	end()
+}`)
+	b := firstStmtBlock(t, g, fd)
+	if !g.EveryPathHits(b, 0, hitCall("end"), true) {
+		t.Fatalf("a non-terminating branch is not an escape path")
+	}
+}
+
+// TestReaches: basic reachability, including non-trivial self-reach.
+func TestReaches(t *testing.T) {
+	g, fd, _ := build(t, `
+func f(xs []int) {
+	before()
+	for _, x := range xs {
+		use(x)
+	}
+	after()
+}`)
+	loop := fd.Body.List[1]
+	head := g.LoopHead(loop)
+	if head == nil {
+		t.Fatalf("no loop head")
+	}
+	if !g.Reaches(head, head) {
+		t.Fatalf("loop head must reach itself around the back edge")
+	}
+	entry := firstStmtBlock(t, g, fd)
+	if !g.Reaches(entry, g.Exit) {
+		t.Fatalf("entry must reach exit")
+	}
+	if g.Reaches(g.Exit, entry) {
+		t.Fatalf("exit must not reach entry")
+	}
+}
+
+// TestGoto: goto transfers to the labeled block.
+func TestGoto(t *testing.T) {
+	g, fd, _ := build(t, `
+func f(c bool) {
+	start()
+	if c {
+		goto done
+	}
+	end()
+done:
+	tail()
+}`)
+	b := firstStmtBlock(t, g, fd)
+	if g.EveryPathHits(b, 0, hitCall("end"), true) {
+		t.Fatalf("goto around end() must count as a skipping path")
+	}
+	if !g.EveryPathHits(b, 0, hitCall("tail"), true) {
+		t.Fatalf("every path runs the labeled tail")
+	}
+}

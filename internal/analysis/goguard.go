@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoGuard reports `go` statements inside loops whose goroutines have no
+// completion discipline: neither a sync.WaitGroup Add/Done pairing nor a
+// completion-channel send received by the spawning function. A loop that
+// fans out workers and does not join them lets goroutines from one phase
+// run into the next — the exact hazard the repo's parallel stages (vgraph
+// fan-out, B&B workers, shard re-repair, planner chunks) avoid by joining
+// before merging, because the bit-identical merge step is only correct
+// once every worker's output is complete.
+//
+// Accepted disciplines, judged per enclosing function:
+//
+//   - WaitGroup: the function calls Add on a sync.WaitGroup and the spawned
+//     goroutine (or its callee, approximated by any Done in the function,
+//     commonly `defer wg.Done()` inside the closure) calls Done;
+//   - completion channel: the goroutine's closure sends on a channel that
+//     the function also receives from (the errs <- run(); <-errs pattern).
+//
+// The check is function-local and name-free, so helper-managed lifecycles
+// (a pool struct joining in a different method) need a
+// //lint:ignore goguard <reason> at the go statement.
+var GoGuard = &Analyzer{
+	Name: "goguard",
+	Doc:  "flags goroutines launched in loops without WaitGroup or completion-channel discipline",
+	Run:  runGoGuard,
+}
+
+func runGoGuard(pass *Pass) error {
+	for _, unit := range funcUnits(pass) {
+		unit := unit
+		var loops []ast.Stmt
+		var walk func(s ast.Stmt)
+		checkStmts := func(list []ast.Stmt) {
+			for _, s := range list {
+				walk(s)
+			}
+		}
+		walk = func(s ast.Stmt) {
+			switch st := s.(type) {
+			case *ast.GoStmt:
+				if len(loops) > 0 {
+					checkGoStmt(pass, unit, st)
+				}
+			case *ast.ForStmt:
+				loops = append(loops, s)
+				checkStmts(st.Body.List)
+				loops = loops[:len(loops)-1]
+			case *ast.RangeStmt:
+				loops = append(loops, s)
+				checkStmts(st.Body.List)
+				loops = loops[:len(loops)-1]
+			case *ast.BlockStmt:
+				checkStmts(st.List)
+			case *ast.IfStmt:
+				walk(st.Body)
+				if st.Else != nil {
+					walk(st.Else)
+				}
+			case *ast.SwitchStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						checkStmts(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						checkStmts(cc.Body)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						checkStmts(cc.Body)
+					}
+				}
+			case *ast.LabeledStmt:
+				walk(st.Stmt)
+			}
+		}
+		checkStmts(unit.body.List)
+	}
+	return nil
+}
+
+// checkGoStmt flags one in-loop go statement lacking both disciplines.
+func checkGoStmt(pass *Pass, unit funcUnit, g *ast.GoStmt) {
+	if waitGroupDiscipline(pass, unit) {
+		return
+	}
+	if completionChannelDiscipline(pass, unit, g) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine launched in a loop without WaitGroup Add/Done or a completion-channel receive in this function; un-joined workers can outlive the phase and corrupt the merge")
+}
+
+// waitGroupDiscipline reports whether the unit both Adds and Dones a
+// sync.WaitGroup somewhere (defer wg.Done() in the closure counts — the
+// closure's body is inside the unit's AST).
+func waitGroupDiscipline(pass *Pass, unit funcUnit) bool {
+	var adds, dones bool
+	ast.Inspect(unit.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isWaitGroup(pass, sel.X) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Add":
+			adds = true
+		case "Done":
+			dones = true
+		}
+		return true
+	})
+	return adds && dones
+}
+
+// isWaitGroup reports whether e's type is sync.WaitGroup (possibly behind a
+// pointer).
+func isWaitGroup(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// completionChannelDiscipline reports whether the goroutine sends on a
+// channel the unit also receives from outside the closure: the spawner can
+// account for every worker by counting receives.
+func completionChannelDiscipline(pass *Pass, unit funcUnit, g *ast.GoStmt) bool {
+	// Channels the goroutine (its closure body or call arguments) sends on.
+	sent := make(map[types.Object]bool)
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			if id, ok := chanIdent(s.Chan); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					sent[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(sent) == 0 {
+		return false
+	}
+	// Receives anywhere else in the unit from one of those channels.
+	found := false
+	ast.Inspect(unit.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == ast.Node(g) {
+			return false // skip the goroutine itself
+		}
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				if id, ok := chanIdent(e.X); ok {
+					if obj := pass.Info.Uses[id]; obj != nil && sent[obj] {
+						found = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := chanIdent(e.X); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && sent[obj] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// chanIdent unwraps a channel expression to its identifier.
+func chanIdent(e ast.Expr) (*ast.Ident, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x, true
+	case *ast.ParenExpr:
+		return chanIdent(x.X)
+	}
+	return nil, false
+}

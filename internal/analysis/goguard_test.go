@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+// TestGoGuard: in-loop goroutines need WaitGroup or completion-channel
+// discipline; both sanctioned shapes pass, the unjoined ones are flagged,
+// and a justified directive suppresses.
+func TestGoGuard(t *testing.T) {
+	analyzertest.Run(t, analysis.GoGuard, "testdata/src/goguard")
+}

@@ -117,7 +117,31 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 // type-checking against export data resolved lazily through the go tool.
 // It serves the analyzer test harness, whose testdata directories are
 // invisible to package patterns.
+//
+// Imports resolve in two tiers: real packages (stdlib and module-internal)
+// through `go list -export`, and fixture-local packages from source,
+// relative to dir's parent. A fixture at testdata/src/spanend may import
+// "spanend/obs", which loads testdata/src/spanend/obs recursively with the
+// same importer — that is how cross-package analyzer cases (a fake obs
+// package, a helper type library) stay self-contained under testdata.
 func Dir(dir string) (*Package, error) {
+	files, err := dirGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fset:    fset,
+		root:    filepath.Dir(dir),
+		exports: lazyExports(dir),
+		cache:   make(map[string]*types.Package),
+	}
+	imp.gc = exportImporter(fset, imp.exports)
+	return check(fset, imp, dir, dir, files)
+}
+
+// dirGoFiles lists the non-test Go sources of dir.
+func dirGoFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("load: %w", err)
@@ -133,9 +157,50 @@ func Dir(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("load: no Go files in %s", dir)
 	}
-	fset := token.NewFileSet()
-	imp := exportImporter(fset, lazyExports(dir))
-	return check(fset, imp, dir, dir, files)
+	return files, nil
+}
+
+// fixtureImporter resolves real packages through export data and fixture
+// sub-packages from source under root.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	root    string
+	exports func(string) (string, bool)
+	gc      types.Importer
+	cache   map[string]*types.Package
+	loading map[string]bool
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.cache[path]; ok {
+		return p, nil
+	}
+	if _, ok := im.exports(path); ok {
+		return im.gc.Import(path)
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	files, err := dirGoFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: import %q: not an exported package and no fixture source at %s", path, dir)
+	}
+	if im.loading == nil {
+		im.loading = make(map[string]bool)
+	}
+	if im.loading[path] {
+		return nil, fmt.Errorf("load: fixture import cycle through %q", path)
+	}
+	im.loading[path] = true
+	defer delete(im.loading, path)
+	pkg, err := check(im.fset, im, path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("load: fixture package %q: %w", path, pkg.TypeErrors[0])
+	}
+	pkg.Types.MarkComplete()
+	im.cache[path] = pkg.Types
+	return pkg.Types, nil
 }
 
 // check parses and type-checks one package.

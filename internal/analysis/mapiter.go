@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIter reports `range` loops over maps whose bodies build order-sensitive
+// output: appending to a slice declared outside the loop, or sending on a
+// channel, without a deterministic sort between the loop and the value's
+// escape. Go randomizes map iteration order on purpose, so any slice grown
+// in map order differs run to run — the exact bug class behind the repo's
+// bit-identical-output audits: a violation-graph edge list, a repair list,
+// or a shard worklist assembled from a map must be sorted before it feeds
+// the repair pipeline.
+//
+// The analyzer accepts the idiomatic fix without complaint: collect, then
+// sort — a call to sort.* or slices.Sort* (or any function whose name
+// contains "sort") after the loop, in the same function, mentioning the
+// accumulated slice. Order-insensitive folds (counters, sums, map-to-map
+// copies, min/max under a strict total order) are never flagged because
+// they do not append.
+//
+// Known soundness gaps (see DESIGN.md §15): a sort performed by the caller
+// is invisible, as is a sort routed through a helper that does not mention
+// the slice by name; suppress those with //lint:ignore mapiter <reason>.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags range-over-map loops that append to slices or send on channels without a deterministic sort afterwards",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, unit := range funcUnits(pass) {
+		unit := unit
+		inspectShallow(unit.body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, unit, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody flags order-sensitive accumulation inside one map-range
+// body.
+func checkMapRangeBody(pass *Pass, unit funcUnit, rng *ast.RangeStmt) {
+	inspectShallow(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if i >= len(st.Lhs) {
+					continue
+				}
+				dst := st.Lhs[i]
+				if declaredWithin(pass, dst, rng) {
+					continue
+				}
+				if sortedAfter(pass, unit, rng, dst) {
+					continue
+				}
+				pass.Reportf(st.Pos(), "append to %s inside range over map: iteration order is randomized, so the slice order differs run to run; sort it after the loop or iterate sorted keys", exprText(dst))
+			}
+		case *ast.SendStmt:
+			pass.Reportf(st.Pos(), "send on %s inside range over map: receivers see a randomized order; iterate sorted keys instead", exprText(st.Chan))
+		}
+		return true
+	})
+}
+
+// declaredWithin reports whether e's root identifier (unwrapping selectors,
+// indexing, derefs) is declared inside the loop — a per-iteration scratch
+// value cannot leak map order out of the loop by itself; if it escapes, the
+// escaping append is checked in its own right.
+func declaredWithin(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+// rootIdent unwraps e to the identifier at the base of a selector/index/
+// deref/paren chain (cv.vals → cv, ix.gram[g] → ix), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether, after the range loop, the enclosing function
+// deterministically sorts dst: a statement past the loop's end containing a
+// sort-like call that mentions dst.
+func sortedAfter(pass *Pass, unit funcUnit, rng *ast.RangeStmt, dst ast.Expr) bool {
+	name := leafName(dst)
+	if name == "" {
+		name = exprText(dst)
+	}
+	found := false
+	inspectShallow(unit.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !sortLikeCall(call) {
+			return true
+		}
+		if callMentions(call, name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sortLikeCall reports whether call is a sorting call: sort.* and
+// slices.Sort* from the stdlib, or any function whose name contains "sort".
+func sortLikeCall(call *ast.CallExpr) bool {
+	l := strings.ToLower(leafName(call.Fun))
+	if strings.Contains(l, "sort") {
+		return true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+			// sort.Strings, sort.Slice, slices.SortFunc, ... — every entry
+			// point of the stdlib sorting packages establishes an order.
+			return true
+		}
+	}
+	return false
+}
+
+// callMentions reports whether the identifier name appears anywhere in the
+// call's arguments (including inside closures — sort.Slice(xs, func...)).
+func callMentions(call *ast.CallExpr, name string) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// exprText renders a short printable form of e for messages.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	}
+	if n := leafName(e); n != "" {
+		return n
+	}
+	return "expression"
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+// TestMapIter runs the multi-file fixture: collection without sort, the
+// sorted idioms, scratch slices, channel sends, and a suppression case.
+func TestMapIter(t *testing.T) {
+	analyzertest.Run(t, analysis.MapIter, "testdata/src/mapiter")
+}

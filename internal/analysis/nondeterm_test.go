@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+// TestNonDeterm runs the gated fixture, whose import path ends in
+// internal/repair: clock-as-data, math/rand, first-element map selection,
+// the duration-measurement exemptions, and a suppression case.
+func TestNonDeterm(t *testing.T) {
+	analyzertest.Run(t, analysis.NonDeterm, "testdata/src/nondeterm/internal/repair")
+}
+
+// TestNonDetermAllowlisted runs the same patterns in a package outside the
+// decision set: no diagnostics.
+func TestNonDetermAllowlisted(t *testing.T) {
+	analyzertest.Run(t, analysis.NonDeterm, "testdata/src/nondeterm")
+}

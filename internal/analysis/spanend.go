@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ftrepair/internal/analysis/cfg"
+)
+
+// SpanEnd proves, per function, that every obs span started locally is
+// Ended on every return path — including early returns on ErrCanceled,
+// which is where leaks hide: the happy path Ends at the bottom, the cancel
+// unwind forgets, OpenSpans never drains, and phase-duration histograms
+// silently under-report the canceled phase. The check is control-flow
+// based (internal/analysis/cfg): from the statement that starts the span,
+// every path to the function's exit must pass an End on that same span.
+//
+// A span "starts locally" when a call result is bound to a variable whose
+// type is a pointer to a named type Span (obs.Span in the real tree; any
+// *Span in fixtures). Coverage is satisfied by:
+//
+//   - an End on every Exit-reaching path (the CFG query), or
+//   - a defer that Ends the span (directly or inside a deferred closure) —
+//     defers run on every exit including panics, so they cover all paths.
+//
+// Escape hatches that end the span elsewhere are trusted, with the
+// imprecision documented in DESIGN.md §15: a span passed to another
+// function, stored in a struct or slice, returned, or captured by a
+// non-deferred closure is assumed managed by its new owner. Panic paths
+// are exempt unless a defer exists — End is idempotent, and CloseOpen
+// sweeps abandoned traces at export time.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "flags obs spans that are not Ended on every return path (CFG all-paths check)",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, unit := range funcUnits(pass) {
+		var g *cfg.Graph // built lazily, once per unit that starts spans
+		inspectShallow(unit.body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				if _, ok := rhs.(*ast.CallExpr); !ok {
+					continue // aliases are not fresh spans
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil || !isSpanPtr(obj.Type()) {
+					continue
+				}
+				if spanEscapes(pass, unit, st, obj) {
+					continue
+				}
+				if deferredEnd(pass, unit, obj) {
+					continue
+				}
+				if g == nil {
+					g = cfg.New(unit.body)
+				}
+				blk := g.BlockOf(st)
+				if blk == nil {
+					continue
+				}
+				idx := stmtIndex(blk, st)
+				endsHere := func(n ast.Node) bool { return containsEndCall(pass, n, obj) }
+				if !g.EveryPathHits(blk, idx, endsHere, true) {
+					pass.Reportf(st.Pos(), "span %s is not Ended on every return path; End it before each return (eagerly on cancel unwinds) or add defer %s.End()", id.Name, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSpanPtr reports whether t is *Span for a named type Span.
+func isSpanPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// stmtIndex finds s's position within its block.
+func stmtIndex(b *cfg.Block, s ast.Stmt) int {
+	for i, st := range b.Stmts {
+		if st == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// containsEndCall reports whether n contains obj.End() — without descending
+// into nested function literals, whose execution is not guaranteed at this
+// program point (deferred closures are handled separately).
+func containsEndCall(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if isEndCallOn(pass, m, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isEndCallOn reports whether m is the call obj.End().
+func isEndCallOn(pass *Pass, m ast.Node, obj types.Object) bool {
+	call, ok := m.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// deferredEnd reports whether the unit defers obj.End(), directly or inside
+// a deferred closure.
+func deferredEnd(pass *Pass, unit funcUnit, obj types.Object) bool {
+	found := false
+	inspectShallow(unit.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isEndCallOn(pass, d.Call, obj) {
+			found = true
+			return false
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if found {
+					return false
+				}
+				if isEndCallOn(pass, m, obj) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// spanEscapes reports whether obj leaves the unit's direct control: passed
+// as a call argument (not as the method receiver), stored, returned, or
+// captured by a non-deferred closure. Such spans are assumed Ended by their
+// new owner.
+func spanEscapes(pass *Pass, unit funcUnit, start *ast.AssignStmt, obj types.Object) bool {
+	escapes := false
+	ast.Inspect(unit.body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range e.Args {
+				if identIs(pass, arg, obj) {
+					escapes = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if e == start {
+				return true
+			}
+			for _, rhs := range e.Rhs {
+				if identIs(pass, rhs, obj) {
+					escapes = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range e.Results {
+				if identIs(pass, r, obj) {
+					escapes = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if identIs(pass, v, obj) {
+					escapes = true
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			// A capture in a non-deferred closure: the closure may End it
+			// later (goroutine per-iteration spans) — out of this unit's
+			// CFG, so trust it. Deferred closures were already credited.
+			uses := false
+			ast.Inspect(e.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					uses = true
+				}
+				return !uses
+			})
+			if uses {
+				escapes = true
+				return false
+			}
+			return false
+		}
+		return true
+	})
+	return escapes
+}
+
+// identIs reports whether e is exactly the identifier bound to obj.
+func identIs(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}

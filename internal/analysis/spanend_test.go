@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+// TestSpanEnd runs the cross-package fixture (it imports the fixture-local
+// spanend/obs package through load.Dir's source fallback): cancel-unwind
+// leaks and one-armed diamonds are flagged; explicit all-path Ends, defers,
+// ownership hand-off, goroutine capture, panic-path exemption and a
+// justified directive are not.
+func TestSpanEnd(t *testing.T) {
+	analyzertest.Run(t, analysis.SpanEnd, "testdata/src/spanend")
+}

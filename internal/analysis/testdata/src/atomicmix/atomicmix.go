@@ -1,0 +1,45 @@
+// Package atomicmix exercises the atomicmix analyzer: a struct field is
+// either fully in the atomic domain or fully outside it.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed only via atomic — fine
+	misses int64 // mixed: atomic adds plus a plain read — flagged
+	plain  int64 // never touched by atomic — fine
+}
+
+func (c *counters) record(hit bool) {
+	if hit {
+		atomic.AddInt64(&c.hits, 1)
+	} else {
+		atomic.AddInt64(&c.misses, 1)
+	}
+}
+
+func (c *counters) hitCount() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// torn reads the mixed field without atomic: on 32-bit targets the load can
+// tear, and on any target the racing read is undefined.
+func (c *counters) torn() int64 {
+	return c.misses // want `plain access to field misses`
+}
+
+// lostUpdate is the write-side version of the same bug.
+func (c *counters) lostUpdate() {
+	c.misses++ // want `plain access to field misses`
+}
+
+func (c *counters) plainOnly() int64 {
+	c.plain++
+	return c.plain
+}
+
+// suppressed documents a single-goroutine init-time read.
+func (c *counters) suppressed() int64 {
+	//lint:ignore atomicmix read happens before any worker starts; no concurrent writer exists yet
+	return c.misses
+}

@@ -124,6 +124,31 @@ func litOwnSignature() func(Options) int {
 	}
 }
 
+// pollOnExitArmOnly: the poll sits on an arm that immediately returns, so
+// the iterating path never polls — the CFG-backed check catches what the
+// old syntactic matcher (any poll anywhere in the body) was blind to.
+func pollOnExitArmOnly(opts Options) int {
+	n := 0
+	for n < 1000000 { // want `never polls the cancel channel`
+		if n == 999999 {
+			_ = canceled(opts.Cancel)
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// pollInLoopCondition: a poll folded into the loop condition runs every
+// iteration — on the cycle by construction.
+func pollInLoopCondition(opts Options) int {
+	n := 0
+	for !canceled(opts.Cancel) {
+		n++
+	}
+	return n
+}
+
 // outerPollCoversNest: a poll in the enclosing loop keeps the whole nest
 // responsive.
 func outerPollCoversNest(groups [][]int, opts Options) int {

@@ -1,0 +1,68 @@
+// Package goguard exercises the goguard analyzer: goroutines launched in
+// loops need a join discipline the spawning function can see.
+package goguard
+
+import "sync"
+
+// waitGroupFanOut is the sanctioned worker-pool shape.
+func waitGroupFanOut(jobs []int, run func(int)) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run(j)
+		}()
+	}
+	wg.Wait()
+}
+
+// completionChannel is the errs-channel shape: one send per goroutine, one
+// receive per goroutine.
+func completionChannel(workers int, run func() error) error {
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() { errs <- run() }()
+	}
+	var first error
+	for w := 0; w < workers; w++ {
+		if e := <-errs; e != nil && first == nil {
+			first = e
+		}
+	}
+	return first
+}
+
+// unjoined launches per-item goroutines nothing ever waits for.
+func unjoined(jobs []int, run func(int)) {
+	for _, j := range jobs {
+		j := j
+		go run(j) // want `goroutine launched in a loop without WaitGroup`
+	}
+}
+
+// unjoinedClosure is the closure-flavored version.
+func unjoinedClosure(jobs []int, sink chan<- int) {
+	for _, j := range jobs {
+		j := j
+		go func() { // want `goroutine launched in a loop without WaitGroup`
+			sink <- j * j
+		}()
+	}
+}
+
+// singleGoroutine outside a loop is not goguard's business.
+func singleGoroutine(run func()) {
+	go run()
+}
+
+// suppressed documents a helper-managed lifecycle: the pool joins these
+// workers in a different method, which the function-local check cannot see.
+func suppressed(jobs []int, run func(int)) {
+	for _, j := range jobs {
+		j := j
+		//lint:ignore goguard workers are joined by pool.close in the owning struct
+		go run(j)
+	}
+}

@@ -1,0 +1,118 @@
+// Package mapiter exercises the mapiter analyzer: ranges over maps must
+// not build order-sensitive output (slice appends, channel sends) without
+// a deterministic sort before the value escapes.
+package mapiter
+
+import "sort"
+
+// collectUnsorted grows a result slice in map order and never sorts it: the
+// classic nondeterministic-output bug.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map`
+	}
+	return keys
+}
+
+// collectSorted is the idiomatic fix: collect, then sort.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSortSlice also counts: sort.Slice mentioning the slice.
+func collectSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// scratchInsideLoop appends to a slice declared inside the loop body; the
+// per-iteration scratch cannot leak map order by itself.
+func scratchInsideLoop(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// commutativeFold sums values: order-insensitive, never flagged.
+func commutativeFold(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// mapToMap rebuilds a map from a map: insertion order is irrelevant to the
+// resulting map, so nothing is flagged.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// bucket is a per-iteration accumulator used by the struct-field cases.
+type bucket struct {
+	key  string
+	vals []string
+}
+
+// scratchStructField appends to a field of a struct declared inside the
+// loop: the root identifier is per-iteration scratch, and the escape into
+// out is sorted before the function returns — nothing to flag.
+func scratchStructField(m map[string]map[string]bool) []bucket {
+	var out []bucket
+	for k, vs := range m {
+		b := bucket{key: k}
+		for v := range vs {
+			b.vals = append(b.vals, v)
+		}
+		sort.Strings(b.vals)
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// outerStructField appends to a field rooted outside the loop without a
+// sort: map order leaks through the field exactly like a bare slice.
+func outerStructField(m map[string]bool) bucket {
+	var b bucket
+	for k := range m {
+		b.vals = append(b.vals, k) // want `append to b.vals inside range over map`
+	}
+	return b
+}
+
+// sendInMapOrder streams elements to a consumer in randomized order.
+func sendInMapOrder(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `send on ch inside range over map`
+	}
+}
+
+// suppressed documents an order-irrelevant accumulation with a justified
+// directive; the harness must drop the diagnostic.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore mapiter feeds a set-membership check; order never observed
+		keys = append(keys, k)
+	}
+	return keys
+}

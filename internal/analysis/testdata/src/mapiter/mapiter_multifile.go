@@ -1,0 +1,37 @@
+package mapiter
+
+import "sort"
+
+// Second file of the fixture package: multi-file fixtures load as one
+// package, so analyzers and // want matching span files.
+
+// edgesUnsorted mirrors the violation-graph shape the analyzer exists for:
+// emitting edge records from a map-keyed registry.
+type edge struct{ u, v int }
+
+func edgesUnsorted(adj map[int][]int) []edge {
+	var edges []edge
+	for u, vs := range adj {
+		for _, v := range vs {
+			edges = append(edges, edge{u, v}) // want `append to edges inside range over map`
+		}
+	}
+	return edges
+}
+
+// edgesSorted sorts before returning, restoring determinism.
+func edgesSorted(adj map[int][]int) []edge {
+	var edges []edge
+	for u, vs := range adj {
+		for _, v := range vs {
+			edges = append(edges, edge{u, v})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	return edges
+}

@@ -1,0 +1,82 @@
+// Package repair (under the nondeterm fixture) exercises the nondeterm
+// analyzer inside a checked decision package: the fixture's import path
+// ends in internal/repair, which is one of the gated suffixes.
+package repair
+
+import (
+	"math/rand"
+	"time"
+)
+
+type record struct {
+	value string
+	stamp time.Time
+}
+
+// durationOnly is the sanctioned wall-clock idiom: the instant only ever
+// feeds duration measurement.
+func durationOnly() float64 {
+	start := time.Now()
+	work()
+	return time.Since(start).Seconds()
+}
+
+// durationMethod compares instants with Before: still measurement.
+func durationMethod(deadline time.Time) bool {
+	return time.Now().Before(deadline)
+}
+
+// stampAsData stores the wall clock into repair state: two runs now differ.
+func stampAsData(r *record) {
+	r.stamp = time.Now() // want `time.Now\(\) result used as data`
+}
+
+// mixedUse measures AND leaks the instant; the leak taints it.
+func mixedUse() int64 {
+	start := time.Now() // want `time.Now\(\) result used as data`
+	work()
+	_ = time.Since(start)
+	return start.UnixNano()
+}
+
+// randomTieBreak uses math/rand in a decision path.
+func randomTieBreak(n int) int {
+	return rand.Intn(n) // want `rand.Intn in a repair decision package`
+}
+
+// firstKeyWins selects whichever element the runtime yields first.
+func firstKeyWins(m map[string]int) int {
+	for _, v := range m { // want `returns unconditionally on the first element`
+		return v
+	}
+	return 0
+}
+
+// pickAnyBreak is the break-flavored version of the same bug.
+func pickAnyBreak(m map[string]int) string {
+	var k string
+	for key := range m { // want `breaks unconditionally on the first element`
+		k = key
+		break
+	}
+	return k
+}
+
+// conditionalSearch tests a predicate per element: any iteration order
+// produces the same answer, so it is exempt.
+func conditionalSearch(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressedRand documents a justified exception.
+func suppressedRand(n int) int {
+	//lint:ignore nondeterm synthetic jitter for a benchmark harness, not a repair decision
+	return rand.Intn(n)
+}
+
+func work() {}

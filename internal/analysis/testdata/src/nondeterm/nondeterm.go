@@ -1,0 +1,15 @@
+// Package nondeterm is the allowlisted half of the nondeterm fixture: its
+// import path matches no gated suffix, so wall-clock and rand use produce
+// no diagnostics — timing, ids and seeding are legitimate outside the
+// repair decision packages.
+package nondeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// requestID is the kind of code the obs/server allowlist exists for.
+func requestID() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(1024))
+}

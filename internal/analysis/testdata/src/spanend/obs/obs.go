@@ -1,0 +1,27 @@
+// Package obs is a minimal mirror of the real internal/obs surface for the
+// spanend fixture: a Span type with End, reached through Begin and Child.
+// The spanend analyzer matches structurally (*Span with an End method), so
+// this fixture package stands in for the real one and doubles as the
+// cross-package loading case for the analyzer test harness.
+package obs
+
+// Phase names a pipeline phase.
+type Phase string
+
+// Trace collects spans.
+type Trace struct{ open int }
+
+// Span is one timed region.
+type Span struct{ tr *Trace }
+
+// Begin opens a span.
+func Begin(t *Trace, p Phase) *Span { return &Span{tr: t} }
+
+// Child opens a sub-span.
+func (s *Span) Child(p Phase) *Span { return &Span{} }
+
+// End closes the span (idempotent in the real package).
+func (s *Span) End() {}
+
+// Add attaches a counter.
+func (s *Span) Add(key string, n int64) {}

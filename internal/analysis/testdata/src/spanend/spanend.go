@@ -1,0 +1,125 @@
+// Package spanend exercises the spanend analyzer: every locally started
+// span must be Ended on every path to return, with defers and ownership
+// transfer as the accepted alternatives. The obs import is a fixture-local
+// package (cross-package loading through load.Dir's source fallback).
+package spanend
+
+import (
+	"errors"
+
+	"spanend/obs"
+)
+
+var errCanceled = errors.New("canceled")
+
+func work() error { return nil }
+
+// happyAndCancel ends on both the cancel unwind and the happy path.
+func happyAndCancel(tr *obs.Trace, canceled bool) error {
+	sp := obs.Begin(tr, "expand")
+	if canceled {
+		sp.End()
+		return errCanceled
+	}
+	err := work()
+	sp.End()
+	return err
+}
+
+// cancelLeak forgets the span on the early return — the exact leak class
+// the analyzer exists for.
+func cancelLeak(tr *obs.Trace, canceled bool) error {
+	sp := obs.Begin(tr, "expand") // want `span sp is not Ended on every return path`
+	if canceled {
+		return errCanceled
+	}
+	err := work()
+	sp.End()
+	return err
+}
+
+// deferred covers every exit, panics included.
+func deferred(tr *obs.Trace, canceled bool) error {
+	sp := obs.Begin(tr, "greedygrow")
+	defer sp.End()
+	if canceled {
+		return errCanceled
+	}
+	return work()
+}
+
+// deferredClosure ends inside a deferred closure.
+func deferredClosure(tr *obs.Trace) error {
+	sp := obs.Begin(tr, "apply")
+	defer func() {
+		sp.Add("rows", 1)
+		sp.End()
+	}()
+	return work()
+}
+
+// diamond ends in both arms.
+func diamond(tr *obs.Trace, fast bool) {
+	sp := obs.Begin(tr, "targetsearch")
+	if fast {
+		sp.Add("fast", 1)
+		sp.End()
+	} else {
+		sp.End()
+	}
+}
+
+// oneArm misses the else arm.
+func oneArm(tr *obs.Trace, fast bool) {
+	sp := obs.Begin(tr, "targetsearch") // want `span sp is not Ended on every return path`
+	if fast {
+		sp.End()
+	}
+}
+
+// handedOff transfers ownership: the callee is responsible now.
+func finishSpan(sp *obs.Span) { sp.End() }
+
+func handedOff(tr *obs.Trace) {
+	sp := obs.Begin(tr, "detect")
+	finishSpan(sp)
+}
+
+// capturedByWorker hands the span to a goroutine closure (per-worker spans
+// in the shard pool do this); outside the unit's CFG, so trusted.
+func capturedByWorker(tr *obs.Trace, done chan struct{}) {
+	sp := obs.Begin(tr, "increpair")
+	go func() {
+		defer close(done)
+		sp.End()
+	}()
+}
+
+// childSpans are spans too.
+func childSpans(parent *obs.Span, canceled bool) error {
+	child := parent.Child("apply") // want `span child is not Ended on every return path`
+	if canceled {
+		return errCanceled
+	}
+	child.End()
+	return nil
+}
+
+// panicPathExempt: the panic arm unwinds without End, but panic paths are
+// exempt when no defer exists (CloseOpen sweeps abandoned traces); the
+// return path Ends properly, so nothing is flagged.
+func panicPathExempt(tr *obs.Trace, bad bool) {
+	sp := obs.Begin(tr, "detect")
+	if bad {
+		panic("invariant broken")
+	}
+	sp.End()
+}
+
+// suppressed documents a span intentionally left open (progress UI owns
+// it); the directive must silence the finding.
+func suppressed(tr *obs.Trace) {
+	//lint:ignore spanend progress spinner span is ended by the UI loop on shutdown
+	sp := obs.Begin(tr, "detect")
+	sp.Add("n", 1)
+}

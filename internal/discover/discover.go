@@ -207,9 +207,18 @@ func groupRows(classes []int, n int) ([][]int, float64) {
 	for i, c := range classes {
 		byClass[c] = append(byClass[c], i)
 	}
+	// Iterate class ids in sorted order so the group list is identical run
+	// to run — callers fold over it, but partial-support ties downstream
+	// break on group order.
+	ids := make([]int, 0, len(byClass))
+	for c := range byClass {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
 	var groups [][]int
 	witnessed := 0
-	for _, rows := range byClass {
+	for _, c := range ids {
+		rows := byClass[c]
 		if len(rows) >= 2 {
 			groups = append(groups, rows)
 			witnessed += len(rows)

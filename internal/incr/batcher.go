@@ -116,6 +116,7 @@ func (b *Batcher) Enqueue(ctx context.Context, rows [][]string) (*EnqueueResult,
 		b.mu.Unlock()
 		return nil, ErrClosed
 	}
+	//lint:ignore nondeterm the arrival stamp only drives MaxWait flush deadlines; batch contents and repair outputs do not depend on it
 	req := &enqueueReq{rows: rows, at: time.Now(), done: make(chan struct{})}
 	b.queue = append(b.queue, req)
 	b.rows += len(rows)

@@ -96,7 +96,7 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 		stats["plainFDRepairs"] = len(res.Changed)
 		if err != nil {
 			done()
-			return finishCanceled(rel, out, cfg, "CFDSet", start, stats)
+			return finishCanceled(rel, out, cfg, "CFDSet", time.Since(start), stats)
 		}
 	}
 
@@ -113,7 +113,7 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 		for i, c := range conditional {
 			if canceled(opts.Cancel) {
 				done()
-				return finishCanceled(rel, out, cfg, "CFDSet", start, stats)
+				return finishCanceled(rel, out, cfg, "CFDSet", time.Since(start), stats)
 			}
 			sub, rows := c.Restrict(out)
 			if sub.Len() < 2 {
@@ -133,7 +133,7 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 			}
 			if err != nil {
 				done()
-				return finishCanceled(rel, out, cfg, "CFDSet", start, stats)
+				return finishCanceled(rel, out, cfg, "CFDSet", time.Since(start), stats)
 			}
 		}
 		stats["cfdRounds"]++
@@ -142,14 +142,14 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 		}
 	}
 	done()
-	return finish(rel, out, cfg, "CFDSet", start, stats)
+	return finish(rel, out, cfg, "CFDSet", time.Since(start), stats)
 }
 
 // finishCanceled packages the work done so far as a partial result paired
 // with ErrCanceled, matching the partial-on-cancel contract of GreedyS and
 // GreedyM.
-func finishCanceled(rel, out *dataset.Relation, cfg *fd.DistConfig, name string, start time.Time, stats map[string]int) (*Result, error) {
-	res, err := finish(rel, out, cfg, name, start, stats)
+func finishCanceled(rel, out *dataset.Relation, cfg *fd.DistConfig, name string, elapsed time.Duration, stats map[string]int) (*Result, error) {
+	res, err := finish(rel, out, cfg, name, elapsed, stats)
 	if err != nil {
 		return nil, err
 	}

@@ -64,7 +64,7 @@ func multiRepair(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Op
 	// a cancellation and surfaces the typed error alongside it.
 	partial := func() (*Result, error) {
 		addCacheStats(stats, cfg, snap)
-		res, ferr := finish(rel, out, cfg, name, start, stats)
+		res, ferr := finish(rel, out, cfg, name, time.Since(start), stats)
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -92,7 +92,7 @@ func multiRepair(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Op
 		}
 	}
 	addCacheStats(stats, cfg, snap)
-	return finish(rel, out, cfg, name, start, stats)
+	return finish(rel, out, cfg, name, time.Since(start), stats)
 }
 
 // repairComponentsParallel runs component repairs on up to opts.Parallel

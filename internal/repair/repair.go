@@ -153,12 +153,14 @@ func canceled(ch <-chan struct{}) bool {
 	}
 }
 
-func finish(orig *dataset.Relation, repaired *dataset.Relation, cfg *fd.DistConfig, algorithm string, start time.Time, stats map[string]int) (*Result, error) {
+// finish takes the elapsed wall time rather than the start instant so that
+// repair decision code never holds a clock reading as data — callers pass
+// time.Since(start) at the return point (nondeterm invariant, DESIGN.md §15).
+func finish(orig *dataset.Relation, repaired *dataset.Relation, cfg *fd.DistConfig, algorithm string, elapsed time.Duration, stats map[string]int) (*Result, error) {
 	changed, err := dataset.Diff(orig, repaired)
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
 	// The one flush point for run-level stats: every algorithm funnels its
 	// finished (or canceled-partial) Result through finish, so registry
 	// totals see each run exactly once. Graph vertex/edge totals are

@@ -41,7 +41,7 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 			"edges":    g.NumEdges(),
 		}
 		addCacheStats(stats, cfg, snap)
-		partial, ferr := finish(rel, rel.Clone(), cfg, "ExactS", start, stats)
+		partial, ferr := finish(rel, rel.Clone(), cfg, "ExactS", time.Since(start), stats)
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -60,7 +60,7 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 		"pruned":   res.Pruned,
 	}
 	addCacheStats(stats, cfg, snap)
-	return finish(rel, repaired, cfg, "ExactS", start, stats)
+	return finish(rel, repaired, cfg, "ExactS", time.Since(start), stats)
 }
 
 // repairTargets maps every vertex outside the independent set to its
@@ -110,7 +110,7 @@ func GreedyS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, o
 		"setSize":  len(set),
 	}
 	addCacheStats(stats, cfg, snap)
-	res, err := finish(rel, repaired, cfg, "GreedyS", start, stats)
+	res, err := finish(rel, repaired, cfg, "GreedyS", time.Since(start), stats)
 	if err == nil && canceled(opts.Cancel) {
 		// The greedy growth stopped early: excluded vertices without an
 		// in-set neighbor stay unrepaired.

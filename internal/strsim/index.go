@@ -61,6 +61,7 @@ func (ix *Index) Add(s string) int {
 		counts[string(r[i:i+ix.q])]++
 	}
 	for g, c := range counts {
+		//lint:ignore mapiter each gram key occurs once per counts map, so every posting list gains at most one entry per Add — list order is Add order, not map order
 		ix.gram[g] = append(ix.gram[g], posting{id: id, cnt: c})
 	}
 	return int(id)
