@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint lint-json lint-sarif test short bench bench-json bench-repair bench-incremental experiments fuzz cover examples serve
+.PHONY: all build lint lint-json lint-sarif test short bench bench-json bench-repair bench-incremental alloc-smoke experiments fuzz cover examples serve
 
 all: build lint test
 
@@ -49,6 +49,15 @@ bench-repair:
 # BENCH_incremental.json (per-batch latency, shard telemetry, ratios).
 bench-incremental:
 	go run ./cmd/repairbench -exp incrbench -benchout BENCH_incremental.json
+
+# Alloc-regression smoke: the gate test asserts steady-state greedy rounds
+# perform zero heap allocations (pooled grower + caller-owned buffer), and
+# the one-iteration -benchmem runs surface the allocs/op of the other hot
+# paths for eyeballing in CI logs.
+alloc-smoke:
+	go test -run 'TestGreedyGrowthSteadyStateAllocs' ./internal/repair/
+	go test -run '^$$' -bench 'BenchmarkGreedyGrowth' -benchtime=1x -benchmem ./internal/repair/
+	go test -run '^$$' -bench 'BenchmarkGraphBuildWorkers' -benchtime=1x -benchmem .
 
 experiments:
 	go run ./cmd/repairbench -exp all -scale 0.2

@@ -64,6 +64,7 @@ func All() []*Analyzer {
 		LockCopy,
 		ErrFmt,
 		MapIter,
+		BitsetIter,
 		NonDeterm,
 		AtomicMix,
 		GoGuard,

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BitsetIter enforces the index-addressed iteration discipline of the hot
+// enumeration packages — internal/mis and internal/vgraph. Since the
+// arena/bitset refactor, every per-vertex structure there is addressed by
+// dense vertex index (CSR adjacency, bitset membership), and iteration is
+// expected to go through bitset.Set.IterateOnes, a CSR offset range, or a
+// sorted index slice — all deterministic, allocation-free, and
+// cache-friendly. A `range` over a map inside these packages defeats all
+// three properties at once: Go randomizes map order (a determinism hazard
+// the bit-identical contract cannot tolerate in enumeration loops), and a
+// map in the hot path usually marks state that regressed from the arena
+// layout back to pointer-chasing hashing.
+//
+// The analyzer therefore flags EVERY range-over-map in the gated packages,
+// regardless of loop body — stricter than mapiter (which allows
+// order-insensitive folds everywhere else). Maps remain fine as lookup
+// tables (byKey[k], byHash[h]); only ranging over one is flagged. The rare
+// legitimate map walk (e.g. draining a cache where order provably cannot
+// escape) is suppressed with //lint:ignore bitsetiter <reason>.
+var BitsetIter = &Analyzer{
+	Name: "bitsetiter",
+	Doc:  "flags range-over-map in internal/mis and internal/vgraph; hot enumeration must use IterateOnes or sorted index order",
+	Run:  runBitsetIter,
+}
+
+// bitsetIterChecked reports whether pkg is one of the index-addressed hot
+// packages. The gate is by import-path suffix, mirroring nondeterm, so the
+// testdata fixtures can opt in by directory layout.
+func bitsetIterChecked(pkg string) bool {
+	for _, suf := range []string{"internal/mis", "internal/vgraph"} {
+		if strings.HasSuffix(pkg, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func runBitsetIter(pass *Pass) error {
+	if pass.Pkg == nil || !bitsetIterChecked(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "range over map %s in an index-addressed hot package: map order is randomized and map iteration bypasses the arena layout; iterate bitset.IterateOnes or a sorted index range instead", exprText(rng.X))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+// TestBitsetIter runs the gated fixture, whose import path ends in
+// internal/mis: every range-over-map is flagged (even order-insensitive
+// folds), lookups and slice ranges are not, and a justified //lint:ignore
+// suppresses.
+func TestBitsetIter(t *testing.T) {
+	analyzertest.Run(t, analysis.BitsetIter, "testdata/src/bitsetiter/internal/mis")
+}
+
+// TestBitsetIterUngated runs the same shapes outside the hot packages: the
+// import-path gate keeps the analyzer silent.
+func TestBitsetIterUngated(t *testing.T) {
+	analyzertest.Run(t, analysis.BitsetIter, "testdata/src/bitsetiter")
+}

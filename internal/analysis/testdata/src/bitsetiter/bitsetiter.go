@@ -1,0 +1,20 @@
+// Package bitsetiter (ungated fixture) runs the same map-iteration shapes
+// outside the index-addressed hot packages: the import-path gate must keep
+// the analyzer silent here, so nothing in this file carries a want.
+package bitsetiter
+
+func foldCounts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func collectKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

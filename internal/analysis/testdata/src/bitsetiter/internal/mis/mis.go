@@ -1,0 +1,56 @@
+// Package mis (under the bitsetiter fixture) exercises the analyzer inside
+// a gated hot package: the fixture's import path ends in internal/mis, so
+// every range-over-map must be flagged regardless of loop body, while map
+// lookups, slice ranges, and suppressed walks stay silent.
+package mis
+
+type set []uint64
+
+type dedup struct {
+	byHash map[uint64][]int32
+	sets   []set
+}
+
+// lookupOnly indexes maps without ranging over them: never flagged.
+func lookupOnly(d *dedup, h uint64) []int32 {
+	return d.byHash[h]
+}
+
+// sliceRange iterates a slice, the sanctioned dense form: never flagged.
+func sliceRange(sets []set) int {
+	n := 0
+	for _, s := range sets {
+		n += len(s)
+	}
+	return n
+}
+
+// mapFold is an order-insensitive fold that mapiter would allow; the
+// stricter hot-package discipline flags it anyway.
+func mapFold(seen map[int]bool) int {
+	n := 0
+	for v := range seen { // want `range over map seen in an index-addressed hot package`
+		n += v
+	}
+	return n
+}
+
+// mapCollect builds output in map order — the classic determinism bug.
+func mapCollect(seen map[string]bool) []string {
+	var out []string
+	for k := range seen { // want `iterate bitset\.IterateOnes or a sorted index range instead`
+		out = append(out, k)
+	}
+	return out
+}
+
+// hashWalk drains the dedup index; hash-bucket order provably cannot reach
+// the output here, so the walk is justified and suppressed.
+func hashWalk(d *dedup) int {
+	n := 0
+	//lint:ignore bitsetiter counting only; bucket order never escapes
+	for _, bucket := range d.byHash {
+		n += len(bucket)
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+// Package bitset provides the fixed-capacity bit vector shared by the
+// hot-core packages (vgraph, mis, repair): vertex sets addressed by dense
+// index, with word-parallel combination operators. A Set never grows — the
+// capacity is fixed at construction and every operand of a binary operation
+// must have the same word length — which keeps every operation a straight
+// loop over equal-length []uint64 with no bounds juggling.
+//
+// Determinism contract: all iteration primitives (IterateOnes, NextOneFrom,
+// AppendMembers) visit bits in ascending index order, so code iterating a
+// Set is deterministic by construction — unlike ranging over the
+// map[int]bool sets they replaced. Hash is a pure function of the bit
+// pattern (FNV-1a over the words), usable as a dedup pre-key as long as
+// collisions are resolved with Equal.
+package bitset
+
+import "math/bits"
+
+// Set is a bit vector over a dense index universe [0, n). The zero value is
+// an empty set of capacity 0; use New for a sized one.
+type Set []uint64
+
+// WordsFor returns the number of 64-bit words needed for capacity n.
+func WordsFor(n int) int { return (n + 63) / 64 }
+
+// New returns an empty set with capacity for indices [0, n).
+func New(n int) Set { return make(Set, WordsFor(n)) }
+
+// Set adds index i.
+func (s Set) Set(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes index i.
+func (s Set) Clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether index i is present.
+func (s Set) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset empties the set in place.
+func (s Set) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Copy overwrites s with o. The two must have equal word length.
+func (s Set) Copy(o Set) { copy(s, o) }
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Intersects reports whether s and o share a bit.
+func (s Set) Intersects(o Set) bool {
+	for i, w := range s {
+		if w&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o hold exactly the same bits.
+func (s Set) Equal(o Set) bool {
+	for i, w := range s {
+		if w != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// And sets s = a ∩ b word-parallel. Any of s, a, b may alias: each word of
+// the result depends only on the same word of the operands.
+func (s Set) And(a, b Set) {
+	for i := range s {
+		s[i] = a[i] & b[i]
+	}
+}
+
+// AndNot sets s = a \ b word-parallel. Aliasing-safe like And.
+func (s Set) AndNot(a, b Set) {
+	for i := range s {
+		s[i] = a[i] &^ b[i]
+	}
+}
+
+// Or sets s = a ∪ b word-parallel. Aliasing-safe like And.
+func (s Set) Or(a, b Set) {
+	for i := range s {
+		s[i] = a[i] | b[i]
+	}
+}
+
+// IterateOnes calls fn for every set bit in ascending index order, stopping
+// early when fn returns false.
+func (s Set) IterateOnes(fn func(i int) bool) {
+	for wi, w := range s {
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + j) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// NextOneFrom returns the smallest set index >= i, or -1 when none exists.
+func (s Set) NextOneFrom(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	wi := i >> 6
+	if wi >= len(s) {
+		return -1
+	}
+	// Mask off bits below i in the first word, then scan whole words.
+	w := s[wi] &^ ((1 << (uint(i) & 63)) - 1)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(s) {
+			return -1
+		}
+		w = s[wi]
+	}
+}
+
+// AppendMembers appends the set indices in ascending order to dst and
+// returns the extended slice. Passing dst[:0] reuses its backing array.
+func (s Set) AppendMembers(dst []int) []int {
+	for wi, w := range s {
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			dst = append(dst, wi<<6+j)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Hash returns an FNV-1a hash of the words — a pure function of the bit
+// pattern and the capacity. Callers deduplicating by Hash must confirm
+// candidate matches with Equal; the dedup outcome is then independent of
+// collisions.
+func (s Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range s {
+		for b := 0; b < 64; b += 8 {
+			h ^= (w >> uint(b)) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}

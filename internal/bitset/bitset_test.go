@@ -1,0 +1,341 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// boundarySizes exercises the word-boundary capacities: one bit short of a
+// word, exactly one word, and one bit into the second word.
+var boundarySizes = []int{1, 63, 64, 65, 127, 128, 129, 1000}
+
+func TestSetClearHasBoundaries(t *testing.T) {
+	for _, n := range boundarySizes {
+		s := New(n)
+		if got, want := len(s), WordsFor(n); got != want {
+			t.Fatalf("New(%d): %d words, want %d", n, got, want)
+		}
+		for i := 0; i < n; i++ {
+			if s.Has(i) {
+				t.Fatalf("n=%d: fresh set has bit %d", n, i)
+			}
+			s.Set(i)
+			if !s.Has(i) {
+				t.Fatalf("n=%d: Set(%d) not visible", n, i)
+			}
+		}
+		if got := s.Count(); got != n {
+			t.Fatalf("n=%d: Count=%d after setting all", n, got)
+		}
+		for i := 0; i < n; i++ {
+			s.Clear(i)
+			if s.Has(i) {
+				t.Fatalf("n=%d: Clear(%d) not visible", n, i)
+			}
+		}
+		if got := s.Count(); got != 0 {
+			t.Fatalf("n=%d: Count=%d after clearing all", n, got)
+		}
+	}
+}
+
+func TestEmptySets(t *testing.T) {
+	var zero Set // capacity 0
+	if zero.Count() != 0 {
+		t.Fatalf("zero-value Count = %d", zero.Count())
+	}
+	if zero.NextOneFrom(0) != -1 {
+		t.Fatalf("zero-value NextOneFrom(0) != -1")
+	}
+	zero.IterateOnes(func(int) bool { t.Fatal("zero-value iterated a bit"); return false })
+	if got := zero.AppendMembers(nil); len(got) != 0 {
+		t.Fatalf("zero-value AppendMembers = %v", got)
+	}
+	if !zero.Equal(Set{}) {
+		t.Fatalf("empty sets not Equal")
+	}
+
+	s := New(65) // sized but empty
+	if s.Intersects(New(65)) {
+		t.Fatalf("empty sets intersect")
+	}
+	if s.NextOneFrom(0) != -1 || s.NextOneFrom(64) != -1 || s.NextOneFrom(200) != -1 {
+		t.Fatalf("empty set NextOneFrom != -1")
+	}
+	if s.Hash() != New(65).Hash() {
+		t.Fatalf("equal empty sets hash differently")
+	}
+}
+
+func TestAndNotAliasing(t *testing.T) {
+	mk := func(n int, bits ...int) Set {
+		s := New(n)
+		for _, b := range bits {
+			s.Set(b)
+		}
+		return s
+	}
+	const n = 130
+	a := mk(n, 0, 5, 63, 64, 65, 127, 128, 129)
+	b := mk(n, 5, 64, 129)
+	want := mk(n, 0, 63, 65, 127, 128)
+
+	// Distinct destination.
+	dst := New(n)
+	dst.AndNot(a, b)
+	if !dst.Equal(want) {
+		t.Fatalf("AndNot fresh dst: %v, want %v", dst.AppendMembers(nil), want.AppendMembers(nil))
+	}
+	// dst aliases the first operand.
+	s1 := a.Clone()
+	s1.AndNot(s1, b)
+	if !s1.Equal(want) {
+		t.Fatalf("AndNot dst==a: %v, want %v", s1.AppendMembers(nil), want.AppendMembers(nil))
+	}
+	// dst aliases the second operand.
+	s2 := b.Clone()
+	s2.AndNot(a, s2)
+	if !s2.Equal(want) {
+		t.Fatalf("AndNot dst==b: %v, want %v", s2.AppendMembers(nil), want.AppendMembers(nil))
+	}
+	// All three alias: a \ a = empty.
+	s3 := a.Clone()
+	s3.AndNot(s3, s3)
+	if s3.Count() != 0 {
+		t.Fatalf("AndNot all-alias: %v, want empty", s3.AppendMembers(nil))
+	}
+
+	// And/Or under the same aliasing contract.
+	s4 := a.Clone()
+	s4.And(s4, b)
+	if !s4.Equal(mk(n, 5, 64, 129)) {
+		t.Fatalf("And dst==a: %v", s4.AppendMembers(nil))
+	}
+	s5 := b.Clone()
+	s5.Or(a, s5)
+	if !s5.Equal(mk(n, 0, 5, 63, 64, 65, 127, 128, 129)) {
+		t.Fatalf("Or dst==b: %v", s5.AppendMembers(nil))
+	}
+}
+
+func TestIterateOnesOrder(t *testing.T) {
+	s := New(200)
+	members := []int{0, 1, 62, 63, 64, 65, 100, 126, 127, 128, 190, 199}
+	for _, m := range members {
+		s.Set(m)
+	}
+	var got []int
+	s.IterateOnes(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("IterateOnes out of order: %v", got)
+	}
+	if len(got) != len(members) {
+		t.Fatalf("IterateOnes visited %v, want %v", got, members)
+	}
+	for i := range got {
+		if got[i] != members[i] {
+			t.Fatalf("IterateOnes visited %v, want %v", got, members)
+		}
+	}
+
+	// Early stop.
+	var first []int
+	s.IterateOnes(func(i int) bool {
+		first = append(first, i)
+		return len(first) < 3
+	})
+	if len(first) != 3 || first[0] != 0 || first[1] != 1 || first[2] != 62 {
+		t.Fatalf("IterateOnes early stop visited %v", first)
+	}
+
+	// AppendMembers agrees with IterateOnes.
+	if app := s.AppendMembers(nil); len(app) != len(got) {
+		t.Fatalf("AppendMembers %v != IterateOnes %v", app, got)
+	}
+}
+
+func TestNextOneFrom(t *testing.T) {
+	s := New(200)
+	for _, m := range []int{3, 63, 64, 128, 199} {
+		s.Set(m)
+	}
+	cases := [][2]int{
+		{-5, 3}, {0, 3}, {3, 3}, {4, 63}, {63, 63}, {64, 64}, {65, 128},
+		{128, 128}, {129, 199}, {199, 199}, {200 - 1, 199},
+	}
+	for _, c := range cases {
+		if got := s.NextOneFrom(c[0]); got != c[1] {
+			t.Fatalf("NextOneFrom(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+	if got := s.NextOneFrom(200); got != -1 {
+		t.Fatalf("NextOneFrom past capacity = %d, want -1", got)
+	}
+}
+
+// model is the naive reference: a map[int]bool plus the capacity.
+type model struct {
+	n  int
+	in map[int]bool
+}
+
+func (m *model) members() []int {
+	var out []int
+	for i := range m.in {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestFuzzAgainstMapModel drives random op sequences through a Set and a
+// map[int]bool side by side and cross-checks every observable.
+func TestFuzzAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := boundarySizes[rng.Intn(len(boundarySizes))]
+		s := New(n)
+		m := &model{n: n, in: map[int]bool{}}
+		other := New(n)
+		om := &model{n: n, in: map[int]bool{}}
+		for step := 0; step < 300; step++ {
+			i := rng.Intn(n)
+			switch rng.Intn(6) {
+			case 0:
+				s.Set(i)
+				m.in[i] = true
+			case 1:
+				s.Clear(i)
+				delete(m.in, i)
+			case 2:
+				other.Set(i)
+				om.in[i] = true
+			case 3:
+				if got, want := s.Has(i), m.in[i]; got != want {
+					t.Fatalf("trial %d: Has(%d)=%v, model %v", trial, i, got, want)
+				}
+			case 4:
+				got := s.NextOneFrom(i)
+				want := -1
+				for j := i; j < n; j++ {
+					if m.in[j] {
+						want = j
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("trial %d: NextOneFrom(%d)=%d, model %d", trial, i, got, want)
+				}
+			case 5:
+				tmp := New(n)
+				var tm []int
+				switch rng.Intn(3) {
+				case 0:
+					tmp.And(s, other)
+					for j := range m.in {
+						if om.in[j] {
+							tm = append(tm, j)
+						}
+					}
+				case 1:
+					tmp.AndNot(s, other)
+					for j := range m.in {
+						if !om.in[j] {
+							tm = append(tm, j)
+						}
+					}
+				case 2:
+					tmp.Or(s, other)
+					seen := map[int]bool{}
+					for j := range m.in {
+						seen[j] = true
+					}
+					for j := range om.in {
+						seen[j] = true
+					}
+					for j := range seen {
+						tm = append(tm, j)
+					}
+				}
+				sort.Ints(tm)
+				got := tmp.AppendMembers(nil)
+				if len(got) != len(tm) {
+					t.Fatalf("trial %d: op result %v, model %v", trial, got, tm)
+				}
+				for k := range got {
+					if got[k] != tm[k] {
+						t.Fatalf("trial %d: op result %v, model %v", trial, got, tm)
+					}
+				}
+			}
+		}
+		// End-of-trial full sweep.
+		got := s.AppendMembers(nil)
+		want := m.members()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: members %v, model %v", trial, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: members %v, model %v", trial, got, want)
+			}
+		}
+		if s.Count() != len(want) {
+			t.Fatalf("trial %d: Count=%d, model %d", trial, s.Count(), len(want))
+		}
+		if s.Intersects(other) != anyShared(m.in, om.in) {
+			t.Fatalf("trial %d: Intersects mismatch", trial)
+		}
+		clone := s.Clone()
+		if !clone.Equal(s) || s.Hash() != clone.Hash() {
+			t.Fatalf("trial %d: clone not equal / hash differs", trial)
+		}
+		clone.Reset()
+		if clone.Count() != 0 {
+			t.Fatalf("trial %d: Reset left bits", trial)
+		}
+		if s.Count() != len(want) {
+			t.Fatalf("trial %d: Reset of clone affected source", trial)
+		}
+	}
+}
+
+func anyShared(a, b map[int]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzSetOps is the go-native fuzz entry: a byte string drives ops against
+// the map model.
+func FuzzSetOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 64, 65, 0, 130})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 130
+		s := New(n)
+		in := map[int]bool{}
+		for k, b := range data {
+			i := int(b) % n
+			if k%3 == 0 {
+				s.Set(i)
+				in[i] = true
+			} else if k%3 == 1 {
+				s.Clear(i)
+				delete(in, i)
+			} else if s.Has(i) != in[i] {
+				t.Fatalf("Has(%d) diverged", i)
+			}
+		}
+		if s.Count() != len(in) {
+			t.Fatalf("Count=%d, model %d", s.Count(), len(in))
+		}
+	})
+}

@@ -32,6 +32,8 @@ type GraphBenchEntry struct {
 	Cache        bool    `json:"cache"`
 	Iters        int     `json:"iters"`
 	NsPerOp      float64 `json:"nsPerOp"`
+	AllocsPerOp  float64 `json:"allocsPerOp"`
+	BytesPerOp   float64 `json:"bytesPerOp"`
 	Vertices     int     `json:"vertices"`
 	Edges        int     `json:"edges"`
 	EdgesPerSec  float64 `json:"edgesPerSec"`
@@ -51,6 +53,18 @@ type GraphBenchDoc struct {
 	// Speedups are ns/op ratios: "<mode>-cache" (cache off → on, sequential),
 	// "<mode>-workers" (1 → GOMAXPROCS workers, cached), "<mode>-combined".
 	Speedups map[string]float64 `json:"speedups"`
+}
+
+// allocSnap reads the cumulative heap-allocation counters. Mallocs and
+// TotalAlloc are monotonic, so a before/after delta divided by the
+// iteration count yields allocs/op and bytes/op — the same quantities
+// `go test -benchmem` reports — without a testing.B. The single
+// ReadMemStats pause per entry is outside the per-iteration loop and
+// negligible against a 200ms MinTime.
+func allocSnap() (mallocs, bytes uint64) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs, m.TotalAlloc
 }
 
 // benchCanceled polls the cancellation channel between timed iterations.
@@ -103,6 +117,7 @@ func GraphBench(c GraphBenchConfig) (*GraphBenchDoc, error) {
 		opts := vgraph.Options{DisableIndex: mode == "allpairs", Workers: workers, Cancel: c.Cancel}
 		var g *vgraph.Graph
 		iters := 0
+		m0, b0 := allocSnap()
 		start := time.Now()
 		for time.Since(start) < c.MinTime {
 			if benchCanceled(c.Cancel) {
@@ -112,15 +127,18 @@ func GraphBench(c GraphBenchConfig) (*GraphBenchDoc, error) {
 			iters++
 		}
 		elapsed := time.Since(start)
+		m1, b1 := allocSnap()
 		e := GraphBenchEntry{
-			Name:     fmt.Sprintf("%s/w%d/%s", mode, workers, onOff(useCache)),
-			Mode:     mode,
-			Workers:  workers,
-			Cache:    useCache,
-			Iters:    iters,
-			NsPerOp:  float64(elapsed.Nanoseconds()) / float64(iters),
-			Vertices: len(g.Vertices),
-			Edges:    g.NumEdges(),
+			Name:        fmt.Sprintf("%s/w%d/%s", mode, workers, onOff(useCache)),
+			Mode:        mode,
+			Workers:     workers,
+			Cache:       useCache,
+			Iters:       iters,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+			AllocsPerOp: float64(m1-m0) / float64(iters),
+			BytesPerOp:  float64(b1-b0) / float64(iters),
+			Vertices:    len(g.Vertices),
+			Edges:       g.NumEdges(),
 		}
 		if e.NsPerOp > 0 {
 			e.EdgesPerSec = float64(g.NumEdges()) / (e.NsPerOp / 1e9)
@@ -169,6 +187,7 @@ func GraphBench(c GraphBenchConfig) (*GraphBenchDoc, error) {
 	cfg.Cache = fd.NewDistCache()
 	var viols []repair.Violation
 	iters := 0
+	m0, b0 := allocSnap()
 	start := time.Now()
 	for time.Since(start) < c.MinTime {
 		if benchCanceled(c.Cancel) {
@@ -178,14 +197,17 @@ func GraphBench(c GraphBenchConfig) (*GraphBenchDoc, error) {
 		iters++
 	}
 	elapsed := time.Since(start)
+	m1, b1 := allocSnap()
 	e := GraphBenchEntry{
-		Name:    fmt.Sprintf("detect/%dfds/cache", len(full.Set.FDs)),
-		Mode:    "detect",
-		Workers: doc.GOMAXPROCS,
-		Cache:   true,
-		Iters:   iters,
-		NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
-		Edges:   len(viols),
+		Name:        fmt.Sprintf("detect/%dfds/cache", len(full.Set.FDs)),
+		Mode:        "detect",
+		Workers:     doc.GOMAXPROCS,
+		Cache:       true,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(m1-m0) / float64(iters),
+		BytesPerOp:  float64(b1-b0) / float64(iters),
+		Edges:       len(viols),
 	}
 	if hits, misses := cfg.Cache.Counters(); hits+misses > 0 {
 		e.CacheHitRate = float64(hits) / float64(hits+misses)
@@ -217,10 +239,11 @@ func onOff(b bool) string {
 func PrintGraphBench(w io.Writer, doc *GraphBenchDoc) {
 	fmt.Fprintf(w, "## Graph construction bench — %s (N=%d, GOMAXPROCS=%d)\n",
 		doc.Workload, doc.N, doc.GOMAXPROCS)
-	fmt.Fprintf(w, "%-24s %8s %14s %10s %14s %10s\n", "config", "iters", "ns/op", "edges", "edges/s", "hit rate")
+	fmt.Fprintf(w, "%-24s %8s %14s %12s %12s %10s %14s %10s\n",
+		"config", "iters", "ns/op", "allocs/op", "B/op", "edges", "edges/s", "hit rate")
 	for _, e := range doc.Entries {
-		fmt.Fprintf(w, "%-24s %8d %14.0f %10d %14.0f %10.3f\n",
-			e.Name, e.Iters, e.NsPerOp, e.Edges, e.EdgesPerSec, e.CacheHitRate)
+		fmt.Fprintf(w, "%-24s %8d %14.0f %12.0f %12.0f %10d %14.0f %10.3f\n",
+			e.Name, e.Iters, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.Edges, e.EdgesPerSec, e.CacheHitRate)
 	}
 	for _, k := range []string{"allpairs-cache", "allpairs-workers", "allpairs-combined", "indexed-cache", "indexed-workers", "indexed-combined"} {
 		if v, ok := doc.Speedups[k]; ok {

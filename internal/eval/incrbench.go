@@ -51,6 +51,10 @@ type IncrBenchEntry struct {
 	// Per-batch wall-clock statistics over the stream.
 	AvgBatchMs float64 `json:"avgBatchMs"`
 	MaxBatchMs float64 `json:"maxBatchMs"`
+	// Per-batch heap-allocation averages over the stream (the "op" here is
+	// one ingest batch).
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
 	// Shard telemetry, incremental mode only: live shards after the stream,
 	// mean shards touched per batch, and the largest row count any touched
 	// shard had across the stream — the quantity that bounds per-batch work.
@@ -153,6 +157,7 @@ func IncrBench(c IncrBenchConfig) (*IncrBenchDoc, error) {
 			N: size, Workers: workers, Batches: len(stream), BatchRows: batchRows,
 		}
 		touched := 0
+		m0, b0 := allocSnap()
 		for _, b := range stream {
 			if benchCanceled(c.Cancel) {
 				return doc, repair.ErrCanceled
@@ -171,7 +176,10 @@ func IncrBench(c IncrBenchConfig) (*IncrBenchDoc, error) {
 				inc.MaxTouchedShardRows = br.MaxShardRows
 			}
 		}
+		m1, b1 := allocSnap()
 		inc.AvgBatchMs /= float64(len(stream))
+		inc.AllocsPerOp = float64(m1-m0) / float64(len(stream))
+		inc.BytesPerOp = float64(b1-b0) / float64(len(stream))
 		inc.AvgShardsTouched = float64(touched) / float64(len(stream))
 		inc.Shards = eng.Stats().Shards
 		doc.Entries = append(doc.Entries, inc)
@@ -195,6 +203,7 @@ func IncrBench(c IncrBenchConfig) (*IncrBenchDoc, error) {
 			N: size, Workers: workers, Batches: spotReps, BatchRows: spotRows,
 		}
 		spotTouched := 0
+		m0, b0 = allocSnap()
 		for r := 0; r < spotReps; r++ {
 			rows := make([][]string, spotRows)
 			for j := range rows {
@@ -217,7 +226,10 @@ func IncrBench(c IncrBenchConfig) (*IncrBenchDoc, error) {
 				spot.MaxTouchedShardRows = br.MaxShardRows
 			}
 		}
+		m1, b1 = allocSnap()
 		spot.AvgBatchMs /= spotReps
+		spot.AllocsPerOp = float64(m1-m0) / spotReps
+		spot.BytesPerOp = float64(b1-b0) / spotReps
 		spot.AvgShardsTouched = float64(spotTouched) / spotReps
 		spot.Shards = eng.Stats().Shards
 		doc.Entries = append(doc.Entries, spot)
@@ -230,6 +242,7 @@ func IncrBench(c IncrBenchConfig) (*IncrBenchDoc, error) {
 			Name: fmt.Sprintf("fromscratch/n%d", size), Mode: "fromscratch",
 			N: size, Workers: workers, Batches: len(stream), BatchRows: batchRows,
 		}
+		m0, b0 = allocSnap()
 		for _, b := range stream {
 			if benchCanceled(c.Cancel) {
 				return doc, repair.ErrCanceled
@@ -251,7 +264,10 @@ func IncrBench(c IncrBenchConfig) (*IncrBenchDoc, error) {
 				fs.MaxBatchMs = ms
 			}
 		}
+		m1, b1 = allocSnap()
 		fs.AvgBatchMs /= float64(len(stream))
+		fs.AllocsPerOp = float64(m1-m0) / float64(len(stream))
+		fs.BytesPerOp = float64(b1-b0) / float64(len(stream))
 		doc.Entries = append(doc.Entries, fs)
 		if inc.AvgBatchMs > 0 {
 			doc.Ratios[fmt.Sprintf("fromscratch-vs-incremental-n%d", size)] = fs.AvgBatchMs / inc.AvgBatchMs
@@ -287,11 +303,11 @@ func relationsEqual(a, b *dataset.Relation) bool {
 func PrintIncrBench(w io.Writer, doc *IncrBenchDoc) {
 	fmt.Fprintf(w, "## Incremental ingest bench — %s (N=%d, FDs=%d, GOMAXPROCS=%d, equivalent=%v)\n",
 		doc.Workload, doc.N, doc.FDs, doc.GOMAXPROCS, doc.Equivalent)
-	fmt.Fprintf(w, "%-24s %8s %10s %12s %12s %10s %12s\n",
-		"config", "batches", "batchRows", "avg ms", "max ms", "shards", "maxTouched")
+	fmt.Fprintf(w, "%-24s %8s %10s %12s %12s %12s %12s %10s %12s\n",
+		"config", "batches", "batchRows", "avg ms", "max ms", "allocs/op", "B/op", "shards", "maxTouched")
 	for _, e := range doc.Entries {
-		fmt.Fprintf(w, "%-24s %8d %10d %12.2f %12.2f %10d %12d\n",
-			e.Name, e.Batches, e.BatchRows, e.AvgBatchMs, e.MaxBatchMs, e.Shards, e.MaxTouchedShardRows)
+		fmt.Fprintf(w, "%-24s %8d %10d %12.2f %12.2f %12.0f %12.0f %10d %12d\n",
+			e.Name, e.Batches, e.BatchRows, e.AvgBatchMs, e.MaxBatchMs, e.AllocsPerOp, e.BytesPerOp, e.Shards, e.MaxTouchedShardRows)
 	}
 	keys := make([]string, 0, len(doc.Ratios))
 	for k := range doc.Ratios {

@@ -28,12 +28,14 @@ type RepairBenchConfig struct {
 
 // RepairBenchEntry is one measured repair-phase configuration.
 type RepairBenchEntry struct {
-	Name    string  `json:"name"`
-	Mode    string  `json:"mode"` // greedy-naive, greedy-heap, exact, plan
-	N       int     `json:"n,omitempty"`
-	Workers int     `json:"workers,omitempty"`
-	Iters   int     `json:"iters"`
-	NsPerOp float64 `json:"nsPerOp"`
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"` // greedy-naive, greedy-heap, exact, plan
+	N           int     `json:"n,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
 	// Greedy growth: instance shape and the grown set size.
 	Vertices int `json:"vertices,omitempty"`
 	Edges    int `json:"edges,omitempty"`
@@ -105,30 +107,38 @@ func RepairBench(c RepairBenchConfig) (*RepairBenchDoc, error) {
 			if benchCanceled(c.Cancel) {
 				return doc, repair.ErrCanceled
 			}
-			var set []int
+			// One untimed warm-up run primes the grower/scratch pools and the
+			// reused result buffer, so the heap entry's allocs/op reports the
+			// steady state the pools exist for (the naive reference allocates
+			// fresh state per run by design).
+			set := repair.GrowGreedyInto(g, naive, nil)
 			iters := 0
+			m0, b0 := allocSnap()
 			start := time.Now()
 			for time.Since(start) < c.MinTime {
 				if benchCanceled(c.Cancel) {
 					return doc, repair.ErrCanceled
 				}
-				set = repair.GrowGreedy(g, naive)
+				set = repair.GrowGreedyInto(g, naive, set)
 				iters++
 			}
 			elapsed := time.Since(start)
+			m1, b1 := allocSnap()
 			mode := "greedy-heap"
 			if naive {
 				mode = "greedy-naive"
 			}
 			e := RepairBenchEntry{
-				Name:     fmt.Sprintf("%s/n%d", mode, size),
-				Mode:     mode,
-				N:        size,
-				Iters:    iters,
-				NsPerOp:  float64(elapsed.Nanoseconds()) / float64(iters),
-				Vertices: len(g.Vertices),
-				Edges:    g.NumEdges(),
-				SetSize:  len(set),
+				Name:        fmt.Sprintf("%s/n%d", mode, size),
+				Mode:        mode,
+				N:           size,
+				Iters:       iters,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+				AllocsPerOp: float64(m1-m0) / float64(iters),
+				BytesPerOp:  float64(b1-b0) / float64(iters),
+				Vertices:    len(g.Vertices),
+				Edges:       g.NumEdges(),
+				SetSize:     len(set),
 			}
 			doc.Entries = append(doc.Entries, e)
 			perMode[mi] = e.NsPerOp
@@ -186,6 +196,7 @@ func RepairBench(c RepairBenchConfig) (*RepairBenchDoc, error) {
 			var res *repair.Result
 			var err error
 			iters := 0
+			m0, b0 := allocSnap()
 			start := time.Now()
 			for time.Since(start) < c.MinTime {
 				if benchCanceled(c.Cancel) {
@@ -199,14 +210,17 @@ func RepairBench(c RepairBenchConfig) (*RepairBenchDoc, error) {
 				iters++
 			}
 			elapsed := time.Since(start)
+			m1, b1 := allocSnap()
 			e := RepairBenchEntry{
-				Name:    fmt.Sprintf("exact/w%d", workers),
-				Mode:    "exact",
-				N:       exactInst.Dirty.Len(),
-				Workers: workers,
-				Iters:   iters,
-				NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
-				Combos:  res.Stats["combinations"],
+				Name:        fmt.Sprintf("exact/w%d", workers),
+				Mode:        "exact",
+				N:           exactInst.Dirty.Len(),
+				Workers:     workers,
+				Iters:       iters,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+				AllocsPerOp: float64(m1-m0) / float64(iters),
+				BytesPerOp:  float64(b1-b0) / float64(iters),
+				Combos:      res.Stats["combinations"],
 			}
 			if e.NsPerOp > 0 {
 				e.CombosPerSec = float64(e.Combos) / (e.NsPerOp / 1e9)
@@ -235,6 +249,7 @@ func RepairBench(c RepairBenchConfig) (*RepairBenchDoc, error) {
 			continue
 		}
 		iters := 0
+		m0, b0 := allocSnap()
 		start := time.Now()
 		for time.Since(start) < c.MinTime {
 			if benchCanceled(c.Cancel) {
@@ -246,14 +261,17 @@ func RepairBench(c RepairBenchConfig) (*RepairBenchDoc, error) {
 			iters++
 		}
 		elapsed := time.Since(start)
+		m1, b1 := allocSnap()
 		e := RepairBenchEntry{
-			Name:    fmt.Sprintf("plan/%dfds/w%d", pb.FDs, workers),
-			Mode:    "plan",
-			N:       c.N,
-			Workers: workers,
-			Iters:   iters,
-			NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
-			Groups:  pb.Groups,
+			Name:        fmt.Sprintf("plan/%dfds/w%d", pb.FDs, workers),
+			Mode:        "plan",
+			N:           c.N,
+			Workers:     workers,
+			Iters:       iters,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+			AllocsPerOp: float64(m1-m0) / float64(iters),
+			BytesPerOp:  float64(b1-b0) / float64(iters),
+			Groups:      pb.Groups,
 		}
 		if e.NsPerOp > 0 {
 			e.GroupsPerSec = float64(pb.Groups) / (e.NsPerOp / 1e9)
@@ -272,7 +290,8 @@ func RepairBench(c RepairBenchConfig) (*RepairBenchDoc, error) {
 func PrintRepairBench(w io.Writer, doc *RepairBenchDoc) {
 	fmt.Fprintf(w, "## Repair phase bench — %s (N=%d, GOMAXPROCS=%d)\n",
 		doc.Workload, doc.N, doc.GOMAXPROCS)
-	fmt.Fprintf(w, "%-24s %8s %14s %10s %12s %12s\n", "config", "iters", "ns/op", "set/combos", "combos/s", "groups/s")
+	fmt.Fprintf(w, "%-24s %8s %14s %12s %12s %10s %12s %12s\n",
+		"config", "iters", "ns/op", "allocs/op", "B/op", "set/combos", "combos/s", "groups/s")
 	for _, e := range doc.Entries {
 		size := e.SetSize
 		if e.Mode == "exact" {
@@ -280,8 +299,8 @@ func PrintRepairBench(w io.Writer, doc *RepairBenchDoc) {
 		} else if e.Mode == "plan" {
 			size = e.Groups
 		}
-		fmt.Fprintf(w, "%-24s %8d %14.0f %10d %12.0f %12.0f\n",
-			e.Name, e.Iters, e.NsPerOp, size, e.CombosPerSec, e.GroupsPerSec)
+		fmt.Fprintf(w, "%-24s %8d %14.0f %12.0f %12.0f %10d %12.0f %12.0f\n",
+			e.Name, e.Iters, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, size, e.CombosPerSec, e.GroupsPerSec)
 	}
 	keys := make([]string, 0, len(doc.Speedups))
 	for k := range doc.Speedups {

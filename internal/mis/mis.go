@@ -3,6 +3,13 @@
 // maximal independent sets, and the expansion-based search for the best
 // maximal independent set — the one minimizing repair cost — with the
 // paper's lower/upper-bound pruning (Theorem 4).
+//
+// The expansion loop is index-addressed end to end: components are
+// re-indexed into a dense local space, adjacency is a flat bitset arena
+// plus a CSR list of weighted local edges, right children are built with a
+// word-parallel AndNot, and frontier deduplication keys on a bitset hash
+// confirmed by word equality — no map[int]bool or map[string]bool (and no
+// per-candidate key strings) anywhere in the enumeration.
 package mis
 
 import (
@@ -10,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"ftrepair/internal/bitset"
 	"ftrepair/internal/vgraph"
 )
 
@@ -30,17 +38,17 @@ func IsMaximal(g *vgraph.Graph, set []int) bool {
 	if !IsIndependent(g, set) {
 		return false
 	}
-	in := make(map[int]bool, len(set))
+	in := bitset.New(len(g.Vertices))
 	for _, v := range set {
-		in[v] = true
+		in.Set(v)
 	}
 	for v := range g.Vertices {
-		if in[v] {
+		if in.Has(v) {
 			continue
 		}
 		adjacent := false
 		for _, e := range g.Neighbors(v) {
-			if in[e.To] {
+			if in.Has(e.To) {
 				adjacent = true
 				break
 			}
@@ -58,18 +66,18 @@ func IsMaximal(g *vgraph.Graph, set []int) bool {
 // an error when I is not a maximal independent set (some vertex would have
 // no repair target).
 func RepairCost(g *vgraph.Graph, set []int) (float64, error) {
-	in := make(map[int]bool, len(set))
+	in := bitset.New(len(g.Vertices))
 	for _, v := range set {
-		in[v] = true
+		in.Set(v)
 	}
 	var total float64
 	for v := range g.Vertices {
-		if in[v] {
+		if in.Has(v) {
 			continue
 		}
 		best := math.Inf(1)
 		for _, e := range g.Neighbors(v) {
-			if in[e.To] && e.W < best {
+			if in.Has(e.To) && e.W < best {
 				best = e.W
 			}
 		}
@@ -141,6 +149,10 @@ func BestMIS(g *vgraph.Graph, opts Options) (Result, error) {
 		opts.MaxNodes = 1 << 20
 	}
 	var res Result
+	// localOf maps global vertex ids to component-local indices. Components
+	// partition the vertices, so one slice serves every component without
+	// resets.
+	var localOf []int32
 	for _, comp := range g.Components() {
 		if canceled(opts.Cancel) {
 			return Result{}, fmt.Errorf("%w: between components", ErrCanceled)
@@ -149,7 +161,10 @@ func BestMIS(g *vgraph.Graph, opts Options) (Result, error) {
 			res.Set = append(res.Set, comp[0])
 			continue
 		}
-		cr, err := bestInComponent(g, comp, opts)
+		if localOf == nil {
+			localOf = make([]int32, len(g.Vertices))
+		}
+		cr, err := bestInComponent(g, comp, localOf, opts)
 		if err != nil {
 			return Result{}, err
 		}
@@ -162,17 +177,124 @@ func BestMIS(g *vgraph.Graph, opts Options) (Result, error) {
 	return res, nil
 }
 
-// node is one expansion-tree node: a maximal independent set of the prefix
-// processed so far.
-type node struct {
-	set bitset
-	lb  float64
+// ledge is one local weighted adjacency entry: the neighbor's local index
+// and the repair weight ω of the edge.
+type ledge struct {
+	j int32
+	w float64
 }
 
-func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) {
+// localGraph is a component re-indexed into [0, n): bitset adjacency over
+// one flat word arena plus CSR-packed weighted neighbor lists sorted by
+// local index, so weight lookups are binary searches instead of map hits.
+type localGraph struct {
+	n     int
+	order []int // local index -> global vertex id
+	adj   []bitset.Set
+	loff  []int32
+	ln    []ledge
+	mult  []float64
+}
+
+// buildLocal re-indexes comp (in the given processing order) and packs its
+// adjacency.
+func buildLocal(g *vgraph.Graph, order []int, localOf []int32) *localGraph {
+	n := len(order)
+	lg := &localGraph{n: n, order: order}
+	for i, v := range order {
+		localOf[v] = int32(i)
+	}
+	words := bitset.WordsFor(n)
+	arena := make([]uint64, n*words)
+	lg.adj = make([]bitset.Set, n)
+	lg.loff = make([]int32, n+1)
+	total := 0
+	for i, v := range order {
+		lg.adj[i] = bitset.Set(arena[i*words : (i+1)*words])
+		total += len(g.Neighbors(v))
+		lg.loff[i+1] = int32(total)
+	}
+	lg.ln = make([]ledge, total)
+	lg.mult = make([]float64, n)
+	for i, v := range order {
+		lg.mult[i] = float64(g.Vertices[v].Mult())
+		es := lg.ln[lg.loff[i]:lg.loff[i]]
+		for _, e := range g.Neighbors(v) {
+			j := localOf[e.To]
+			lg.adj[i].Set(int(j))
+			es = append(es, ledge{j: j, w: e.W})
+		}
+		// Sort by local index (unique within a vertex) so weight lookups can
+		// binary-search; insertion sort keeps this allocation-free.
+		for a := 1; a < len(es); a++ {
+			le := es[a]
+			b := a - 1
+			for b >= 0 && es[b].j > le.j {
+				es[b+1] = es[b]
+				b--
+			}
+			es[b+1] = le
+		}
+	}
+	return lg
+}
+
+// edges returns i's packed weighted neighbor list, sorted by local index.
+func (lg *localGraph) edges(i int) []ledge { return lg.ln[lg.loff[i]:lg.loff[i+1]] }
+
+// weightTo returns the edge weight (i, j) if the vertices are adjacent.
+func (lg *localGraph) weightTo(i int, j int32) (float64, bool) {
+	es := lg.edges(i)
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if es[mid].j < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(es) && es[lo].j == j {
+		return es[lo].w, true
+	}
+	return 0, false
+}
+
+// dedup is the frontier deduplicator: candidate sets key on their bitset
+// hash, and hash collisions resolve by word equality against the sets
+// already admitted — so the admitted sequence (and with it the node count
+// and the search result) is a pure function of the candidate sequence,
+// collisions or not. The map is cleared, not reallocated, between levels.
+type dedup struct {
+	byHash map[uint64][]int32
+	sets   []bitset.Set
+}
+
+// add admits set if no equal set was admitted this level, reporting whether
+// it was admitted.
+func (d *dedup) add(set bitset.Set) bool {
+	h := set.Hash()
+	for _, k := range d.byHash[h] {
+		if d.sets[k].Equal(set) {
+			return false
+		}
+	}
+	d.byHash[h] = append(d.byHash[h], int32(len(d.sets)))
+	d.sets = append(d.sets, set)
+	return true
+}
+
+// reset clears the dedup state for the next level, keeping capacity.
+func (d *dedup) reset() {
+	if d.byHash == nil {
+		d.byHash = make(map[uint64][]int32)
+	}
+	clear(d.byHash)
+	d.sets = d.sets[:0]
+}
+
+func bestInComponent(g *vgraph.Graph, comp []int, localOf []int32, opts Options) (Result, error) {
 	n := len(comp)
-	// Local indexing of the component.
-	local := make(map[int]int, n)
 	order := append([]int(nil), comp...)
 	if !opts.NaturalOrder {
 		sort.SliceStable(order, func(a, b int) bool {
@@ -183,56 +305,35 @@ func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) 
 			return order[a] < order[b]
 		})
 	}
-	for i, v := range order {
-		local[v] = i
-	}
-	// Local adjacency bitsets and weights.
-	adj := make([]bitset, n)
-	for i := range adj {
-		adj[i] = newBitset(n)
-	}
-	weight := make(map[[2]int]float64, n*4)
-	for i, v := range order {
-		for _, e := range g.Neighbors(v) {
-			j, ok := local[e.To]
-			if !ok {
-				continue // cannot happen: components are closed under adjacency
-			}
-			adj[i].set(j)
-			weight[[2]int{i, j}] = e.W
-		}
-	}
-	mult := make([]float64, n)
-	for i, v := range order {
-		mult[i] = float64(g.Vertices[v].Mult())
-	}
+	lg := buildLocal(g, order, localOf)
 	// minRepair[i]: cheapest possible repair of vertex i (to any neighbor),
 	// the per-vertex term of the lower bound (Eq. 5).
 	minRepair := make([]float64, n)
 	for i := range minRepair {
 		best := math.Inf(1)
-		for _, j := range adj[i].members() {
-			if w := weight[[2]int{i, j}]; w < best {
-				best = w
+		for _, e := range lg.edges(i) {
+			if e.w < best {
+				best = e.w
 			}
 		}
-		minRepair[i] = mult[i] * best
+		minRepair[i] = lg.mult[i] * best
 	}
 	// costTo(i, j): cost of repairing all tuples of i to j's pattern, for
 	// any pair (Eq. 6 repairs even FT-consistent vertices into the set).
 	costTo := func(i, j int) float64 {
-		if w, ok := weight[[2]int{i, j}]; ok {
-			return mult[i] * w
+		if w, ok := lg.weightTo(i, int32(j)); ok {
+			return lg.mult[i] * w
 		}
-		return mult[i] * g.PatternDist(order[i], order[j])
+		return lg.mult[i] * g.PatternDist(order[i], order[j])
 	}
 	// upper bound of a node: repair every vertex outside the set to its
-	// cheapest member of the set.
-	ub := func(set bitset) float64 {
-		mem := set.members()
+	// cheapest member of the set. mem is the reused member scratch.
+	var mem []int
+	ub := func(set bitset.Set) float64 {
+		mem = set.AppendMembers(mem[:0])
 		var total float64
 		for i := 0; i < n; i++ {
-			if set.has(i) {
+			if set.Has(i) {
 				continue
 			}
 			best := math.Inf(1)
@@ -245,21 +346,22 @@ func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) 
 		}
 		return total
 	}
-	lb := func(set bitset, processed int) float64 {
+	lb := func(set bitset.Set, processed int) float64 {
 		var total float64
 		for i := 0; i < processed; i++ {
-			if !set.has(i) {
+			if !set.Has(i) {
 				total += minRepair[i]
 			}
 		}
 		return total
 	}
 
-	root := newBitset(n)
-	root.set(0)
-	frontier := []*node{{set: root}}
+	root := bitset.New(n)
+	root.Set(0)
+	frontier := []bitset.Set{root}
 	bestUB := math.Inf(1)
 	result := Result{NodesExplored: 1}
+	var seen dedup
 
 	for level := 1; level < n; level++ {
 		if canceled(opts.Cancel) {
@@ -268,54 +370,49 @@ func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) 
 		// Refresh the global upper bound from the current frontier
 		// (Algorithm 1 lines 4-5).
 		if !opts.DisablePruning {
-			for i, nd := range frontier {
+			for i, set := range frontier {
 				if i%cancelBatch == 0 && canceled(opts.Cancel) {
 					return Result{}, fmt.Errorf("%w: at level %d of %d", ErrCanceled, level, n)
 				}
-				if u := ub(nd.set); u < bestUB {
+				if u := ub(set); u < bestUB {
 					bestUB = u
 				}
 			}
 		}
-		next := make([]*node, 0, len(frontier))
-		seen := make(map[string]bool, len(frontier))
-		appendNode := func(set bitset) {
-			k := set.key()
-			if seen[k] {
+		next := make([]bitset.Set, 0, len(frontier))
+		seen.reset()
+		appendNode := func(set bitset.Set) {
+			if !seen.add(set) {
 				return
 			}
-			seen[k] = true
-			next = append(next, &node{set: set})
+			next = append(next, set)
 			result.NodesExplored++
 		}
-		for fi, nd := range frontier {
+		for fi, set := range frontier {
 			if fi%cancelBatch == 0 && canceled(opts.Cancel) {
 				return Result{}, fmt.Errorf("%w: at level %d of %d", ErrCanceled, level, n)
 			}
-			if !opts.DisablePruning && lb(nd.set, level) > bestUB {
+			if !opts.DisablePruning && lb(set, level) > bestUB {
 				result.Pruned++
 				continue
 			}
-			if !nd.set.intersects(adj[level]) {
+			if !set.Intersects(lg.adj[level]) {
 				// level-vertex is FT-consistent with the whole set: the only
 				// maximal extension adds it.
-				child := nd.set.clone()
-				child.set(level)
+				child := set.Clone()
+				child.Set(level)
 				appendNode(child)
 				continue
 			}
 			// Left child: keep the set, leaving the new vertex out.
-			appendNode(nd.set.clone())
+			appendNode(set.Clone())
 			// Right child: consistent members plus the new vertex, if that
-			// set is maximal within the processed prefix.
-			right := newBitset(n)
-			for _, m := range nd.set.members() {
-				if !adj[level].has(m) {
-					right.set(m)
-				}
-			}
-			right.set(level)
-			if maximalInPrefix(right, adj, level+1) {
+			// set is maximal within the processed prefix. Word-parallel:
+			// right = set \ N(level) ∪ {level}.
+			right := set.Clone()
+			right.AndNot(right, lg.adj[level])
+			right.Set(level)
+			if maximalInPrefix(right, lg.adj, level+1) {
 				appendNode(right)
 			}
 		}
@@ -335,38 +432,37 @@ func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) 
 	// Frontier nodes are maximal independent sets of the component; pick
 	// the cheapest by actual repair cost.
 	best := math.Inf(1)
-	var bestSet bitset
-	for fi, nd := range frontier {
+	var bestSet bitset.Set
+	for fi, set := range frontier {
 		if fi%cancelBatch == 0 && canceled(opts.Cancel) {
 			return Result{}, fmt.Errorf("%w: scoring %d maximal sets", ErrCanceled, len(frontier))
 		}
 		var cost float64
 		for i := 0; i < n; i++ {
-			if nd.set.has(i) {
+			if set.Has(i) {
 				continue
 			}
 			cheapest := math.Inf(1)
-			for _, j := range adj[i].members() {
-				if nd.set.has(j) {
-					if w := weight[[2]int{i, j}]; w < cheapest {
-						cheapest = w
-					}
+			for _, e := range lg.edges(i) {
+				if set.Has(int(e.j)) && e.w < cheapest {
+					cheapest = e.w
 				}
 			}
-			cost += mult[i] * cheapest
+			cost += lg.mult[i] * cheapest
 		}
 		if cost < best {
 			best = cost
-			bestSet = nd.set
+			bestSet = set
 		}
 	}
 	if bestSet == nil {
 		return Result{}, fmt.Errorf("mis: no maximal independent set found")
 	}
 	out := Result{Cost: best, NodesExplored: result.NodesExplored, Pruned: result.Pruned}
-	for _, i := range bestSet.members() {
+	bestSet.IterateOnes(func(i int) bool {
 		out.Set = append(out.Set, order[i])
-	}
+		return true
+	})
 	sort.Ints(out.Set)
 	return out, nil
 }
@@ -374,12 +470,12 @@ func bestInComponent(g *vgraph.Graph, comp []int, opts Options) (Result, error) 
 // maximalInPrefix reports whether set is a maximal independent set of the
 // first `prefix` local vertices: no excluded prefix vertex is non-adjacent
 // to every member.
-func maximalInPrefix(set bitset, adj []bitset, prefix int) bool {
+func maximalInPrefix(set bitset.Set, adj []bitset.Set, prefix int) bool {
 	for v := 0; v < prefix; v++ {
-		if set.has(v) {
+		if set.Has(v) {
 			continue
 		}
-		if !set.intersects(adj[v]) {
+		if !set.Intersects(adj[v]) {
 			return false
 		}
 	}
@@ -395,41 +491,38 @@ func EnumerateMaximal(g *vgraph.Graph) [][]int {
 	if n == 0 {
 		return nil
 	}
-	adj := make([]bitset, n)
+	words := bitset.WordsFor(n)
+	arena := make([]uint64, n*words)
+	adj := make([]bitset.Set, n)
 	for i := range adj {
-		adj[i] = newBitset(n)
+		adj[i] = bitset.Set(arena[i*words : (i+1)*words])
 		for _, e := range g.Neighbors(i) {
-			adj[i].set(e.To)
+			adj[i].Set(e.To)
 		}
 	}
-	root := newBitset(n)
-	root.set(0)
-	frontier := []bitset{root}
+	root := bitset.New(n)
+	root.Set(0)
+	frontier := []bitset.Set{root}
+	var seen dedup
 	for level := 1; level < n; level++ {
-		var next []bitset
-		seen := make(map[string]bool)
-		add := func(s bitset) {
-			k := s.key()
-			if !seen[k] {
-				seen[k] = true
+		var next []bitset.Set
+		seen.reset()
+		add := func(s bitset.Set) {
+			if seen.add(s) {
 				next = append(next, s)
 			}
 		}
 		for _, s := range frontier {
-			if !s.intersects(adj[level]) {
-				c := s.clone()
-				c.set(level)
+			if !s.Intersects(adj[level]) {
+				c := s.Clone()
+				c.Set(level)
 				add(c)
 				continue
 			}
-			add(s.clone())
-			right := newBitset(n)
-			for _, m := range s.members() {
-				if !adj[level].has(m) {
-					right.set(m)
-				}
-			}
-			right.set(level)
+			add(s.Clone())
+			right := s.Clone()
+			right.AndNot(right, adj[level])
+			right.Set(level)
 			if maximalInPrefix(right, adj, level+1) {
 				add(right)
 			}
@@ -438,7 +531,7 @@ func EnumerateMaximal(g *vgraph.Graph) [][]int {
 	}
 	out := make([][]int, len(frontier))
 	for i, s := range frontier {
-		out[i] = s.members()
+		out[i] = s.AppendMembers(nil)
 	}
 	sort.Slice(out, func(a, b int) bool {
 		x, y := out[a], out[b]

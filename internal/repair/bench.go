@@ -3,6 +3,7 @@ package repair
 import (
 	"fmt"
 
+	"ftrepair/internal/bitset"
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
 	"ftrepair/internal/targettree"
@@ -23,6 +24,18 @@ func GrowGreedy(g *vgraph.Graph, naive bool) []int {
 	return greedySet(g, nil)
 }
 
+// GrowGreedyInto is GrowGreedy with a caller-owned result buffer: the
+// chosen set is appended to dst[:0] and returned. With a warm buffer the
+// heap path performs zero allocations per run — the property the
+// alloc-regression gate (TestGreedyGrowthSteadyStateAllocs) asserts. The
+// naive path keeps its internal allocations; only the result lands in dst.
+func GrowGreedyInto(g *vgraph.Graph, naive bool, dst []int) []int {
+	if naive {
+		return append(dst[:0], greedySetNaive(g, nil)...)
+	}
+	return growInto(g, nil, dst)
+}
+
 // GrowJoint runs one Algorithm-4 joint growth over the per-FD graphs:
 // naive full-rescan reference or indexed-heap path.
 func GrowJoint(rel *dataset.Relation, graphs []*vgraph.Graph, naive bool) [][]int {
@@ -38,7 +51,7 @@ func GrowJoint(rel *dataset.Relation, graphs []*vgraph.Graph, naive bool) [][]in
 // grouping are prepared once; Run re-evaluates the plan only.
 type PlanBench struct {
 	p      *planner
-	keys   []map[string]bool
+	chosen []bitset.Set
 	levels []targettree.Level
 	// Groups counts the repairing tuple groups each evaluation searches.
 	Groups int
@@ -67,18 +80,13 @@ func NewPlanBench(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, disabl
 	}
 	groups := groupTuples(rel, unionAttrs(sub.FDs))
 	b := &PlanBench{
-		p: &planner{
-			groups:      groups,
-			graphs:      graphs,
-			cfg:         cfg,
-			disableTree: disableTree,
-		},
-		keys:   chosenKeys(graphs, sets),
+		p:      newPlanner(groups, graphs, cfg, disableTree, nil, 0),
+		chosen: chosenBits(graphs, sets),
 		levels: levelsFor(graphs, sets),
 		FDs:    len(sub.FDs),
 	}
 	for gi := range groups {
-		if needsRepair(groups[gi].rep, graphs, b.keys) {
+		if b.p.needsRepair(gi, b.chosen) {
 			b.Groups++
 		}
 	}
@@ -89,7 +97,7 @@ func NewPlanBench(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, disabl
 // count, returning its total cost and target-tree visit count.
 func (b *PlanBench) Run(workers int) (cost float64, visited int, err error) {
 	b.p.workers = workers
-	_, cost, visited, ok := b.p.costs(b.keys, b.levels, nil)
+	_, cost, visited, ok := b.p.costs(b.chosen, b.levels, nil)
 	if !ok {
 		return cost, visited, fmt.Errorf("repair: plan evaluation failed (empty join?)")
 	}

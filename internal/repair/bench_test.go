@@ -28,10 +28,43 @@ func BenchmarkGreedyGrowth(b *testing.B) {
 	g := greedyBenchGraph(b)
 	for _, mode := range []string{"naive", "heap"} {
 		b.Run(mode, func(b *testing.B) {
+			// One warm-up run primes the pooled grower and the result buffer,
+			// so -benchmem reports the steady state: 0 allocs/op on the heap
+			// path (the naive reference allocates per run by design).
+			set := repair.GrowGreedyInto(g, mode == "naive", nil)
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				repair.GrowGreedy(g, mode == "naive")
+				set = repair.GrowGreedyInto(g, mode == "naive", set)
 			}
 		})
+	}
+}
+
+// TestGreedyGrowthSteadyStateAllocs is the alloc-regression gate the CI
+// smoke runs: after one warm-up growth primes the sync.Pool'd grower and
+// the caller's result buffer, further heap-path rounds must not allocate
+// at all. A nonzero count means per-round scratch leaked out of the pools
+// (a closure, a fresh slice, a map) and the zero-alloc property regressed.
+func TestGreedyGrowthSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and drops pool items; counts are meaningless")
+	}
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 1000, FDs: 1, ErrorRate: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, tau := inst.Set.FDs[0], inst.Set.Tau[0]
+	g := vgraph.Build(inst.Dirty, f, inst.Cfg, tau, vgraph.Options{})
+	set := repair.GrowGreedyInto(g, false, nil) // warm-up: pools + dst
+	allocs := testing.AllocsPerRun(10, func() {
+		set = repair.GrowGreedyInto(g, false, set)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state greedy growth allocates %.1f allocs/run, want 0", allocs)
+	}
+	if len(set) == 0 {
+		t.Fatal("greedy growth returned an empty set on a violating instance")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ftrepair/internal/bitset"
 	"ftrepair/internal/targettree"
 	"ftrepair/internal/vgraph"
 )
@@ -12,8 +13,8 @@ import (
 // This file implements ExactM's parallel branch-and-bound over the
 // Cartesian product of per-FD maximal-independent-set families. Workers
 // claim combination indices from an atomic counter, decode them
-// mixed-radix into per-FD family members (levels and chosen-key sets are
-// memoized per family member, so combinations sharing a set reuse its
+// mixed-radix into per-FD family members (levels and chosen-member bitsets
+// are memoized per family member, so combinations sharing a set reuse its
 // targettree.Build input), evaluate the joined plan, and prune against a
 // shared incumbent watermark. The result is deterministic at any worker
 // count: the winner is the lexicographic minimum of (exact cost,
@@ -76,13 +77,13 @@ func (w *watermark) offer(cost float64, idx int, targets []*targettree.Target) {
 func searchCombos(groups []tupleGroup, graphs []*vgraph.Graph, families [][][]int, combos int, opts Options, p *planner) (bestTargets []*targettree.Target, visited, updates int, err error) {
 	n := len(families)
 	levelCache := make([][]targettree.Level, n)
-	keyCache := make([][]map[string]bool, n)
+	memberCache := make([][]bitset.Set, n)
 	for i, fam := range families {
 		levelCache[i] = make([]targettree.Level, len(fam))
-		keyCache[i] = make([]map[string]bool, len(fam))
+		memberCache[i] = make([]bitset.Set, len(fam))
 		for j, set := range fam {
 			levelCache[i][j] = levelFor(graphs[i], set)
-			keyCache[i][j] = keysFor(graphs[i], set)
+			memberCache[i][j] = memberBits(graphs[i], set)
 		}
 	}
 	workers := opts.Parallel
@@ -97,7 +98,7 @@ func searchCombos(groups []tupleGroup, graphs []*vgraph.Graph, families [][][]in
 	var next atomic.Int64
 	run := func() error {
 		levels := make([]targettree.Level, n)
-		keys := make([]map[string]bool, n)
+		chosen := make([]bitset.Set, n)
 		for {
 			idx := int(next.Add(1) - 1)
 			if idx >= combos {
@@ -111,9 +112,9 @@ func searchCombos(groups []tupleGroup, graphs []*vgraph.Graph, families [][][]in
 				j := rem % len(families[i])
 				rem /= len(families[i])
 				levels[i] = levelCache[i][j]
-				keys[i] = keyCache[i][j]
+				chosen[i] = memberCache[i][j]
 			}
-			targets, cost, v, ok := p.costs(keys, levels, w.cost)
+			targets, cost, v, ok := p.costs(chosen, levels, w.cost)
 			visitedTotal.Add(int64(v))
 			if ok {
 				w.offer(cost, idx, targets)

@@ -2,7 +2,7 @@ package repair
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"ftrepair/internal/fd"
 	"ftrepair/internal/vgraph"
@@ -178,15 +178,23 @@ type greedyScorer struct {
 }
 
 func newGreedyScorer(g *vgraph.Graph) *greedyScorer {
+	s := &greedyScorer{}
+	s.reset(g)
+	return s
+}
+
+// reset re-initializes the scorer over g, reusing every slice whose
+// capacity suffices — the reset is allocation-free once the scorer has seen
+// a graph at least this large.
+func (s *greedyScorer) reset(g *vgraph.Graph) {
 	n := len(g.Vertices)
-	s := &greedyScorer{
-		g:          g,
-		minOmega:   make([]float64, n),
-		avoided:    make([]float64, n),
-		inSet:      make([]bool, n),
-		blocked:    make([]bool, n),
-		repairCost: make([]float64, n),
-	}
+	s.g = g
+	s.minOmega = growFloats(s.minOmega, n)
+	s.avoided = growFloats(s.avoided, n)
+	s.inSet = growBools(s.inSet, n)
+	s.blocked = growBools(s.blocked, n)
+	s.repairCost = growFloats(s.repairCost, n)
+	s.set = s.set[:0]
 	for v := 0; v < n; v++ {
 		best := math.Inf(1)
 		for _, e := range g.Neighbors(v) {
@@ -199,9 +207,26 @@ func newGreedyScorer(g *vgraph.Graph) *greedyScorer {
 		}
 		s.minOmega[v] = best
 		s.avoided[v] = float64(g.Vertices[v].Mult()) * best
+		s.inSet[v] = false
+		s.blocked[v] = false
 		s.repairCost[v] = math.Inf(1)
 	}
-	return s
+}
+
+// growFloats returns a float slice of length n, reusing s's capacity.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growBools returns a bool slice of length n, reusing s's capacity.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // valid reports whether v is still a candidate (neither chosen nor doomed).
@@ -265,82 +290,191 @@ func (s *greedyScorer) add(v int) {
 	}
 }
 
+// greedyGrower is the pooled per-run state of the indexed-heap growth path:
+// the scorer, the lazy heap, version stamps, and the round's closure
+// buffer. Every round is driven by methods (no closures) over these pooled
+// slices, so steady-state runs at a stable graph size allocate nothing —
+// the property the alloc-regression gate asserts.
+type greedyGrower struct {
+	s     greedyScorer
+	ver   []uint32
+	h     scoreHeap
+	stamp []int
+	cands []scoreEntry
+	round int
+}
+
+var greedyGrowerPool = sync.Pool{New: func() any { return new(greedyGrower) }}
+
+// reset re-seeds the grower over g, reusing pooled capacity.
+func (gr *greedyGrower) reset(g *vgraph.Graph) {
+	n := len(g.Vertices)
+	gr.s.reset(g)
+	if cap(gr.ver) < n {
+		gr.ver = make([]uint32, n)
+	}
+	gr.ver = gr.ver[:n]
+	if cap(gr.h) < n {
+		gr.h = make(scoreHeap, n)
+	}
+	gr.h = gr.h[:n]
+	for v := 0; v < n; v++ {
+		gr.ver[v] = 0
+		gr.h[v] = scoreEntry{score: gr.s.score(v), mult: g.Vertices[v].Mult(), id: v}
+	}
+	gr.h.init()
+	if cap(gr.stamp) < n {
+		gr.stamp = make([]int, n)
+	}
+	// stamp dedupes the distance-2 rescore walk within one round.
+	gr.stamp = gr.stamp[:n]
+	for i := range gr.stamp {
+		gr.stamp[i] = -1
+	}
+	gr.round = 0
+}
+
+// live reports whether a heap entry is current: its version matches and its
+// vertex is still a candidate.
+func (gr *greedyGrower) live(e scoreEntry) bool {
+	return e.ver == gr.ver[e.id] && gr.s.valid(e.id)
+}
+
+// popClosure is scoreHeap.popClosure specialized to the grower: it pops
+// into the reused cands buffer with the liveness test inlined, so rounds
+// allocate neither a closure nor an output slice.
+func (gr *greedyGrower) popClosure() []scoreEntry {
+	out := gr.cands[:0]
+	var maxScore float64
+	for len(gr.h) > 0 {
+		if !gr.live(gr.h[0]) {
+			gr.h.pop()
+			continue
+		}
+		if len(out) > 0 && gr.h[0].score > maxScore+fd.Eps {
+			break
+		}
+		e := gr.h.pop()
+		out = append(out, e)
+		maxScore = e.score
+	}
+	gr.cands = out
+	return out
+}
+
+// rescore refreshes u's heap entry if its score inputs may have changed
+// this round.
+func (gr *greedyGrower) rescore(u int) {
+	if gr.stamp[u] == gr.round {
+		return
+	}
+	gr.stamp[u] = gr.round
+	if !gr.s.valid(u) {
+		return
+	}
+	gr.ver[u]++
+	gr.h.push(scoreEntry{score: gr.s.score(u), mult: gr.s.g.Vertices[u].Mult(), id: u, ver: gr.ver[u]})
+}
+
+// grow runs the round loop until no live candidate remains or cancel
+// fires; the chosen set accumulates in gr.s.set.
+func (gr *greedyGrower) grow(cancel <-chan struct{}) {
+	g := gr.s.g
+	for {
+		if greedyStepHook != nil {
+			greedyStepHook(len(gr.s.set))
+		}
+		if canceled(cancel) {
+			return
+		}
+		cands := gr.popClosure()
+		if len(cands) == 0 {
+			return
+		}
+		// Replay the naive selection over the closure in naive scan order.
+		sortEntriesByID(cands)
+		best, bestCost := -1, math.Inf(1)
+		for _, e := range cands {
+			if gr.s.better(e.score, e.id, bestCost, best) {
+				best, bestCost = e.id, e.score
+			}
+		}
+		for _, e := range cands {
+			if e.id != best {
+				gr.h.push(e)
+			}
+		}
+		gr.s.add(best)
+		// Adding best perturbs exactly the scores of candidates within
+		// distance 2: direct neighbors lose their contribution for best
+		// (now chosen), and second-hop candidates see a neighbor newly
+		// blocked or its repair floor lowered.
+		gr.round++
+		for _, e := range g.Neighbors(best) {
+			gr.rescore(e.To)
+			for _, e2 := range g.Neighbors(e.To) {
+				gr.rescore(e2.To)
+			}
+		}
+	}
+}
+
+// sortEntriesByID orders closure entries by vertex id — the naive scan
+// order. Ids are unique within a closure, so this insertion sort yields the
+// exact order sort.Slice did, without its closure and swap-reflection
+// allocations.
+func sortEntriesByID(es []scoreEntry) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && es[j].id > e.id {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
+}
+
+// sortEntriesByFDID orders closure entries by (FD index, vertex id) — the
+// joint loop's naive scan order. The pair is unique within a closure, so
+// the order matches what sort.Slice produced.
+func sortEntriesByFDID(es []scoreEntry) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && (es[j].fd > e.fd || (es[j].fd == e.fd && es[j].id > e.id)) {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
+}
+
 // greedySet runs Algorithm 2 on the pattern graph and returns the chosen
 // maximal independent set, using the indexed-heap growth path. When cancel
 // fires mid-growth the set built so far is returned (independent, but
 // possibly not maximal); the caller decides how to surface the
 // cancellation. Output is bit-identical to greedySetNaive on any input.
 func greedySet(g *vgraph.Graph, cancel <-chan struct{}) []int {
-	if canceled(cancel) {
-		return nil
+	return growInto(g, cancel, nil)
+}
+
+// growInto is greedySet with a caller-owned result buffer: the chosen set
+// is appended to dst[:0]. The growth state itself comes from a pool, so a
+// steady-state caller reusing dst performs zero allocations per run.
+func growInto(g *vgraph.Graph, cancel <-chan struct{}, dst []int) []int {
+	dst = dst[:0]
+	if canceled(cancel) || len(g.Vertices) == 0 {
+		return dst
 	}
-	n := len(g.Vertices)
-	if n == 0 {
-		return nil
-	}
-	s := newGreedyScorer(g)
-	ver := make([]uint32, n)
-	h := make(scoreHeap, n)
-	for v := 0; v < n; v++ {
-		h[v] = scoreEntry{score: s.score(v), mult: g.Vertices[v].Mult(), id: v}
-	}
-	h.init()
-	live := func(e scoreEntry) bool { return e.ver == ver[e.id] && s.valid(e.id) }
-	// stamp dedupes the distance-2 rescore walk within one round.
-	stamp := make([]int, n)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	round := 0
-	rescore := func(u int) {
-		if stamp[u] == round {
-			return
-		}
-		stamp[u] = round
-		if !s.valid(u) {
-			return
-		}
-		ver[u]++
-		h.push(scoreEntry{score: s.score(u), mult: g.Vertices[u].Mult(), id: u, ver: ver[u]})
-	}
-	for {
-		if greedyStepHook != nil {
-			greedyStepHook(len(s.set))
-		}
-		if canceled(cancel) {
-			return s.set
-		}
-		cands := h.popClosure(live)
-		if cands == nil {
-			break
-		}
-		// Replay the naive selection over the closure in naive scan order.
-		sort.Slice(cands, func(a, b int) bool { return cands[a].id < cands[b].id })
-		best, bestCost := -1, math.Inf(1)
-		for _, e := range cands {
-			if s.better(e.score, e.id, bestCost, best) {
-				best, bestCost = e.id, e.score
-			}
-		}
-		for _, e := range cands {
-			if e.id != best {
-				h.push(e)
-			}
-		}
-		s.add(best)
-		// Adding best perturbs exactly the scores of candidates within
-		// distance 2: direct neighbors lose their contribution for best
-		// (now chosen), and second-hop candidates see a neighbor newly
-		// blocked or its repair floor lowered.
-		round++
-		for _, e := range g.Neighbors(best) {
-			rescore(e.To)
-			for _, e2 := range g.Neighbors(e.To) {
-				rescore(e2.To)
-			}
-		}
-	}
-	return s.set
+	gr := greedyGrowerPool.Get().(*greedyGrower)
+	gr.reset(g)
+	gr.grow(cancel)
+	dst = append(dst, gr.s.set...)
+	// Drop the graph reference so the pooled grower does not pin it.
+	gr.s.g = nil
+	greedyGrowerPool.Put(gr)
+	return dst
 }
 
 // greedySetNaive is the retained reference implementation of Algorithm 2:

@@ -2,7 +2,6 @@ package repair
 
 import (
 	"math"
-	"sort"
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
@@ -340,12 +339,7 @@ func jointGreedySets(rel *dataset.Relation, graphs []*vgraph.Graph, cancel <-cha
 		}
 		// Replay the naive selection over the closure in naive scan order:
 		// FD index, then vertex id.
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].fd != cands[b].fd {
-				return cands[a].fd < cands[b].fd
-			}
-			return cands[a].id < cands[b].id
-		})
+		sortEntriesByFDID(cands)
 		bestI, bestV := -1, -1
 		bestCost := math.Inf(1)
 		var bestK int

@@ -242,14 +242,8 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 	stats["combinations"] += combos
 
 	groups := groupTuples(rel, unionAttrs(sub.FDs))
-	p := &planner{
-		groups:      groups,
-		graphs:      graphs,
-		cfg:         cfg,
-		disableTree: opts.DisableTargetTree,
-		cancel:      opts.Cancel,
-		workers:     planWorkers(opts.Parallel >= 2 && combos > 1),
-	}
+	p := newPlanner(groups, graphs, cfg, opts.DisableTargetTree, opts.Cancel,
+		planWorkers(opts.Parallel >= 2 && combos > 1))
 	ts := obs.Begin(opts.Trace, obs.PhaseTargetSearch)
 	bestTargets, visited, updates, err := searchCombos(groups, graphs, families, combos, opts, p)
 	ts.Add("treeVisited", int64(visited))
@@ -311,16 +305,9 @@ func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig
 		return nil
 	}
 	groups := groupTuples(rel, unionAttrs(sub.FDs))
-	p := &planner{
-		groups:      groups,
-		graphs:      graphs,
-		cfg:         cfg,
-		disableTree: opts.DisableTargetTree,
-		cancel:      opts.Cancel,
-		workers:     planWorkers(false),
-	}
+	p := newPlanner(groups, graphs, cfg, opts.DisableTargetTree, opts.Cancel, planWorkers(false))
 	ts := obs.Begin(opts.Trace, obs.PhaseTargetSearch)
-	targets, _, visited, ok := p.costs(chosenKeys(graphs, sets), levelsFor(graphs, sets), nil)
+	targets, _, visited, ok := p.costs(chosenBits(graphs, sets), levelsFor(graphs, sets), nil)
 	ts.Add("treeVisited", int64(visited))
 	ts.End()
 	stats["treeVisited"] += visited

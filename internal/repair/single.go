@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"ftrepair/internal/bitset"
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
 	"ftrepair/internal/mis"
@@ -66,18 +67,18 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 // repairTargets maps every vertex outside the independent set to its
 // cheapest neighbor inside it.
 func repairTargets(g *vgraph.Graph, set []int) map[int]int {
-	in := make(map[int]bool, len(set))
+	in := bitset.New(len(g.Vertices))
 	for _, v := range set {
-		in[v] = true
+		in.Set(v)
 	}
 	target := make(map[int]int)
 	for v := range g.Vertices {
-		if in[v] {
+		if in.Has(v) {
 			continue
 		}
 		best, bestW := -1, math.Inf(1)
 		for _, e := range g.Neighbors(v) {
-			if in[e.To] && e.W < bestW {
+			if in.Has(e.To) && e.W < bestW {
 				best, bestW = e.To, e.W
 			}
 		}

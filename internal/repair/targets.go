@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"ftrepair/internal/bitset"
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
 	"ftrepair/internal/targettree"
@@ -71,35 +72,27 @@ func groupTuples(rel *dataset.Relation, attrs []int) []tupleGroup {
 	return groups
 }
 
-// keysFor builds the set of projection keys of one FD's chosen independent
-// set.
-func keysFor(g *vgraph.Graph, set []int) map[string]bool {
-	m := make(map[string]bool, len(set))
+// memberBits builds the membership bitset of one FD's chosen independent
+// set, canonicalized per projection-key class: bit Canon(v) stands for
+// "some vertex with v's projection is chosen" — exactly the predicate the
+// former map[string]bool of projection keys answered, without the
+// per-query key-string allocation.
+func memberBits(g *vgraph.Graph, set []int) bitset.Set {
+	b := bitset.New(len(g.Vertices))
 	for _, v := range set {
-		m[g.Vertices[v].Rep.Key(g.FD.Attrs())] = true
+		b.Set(g.Canon(v))
 	}
-	return m
+	return b
 }
 
-// chosenKeys builds, per FD, the set of projection keys of the chosen
+// chosenBits builds, per FD, the canonical membership bitset of the chosen
 // independent set.
-func chosenKeys(graphs []*vgraph.Graph, sets [][]int) []map[string]bool {
-	keys := make([]map[string]bool, len(graphs))
+func chosenBits(graphs []*vgraph.Graph, sets [][]int) []bitset.Set {
+	chosen := make([]bitset.Set, len(graphs))
 	for i, g := range graphs {
-		keys[i] = keysFor(g, sets[i])
+		chosen[i] = memberBits(g, sets[i])
 	}
-	return keys
-}
-
-// needsRepair reports whether the group's representative has a projection
-// outside some FD's chosen set.
-func needsRepair(rep dataset.Tuple, graphs []*vgraph.Graph, keys []map[string]bool) bool {
-	for i, g := range graphs {
-		if !keys[i][rep.Key(g.FD.Attrs())] {
-			return true
-		}
-	}
-	return false
+	return chosen
 }
 
 // planWorkers picks the tuple-group fan-out for one plan evaluation: the
@@ -118,6 +111,10 @@ func planWorkers(parallelPlans bool) int {
 // Nearest searches of one plan are independent, so costs fans them across
 // workers goroutines; the cost reduction always folds in group order, so
 // totals are bitwise identical at any worker count.
+//
+// costs may be called from many goroutines over one planner (ExactM's
+// combination workers share it), so all per-evaluation scratch comes from
+// a sync.Pool rather than planner fields.
 type planner struct {
 	groups      []tupleGroup
 	graphs      []*vgraph.Graph
@@ -127,7 +124,59 @@ type planner struct {
 	// workers bounds the per-plan fan-out; values below 2 evaluate
 	// sequentially.
 	workers int
+	// vertexOf[i][gi] is graph i's canonical vertex carrying group gi's
+	// projection, or -1 when the projection has no vertex (then the group
+	// always repairs). Precomputed once, it turns the per-combination
+	// needs-repair test into a bitset probe — no key strings, no map hits.
+	vertexOf [][]int32
 }
+
+// newPlanner builds a planner over a fixed grouping, precomputing the
+// group-to-vertex resolution per graph.
+func newPlanner(groups []tupleGroup, graphs []*vgraph.Graph, cfg *fd.DistConfig, disableTree bool, cancel <-chan struct{}, workers int) *planner {
+	p := &planner{
+		groups:      groups,
+		graphs:      graphs,
+		cfg:         cfg,
+		disableTree: disableTree,
+		cancel:      cancel,
+		workers:     workers,
+	}
+	p.vertexOf = make([][]int32, len(graphs))
+	for i, g := range graphs {
+		col := make([]int32, len(groups))
+		for gi := range groups {
+			if v, ok := g.Lookup(groups[gi].rep); ok {
+				col[gi] = int32(g.Canon(v))
+			} else {
+				col[gi] = -1
+			}
+		}
+		p.vertexOf[i] = col
+	}
+	return p
+}
+
+// needsRepair reports whether group gi's representative has a projection
+// outside some FD's chosen set.
+func (p *planner) needsRepair(gi int, chosen []bitset.Set) bool {
+	for i := range chosen {
+		v := p.vertexOf[i][gi]
+		if v < 0 || !chosen[i].Has(int(v)) {
+			return true
+		}
+	}
+	return false
+}
+
+// planScratch is the pooled per-evaluation scratch of planner.costs: the
+// repairing-group index list and the parallel path's result buffer.
+type planScratch struct {
+	needs []int
+	res   []groupResult
+}
+
+var planScratchPool = sync.Pool{New: func() any { return new(planScratch) }}
 
 // groupResult is one group's nearest-target answer.
 type groupResult struct {
@@ -146,22 +195,25 @@ type groupResult struct {
 // the incumbent never rises and the fold order is fixed, a plan at least
 // as cheap as the final incumbent is never aborted. A fired cancel channel
 // also stops evaluation with ok=false.
-func (p *planner) costs(keys []map[string]bool, levels []targettree.Level, abortAbove func() float64) (targets []*targettree.Target, cost float64, visited int, ok bool) {
+func (p *planner) costs(chosen []bitset.Set, levels []targettree.Level, abortAbove func() float64) (targets []*targettree.Target, cost float64, visited int, ok bool) {
 	tree, err := targettree.Build(levels)
 	if err != nil {
 		return nil, 0, 0, false
 	}
+	sc := planScratchPool.Get().(*planScratch)
+	defer planScratchPool.Put(sc)
 	targets = make([]*targettree.Target, len(p.groups))
 	// needs collects the indices of groups that actually repair; the
 	// nearest-target searches below only run for those.
-	var needs []int
+	needs := sc.needs[:0]
 	for gi := range p.groups {
-		if needsRepair(p.groups[gi].rep, p.graphs, keys) {
+		if p.needsRepair(gi, chosen) {
 			needs = append(needs, gi)
 		}
 	}
+	sc.needs = needs
 	if p.workers >= 2 && len(needs) >= 2*p.workers {
-		return p.costsParallel(tree, targets, needs, abortAbove)
+		return p.costsParallel(tree, targets, needs, sc, abortAbove)
 	}
 	for _, gi := range needs {
 		if canceled(p.cancel) {
@@ -184,9 +236,13 @@ func (p *planner) costs(keys []map[string]bool, levels []targettree.Level, abort
 // sequentially in group order so cost accumulation and abort decisions are
 // independent of scheduling. Pruning happens at chunk granularity — a
 // chunk is searched in full before its fold can abort — trading a bounded
-// amount of wasted search for determinism.
-func (p *planner) costsParallel(tree *targettree.Tree, targets []*targettree.Target, needs []int, abortAbove func() float64) (_ []*targettree.Target, cost float64, visited int, ok bool) {
-	res := make([]groupResult, len(needs))
+// amount of wasted search for determinism. The result buffer is pooled
+// scratch, so each accepted target is copied out before the fold moves on.
+func (p *planner) costsParallel(tree *targettree.Tree, targets []*targettree.Target, needs []int, sc *planScratch, abortAbove func() float64) (_ []*targettree.Target, cost float64, visited int, ok bool) {
+	if cap(sc.res) < len(needs) {
+		sc.res = make([]groupResult, len(needs))
+	}
+	res := sc.res[:len(needs)]
 	chunk := p.workers * 8
 	for base := 0; base < len(needs); base += chunk {
 		end := base + chunk
@@ -213,7 +269,8 @@ func (p *planner) costsParallel(tree *targettree.Tree, targets []*targettree.Tar
 		for k := base; k < end; k++ {
 			gi := needs[k]
 			visited += res[k].visited
-			targets[gi] = &res[k].tg
+			tg := res[k].tg
+			targets[gi] = &tg
 			cost += float64(len(p.groups[gi].rows)) * res[k].cost
 			if abortAbove != nil && cost > abortAbove() {
 				return nil, cost, visited, false

@@ -8,6 +8,15 @@
 // Construction is the pipeline's bottleneck (§6), so Build fans candidate
 // verification out across a worker pool. The result is deterministic: the
 // same graph, bit for bit, for any worker count — see Options.Workers.
+//
+// The graph is stored CSR-style: all adjacency entries live in one flat
+// []Edge arena indexed by a per-vertex offset table, and vertices are a
+// flat []Vertex slice. Every hot consumer (mis expansion, greedy growth,
+// plan costing) addresses vertices by dense index, so traversal is
+// pointer-free; the byKey map survives only for point lookups by projection
+// key. A pooled Builder reuses the per-worker edge lists and the CSR
+// counting scratch across builds, which matters to the incremental engine's
+// frequent small shard rebuilds.
 package vgraph
 
 import (
@@ -15,6 +24,7 @@ import (
 	"sort"
 	"sync"
 
+	"ftrepair/internal/bitset"
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
 	"ftrepair/internal/obs"
@@ -51,9 +61,21 @@ type Graph struct {
 	FD       *fd.FD
 	Cfg      *fd.DistConfig
 	Tau      float64
-	Vertices []*Vertex
-	adj      [][]Edge
-	byKey    map[string]int
+	Vertices []Vertex
+	// CSR adjacency arena: edges holds every directed adjacency entry,
+	// grouped by source vertex and sorted by To within a vertex;
+	// eoff[u]:eoff[u+1] bounds vertex u's slice.
+	edges []Edge
+	eoff  []int32
+	byKey map[string]int
+	// keys[v] is the interned projection key of vertex v — the exact string
+	// byKey maps from, shared, so key-class operations never re-derive it.
+	keys []string
+	// canon maps each vertex to the canonical vertex of its key class: nil
+	// (identity) for grouped graphs, where keys are unique; for ungrouped
+	// graphs the vertex byKey resolves the shared key to. Membership tests
+	// by projection (repair's chosen-set bitsets) canonicalize through it.
+	canon []int32
 	// ungrouped marks graphs built with Options.DisableGrouping, where
 	// distinct vertices may carry equal projections and must not be
 	// connected.
@@ -97,8 +119,35 @@ type Options struct {
 	Worker int
 }
 
-// Build constructs the violation graph of f over rel at threshold tau.
+// Builder carries the reusable construction scratch — per-worker edge
+// record lists and the CSR degree/cursor counters — so repeated builds
+// (benchmark loops, incremental shard rebuilds) do not reallocate it. A
+// Builder is not safe for concurrent use; the package-level Build draws
+// from a pool, which is the idiomatic entry point.
+type Builder struct {
+	lists [][]edgeRec
+	deg   []int32
+}
+
+// NewBuilder returns an empty Builder. Most callers should use the
+// package-level Build, which pools Builders automatically.
+func NewBuilder() *Builder { return &Builder{} }
+
+var builderPool = sync.Pool{New: func() any { return NewBuilder() }}
+
+// Build constructs the violation graph of f over rel at threshold tau using
+// a pooled Builder.
 func Build(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opts Options) *Graph {
+	b := builderPool.Get().(*Builder)
+	g := b.Build(rel, f, cfg, tau, opts)
+	builderPool.Put(b)
+	return g
+}
+
+// Build constructs the violation graph of f over rel at threshold tau,
+// reusing the Builder's scratch. The returned Graph owns all its memory;
+// only construction-time buffers are retained by the Builder.
+func (b *Builder) Build(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opts Options) *Graph {
 	sp := obs.Begin(opts.Trace, obs.PhaseGraphBuild)
 	sp.SetFD(f.String())
 	if opts.Worker > 0 {
@@ -113,13 +162,22 @@ func Build(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opt
 		if !ok || opts.DisableGrouping {
 			vi = len(g.Vertices)
 			g.byKey[k] = vi
-			g.Vertices = append(g.Vertices, &Vertex{Rep: t})
+			g.Vertices = append(g.Vertices, Vertex{Rep: t})
+			g.keys = append(g.keys, k)
 		}
 		g.Vertices[vi].Rows = append(g.Vertices[vi].Rows, i)
 	}
-	g.adj = make([][]Edge, len(g.Vertices))
 
 	g.ungrouped = opts.DisableGrouping
+	if g.ungrouped {
+		// Key classes are non-trivial only without grouping: resolve each
+		// vertex to the one byKey elects for its key.
+		g.canon = make([]int32, len(g.Vertices))
+		for vi := range g.Vertices {
+			g.canon[vi] = int32(g.byKey[g.keys[vi]])
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -132,13 +190,10 @@ func Build(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, opt
 	}
 	probe := g.chooseProbe(rel)
 	if opts.DisableIndex || probe < 0 {
-		g.merge(g.fanOut(workers, opts.Cancel, g.allPairsRange))
+		g.mergeCSR(b, g.fanOut(b, workers, opts.Cancel, g.allPairsRange))
 	} else {
 		g.indexProbe(probe)
-		g.merge(g.fanOut(workers, opts.Cancel, g.indexedRange))
-	}
-	for _, es := range g.adj {
-		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+		g.mergeCSR(b, g.fanOut(b, workers, opts.Cancel, g.indexedRange))
 	}
 
 	// Flush build totals into the default registry here — the single flush
@@ -194,8 +249,8 @@ func (g *Graph) indexProbe(probe int) {
 	g.attrTau = g.Tau / w
 	g.ix = strsim.NewIndex(2)
 	valID := make(map[string]int, len(g.Vertices))
-	for vi, v := range g.Vertices {
-		val := v.Rep[probe]
+	for vi := range g.Vertices {
+		val := g.Vertices[vi].Rep[probe]
 		id, ok := valID[val]
 		if !ok {
 			id = g.ix.Add(val)
@@ -251,11 +306,18 @@ func (g *Graph) verifyPair(i, j int) (edgeRec, bool) {
 // the outer loop. Stride partitioning balances the triangular all-pairs
 // loop without a work queue, and each worker's output is a deterministic
 // function of (start, stride), so the merged edge set does not depend on
-// scheduling.
-func (g *Graph) fanOut(workers int, cancel <-chan struct{}, run func(start, stride int, cancel <-chan struct{}) []edgeRec) [][]edgeRec {
-	out := make([][]edgeRec, workers)
+// scheduling. The per-worker record lists come from the Builder and keep
+// their capacity across builds.
+func (g *Graph) fanOut(b *Builder, workers int, cancel <-chan struct{}, run func(dst []edgeRec, start, stride int, cancel <-chan struct{}) []edgeRec) [][]edgeRec {
+	if cap(b.lists) < workers {
+		lists := make([][]edgeRec, workers)
+		copy(lists, b.lists)
+		b.lists = lists
+	}
+	b.lists = b.lists[:workers]
+	out := b.lists
 	if workers == 1 {
-		out[0] = run(0, 1, cancel)
+		out[0] = run(out[0][:0], 0, 1, cancel)
 		return out
 	}
 	var wg sync.WaitGroup
@@ -263,24 +325,78 @@ func (g *Graph) fanOut(workers int, cancel <-chan struct{}, run func(start, stri
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			out[w] = run(w, workers, cancel)
+			out[w] = run(out[w][:0], w, workers, cancel)
 		}(w)
 	}
 	wg.Wait()
 	return out
 }
 
-// merge folds the per-worker edge lists into the adjacency structure. Merge
-// order is irrelevant to the final graph: each undirected edge appears in
-// exactly one worker's list, and Build sorts every adjacency list by To —
-// a strict key, since a vertex pair carries at most one edge.
-func (g *Graph) merge(lists [][]edgeRec) {
+// mergeCSR folds the per-worker edge lists into the CSR arena: count
+// degrees, prefix-sum the offset table, place both directions of every
+// record, then sort each vertex's slice by To. Merge order is irrelevant to
+// the final graph: each undirected edge appears in exactly one worker's
+// list, and To is a strict sort key since a vertex pair carries at most one
+// edge — so the arena is bit-identical at any worker count.
+func (g *Graph) mergeCSR(b *Builder, lists [][]edgeRec) {
+	n := len(g.Vertices)
+	if cap(b.deg) < n {
+		b.deg = make([]int32, n)
+	}
+	b.deg = b.deg[:n]
+	deg := b.deg
+	for i := range deg {
+		deg[i] = 0
+	}
+	total := 0
 	for _, recs := range lists {
+		total += 2 * len(recs)
 		for _, r := range recs {
-			g.adj[r.u] = append(g.adj[r.u], Edge{To: r.v, W: r.w, D: r.d})
-			g.adj[r.v] = append(g.adj[r.v], Edge{To: r.u, W: r.w, D: r.d})
+			deg[r.u]++
+			deg[r.v]++
 		}
 	}
+	g.eoff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		g.eoff[i+1] = g.eoff[i] + deg[i]
+	}
+	g.edges = make([]Edge, total)
+	// Reuse deg as the per-vertex write cursor.
+	cur := deg
+	for i := 0; i < n; i++ {
+		cur[i] = g.eoff[i]
+	}
+	for _, recs := range lists {
+		for _, r := range recs {
+			g.edges[cur[r.u]] = Edge{To: r.v, W: r.w, D: r.d}
+			cur[r.u]++
+			g.edges[cur[r.v]] = Edge{To: r.u, W: r.w, D: r.d}
+			cur[r.v]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		sortEdges(g.edges[g.eoff[i]:g.eoff[i+1]])
+	}
+}
+
+// sortEdges orders one vertex's adjacency slice by To: insertion sort for
+// the short lists that dominate violation graphs (no closure allocation),
+// sort.Slice beyond that. To values are unique within a slice, so any
+// sorting algorithm yields the identical order.
+func sortEdges(es []Edge) {
+	if len(es) <= 32 {
+		for i := 1; i < len(es); i++ {
+			e := es[i]
+			j := i - 1
+			for j >= 0 && es[j].To > e.To {
+				es[j+1] = es[j]
+				j--
+			}
+			es[j+1] = e
+		}
+		return
+	}
+	sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
 }
 
 // buildCanceled is the cooperative poll used inside build loops.
@@ -299,8 +415,7 @@ func buildCanceled(cancel <-chan struct{}) bool {
 // allPairsRange verifies every pair (i, j), i < j, whose outer index i is
 // congruent to start modulo stride. Cancellation is polled every 1024
 // candidate pairs.
-func (g *Graph) allPairsRange(start, stride int, cancel <-chan struct{}) []edgeRec {
-	var recs []edgeRec
+func (g *Graph) allPairsRange(recs []edgeRec, start, stride int, cancel <-chan struct{}) []edgeRec {
 	n := len(g.Vertices)
 	pairs := 0
 	for i := start; i < n; i += stride {
@@ -321,8 +436,7 @@ func (g *Graph) allPairsRange(start, stride int, cancel <-chan struct{}) []edgeR
 // id congruent to start modulo stride. Each distinct value *pair* is
 // handled exactly once (by the lower id), so the emitted edges partition
 // across workers.
-func (g *Graph) indexedRange(start, stride int, cancel <-chan struct{}) []edgeRec {
-	var recs []edgeRec
+func (g *Graph) indexedRange(recs []edgeRec, start, stride int, cancel <-chan struct{}) []edgeRec {
 	pairs := 0
 	for id := start; id < len(g.vals); id += stride {
 		if buildCanceled(cancel) {
@@ -360,16 +474,16 @@ func contains(cols []int, c int) bool {
 	return false
 }
 
-// Neighbors returns the adjacency list of vertex u, sorted by vertex id.
-// Callers must not modify it.
-func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+// Neighbors returns the adjacency list of vertex u, sorted by vertex id: a
+// view into the CSR arena. Callers must not modify it.
+func (g *Graph) Neighbors(u int) []Edge { return g.edges[g.eoff[u]:g.eoff[u+1]] }
 
 // Degree is the number of FT-violation partners of u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int { return int(g.eoff[u+1] - g.eoff[u]) }
 
 // Edge reports the weight of edge (u,v) if present.
 func (g *Graph) Edge(u, v int) (float64, bool) {
-	es := g.adj[u]
+	es := g.Neighbors(u)
 	lo, hi := 0, len(es)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -386,13 +500,7 @@ func (g *Graph) Edge(u, v int) (float64, bool) {
 }
 
 // NumEdges counts undirected edges.
-func (g *Graph) NumEdges() int {
-	n := 0
-	for _, es := range g.adj {
-		n += len(es)
-	}
-	return n / 2
-}
+func (g *Graph) NumEdges() int { return len(g.edges) / 2 }
 
 // RepairCost is the cost of repairing every tuple grouped in vertex `from`
 // to the pattern of vertex `to`: multiplicity times pattern distance (the
@@ -405,25 +513,36 @@ func (g *Graph) RepairCost(from, to int) (float64, bool) {
 	return float64(g.Vertices[from].Mult()) * w, true
 }
 
+// Canon returns the canonical vertex of v's projection-key class: v itself
+// for grouped graphs (keys are unique), the vertex Lookup resolves the
+// shared key to when grouping is disabled. Two vertices carry equal
+// projections iff their Canon values coincide.
+func (g *Graph) Canon(v int) int {
+	if g.canon == nil {
+		return v
+	}
+	return int(g.canon[v])
+}
+
 // Components returns the connected components of the violation graph as
 // sorted vertex-id slices, ordered by smallest member.
 func (g *Graph) Components() [][]int {
-	seen := make([]bool, len(g.Vertices))
+	seen := bitset.New(len(g.Vertices))
 	var out [][]int
 	for s := range g.Vertices {
-		if seen[s] {
+		if seen.Has(s) {
 			continue
 		}
 		var comp []int
 		stack := []int{s}
-		seen[s] = true
+		seen.Set(s)
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
-			for _, e := range g.adj[u] {
-				if !seen[e.To] {
-					seen[e.To] = true
+			for _, e := range g.Neighbors(u) {
+				if !seen.Has(e.To) {
+					seen.Set(e.To)
 					stack = append(stack, e.To)
 				}
 			}
@@ -452,7 +571,7 @@ func (g *Graph) Lookup(t dataset.Tuple) (int, bool) {
 // scan drops to the candidates sharing q-grams with t's probe value.
 func (g *Graph) ViolatorCount(t dataset.Tuple) int {
 	if v, ok := g.Lookup(t); ok {
-		return len(g.adj[v])
+		return g.Degree(v)
 	}
 	count := 0
 	if g.ix != nil {
@@ -465,8 +584,8 @@ func (g *Graph) ViolatorCount(t dataset.Tuple) int {
 		}
 		return count
 	}
-	for _, u := range g.Vertices {
-		if _, ok := g.distWithin(t, u.Rep); ok {
+	for u := range g.Vertices {
+		if _, ok := g.distWithin(t, g.Vertices[u].Rep); ok {
 			count++
 		}
 	}
