@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build lint lint-json lint-sarif test short bench bench-json bench-repair bench-incremental alloc-smoke experiments fuzz cover examples serve
+.PHONY: all build lint lint-json lint-sarif test short bench bench-json bench-repair bench-incremental bench-distance bench-check alloc-smoke experiments fuzz cover examples serve
 
 all: build lint test
 
@@ -49,6 +49,21 @@ bench-repair:
 # BENCH_incremental.json (per-batch latency, shard telemetry, ratios).
 bench-incremental:
 	go run ./cmd/repairbench -exp incrbench -benchout BENCH_incremental.json
+
+# Times the string-distance hot paths (bit-parallel kernels vs the retained
+# DPs, one-vs-many Matcher streams, distance-plane vs map cache hits) and
+# writes BENCH_strsim.json.
+bench-distance:
+	go run ./cmd/repairbench -exp distbench -benchout BENCH_strsim.json
+
+# Re-measures the committed BENCH_*.json benchmark families into fresh files
+# and fails when any shared entry regressed by more than 25% ns/op.
+bench-check:
+	go run ./cmd/repairbench -exp graphbench -benchout BENCH_vgraph.ci.json
+	go run ./cmd/repairbench -exp distbench -benchout BENCH_strsim.ci.json
+	go run ./cmd/benchcheck -threshold 1.25 \
+		BENCH_vgraph.json=BENCH_vgraph.ci.json \
+		BENCH_strsim.json=BENCH_strsim.ci.json
 
 # Alloc-regression smoke: the gate test asserts steady-state greedy rounds
 # perform zero heap allocations (pooled grower + caller-owned buffer), and

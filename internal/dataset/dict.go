@@ -1,0 +1,52 @@
+package dataset
+
+import "unicode/utf8"
+
+// Dict interns the distinct values of one column: each value gets a dense
+// int32 code in first-occurrence order. The distance layer keys its
+// per-column triangular distance planes by code pairs, so repeated value
+// pairs pay an integer-indexed load instead of a hash probe, and the
+// memoized rune lengths feed the normalized-distance denominators without
+// re-decoding UTF-8.
+//
+// A Dict is immutable after construction: values appearing later (streamed
+// tuples, out-of-domain repairs) simply miss and take the non-interned
+// path. Under the closed-world repair model (see ActiveDomain), repaired
+// cells draw from the relation's existing values, so the dictionary stays
+// authoritative across a repair run.
+type Dict struct {
+	codes map[string]int32
+	vals  []string
+	lens  []int32 // rune lengths, aligned with vals
+}
+
+// ColumnDict builds the dictionary of column col's distinct values in
+// first-occurrence order.
+func (r *Relation) ColumnDict(col int) *Dict {
+	d := &Dict{codes: make(map[string]int32)}
+	for _, t := range r.Tuples {
+		v := t[col]
+		if _, ok := d.codes[v]; ok {
+			continue
+		}
+		d.codes[v] = int32(len(d.vals))
+		d.vals = append(d.vals, v)
+		d.lens = append(d.lens, int32(utf8.RuneCountInString(v)))
+	}
+	return d
+}
+
+// Len reports the number of distinct values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Code returns the value's code, if interned.
+func (d *Dict) Code(s string) (int32, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Value returns the interned value for a code.
+func (d *Dict) Value(c int32) string { return d.vals[c] }
+
+// RuneLen returns the rune length of the value with the given code.
+func (d *Dict) RuneLen(c int32) int { return int(d.lens[c]) }

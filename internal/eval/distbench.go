@@ -1,0 +1,238 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/obs"
+	"ftrepair/internal/strsim"
+)
+
+// DistBenchConfig selects the distance-kernel microbenchmark run.
+type DistBenchConfig struct {
+	Seed int64
+	// MinTime is the minimum measured wall-clock per entry. Defaults to
+	// 200ms.
+	MinTime time.Duration
+	Cancel  <-chan struct{}
+}
+
+// DistBenchEntry is one measured distance path. NsPerOp is per *comparison*
+// (a batch iterates a fixed pair list), unlike the build benches' per-build
+// figure; allocs and bytes are per comparison too.
+type DistBenchEntry struct {
+	Name        string  `json:"name"`
+	Len         int     `json:"len"` // string length in characters; 0 when not length-keyed
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+}
+
+// DistBenchDoc is the BENCH_strsim.json payload: the bit-parallel kernels
+// against the retained DP baselines at several string lengths, the
+// one-vs-many Matcher amortization, and the distance-plane hit path against
+// the sharded-map hit path, plus derived speedup ratios.
+type DistBenchDoc struct {
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Meta       obs.RunMeta      `json:"meta"`
+	Entries    []DistBenchEntry `json:"entries"`
+	// Speedups are ns/op ratios: "kernel/lenL" (DP → kernel),
+	// "matcher/lenL" (one-shot kernel → streamed Matcher), and "plane"
+	// (map hit → plane hit).
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// distSink accumulates benchmark results so the measured calls cannot be
+// dead-code eliminated.
+var distSink int
+
+// dbWord draws a lowercase word; the 16-letter alphabet mirrors the mixed
+// density of relational attribute values.
+func dbWord(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnop"
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+// dbMutate applies up to k random character edits to s.
+func dbMutate(rng *rand.Rand, s string, k int) string {
+	const alphabet = "abcdefghijklmnop"
+	b := []byte(s)
+	for i := 0; i < k; i++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(b) > 0:
+			p := rng.Intn(len(b))
+			b = append(b[:p], b[p+1:]...)
+		case op == 1:
+			p := rng.Intn(len(b) + 1)
+			b = append(b[:p], append([]byte{alphabet[rng.Intn(len(alphabet))]}, b[p:]...)...)
+		default:
+			if len(b) > 0 {
+				b[rng.Intn(len(b))] = alphabet[rng.Intn(len(alphabet))]
+			}
+		}
+	}
+	return string(b)
+}
+
+// DistBench times the string-distance hot paths: the bit-parallel edit
+// kernels against the retained DP oracles at lengths straddling the 64-char
+// word boundary, the one-vs-many Matcher (pattern tables built once per
+// stream), and a warmed DistCache answering interned pairs from the
+// distance plane versus the sharded map. Candidates are near pairs (a few
+// edits apart) — the case the length prefilters cannot reject, which is
+// what survives to the kernels in real builds.
+func DistBench(c DistBenchConfig) (*DistBenchDoc, error) {
+	if c.MinTime <= 0 {
+		c.MinTime = 200 * time.Millisecond
+	}
+	doc := &DistBenchDoc{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Meta:       obs.CollectMeta("synthetic"),
+		Speedups:   make(map[string]float64),
+	}
+	canceled := func() bool { return benchCanceled(c.Cancel) }
+
+	// measure runs batches of `ops` comparisons until MinTime elapses.
+	measure := func(name string, length, ops int, batch func()) DistBenchEntry {
+		iters := 0
+		m0, b0 := allocSnap()
+		start := time.Now()
+		for time.Since(start) < c.MinTime {
+			if canceled() {
+				break
+			}
+			batch()
+			iters++
+		}
+		elapsed := time.Since(start)
+		m1, b1 := allocSnap()
+		if iters == 0 {
+			iters = 1
+		}
+		e := DistBenchEntry{
+			Name:        name,
+			Len:         length,
+			Iters:       iters,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters*ops),
+			AllocsPerOp: float64(m1-m0) / float64(uint64(iters*ops)),
+			BytesPerOp:  float64(b1-b0) / float64(uint64(iters*ops)),
+		}
+		doc.Entries = append(doc.Entries, e)
+		return e
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	const streamLen = 64
+	for _, length := range []int{8, 16, 64, 128} {
+		pat := dbWord(rng, length)
+		cands := make([]string, streamLen)
+		for i := range cands {
+			cands[i] = dbMutate(rng, pat, 1+rng.Intn(3))
+		}
+		dp := measure(fmt.Sprintf("dp/len%d", length), length, streamLen, func() {
+			for _, cand := range cands {
+				distSink += strsim.LevenshteinDP(pat, cand)
+			}
+		})
+		kernel := measure(fmt.Sprintf("kernel/len%d", length), length, streamLen, func() {
+			for _, cand := range cands {
+				distSink += strsim.Levenshtein(pat, cand)
+			}
+		})
+		matcher := measure(fmt.Sprintf("matcher/len%d", length), length, streamLen, func() {
+			mt := strsim.AcquireMatcher(pat)
+			for _, cand := range cands {
+				distSink += mt.Distance(cand)
+			}
+			mt.Release()
+		})
+		if kernel.NsPerOp > 0 {
+			doc.Speedups[fmt.Sprintf("kernel/len%d", length)] = dp.NsPerOp / kernel.NsPerOp
+		}
+		if matcher.NsPerOp > 0 {
+			doc.Speedups[fmt.Sprintf("matcher/len%d", length)] = kernel.NsPerOp / matcher.NsPerOp
+		}
+		if canceled() {
+			return doc, nil
+		}
+	}
+
+	// Cache hit paths: one column of distinct 12-char values, every pair
+	// warmed, then re-queried — the plane (interned codes, one atomic load)
+	// against the sharded map (hash + RWMutex).
+	const domain = 128
+	const alphabet = "abcdefghijklmnop"
+	vals := make([]string, domain)
+	for i := range vals {
+		// 8 random chars plus a 4-char base-16 index tag: 12 chars from the
+		// same alphabet, distinct by construction (no retry loop needed).
+		tag := []byte{
+			alphabet[(i>>12)&15], alphabet[(i>>8)&15],
+			alphabet[(i>>4)&15], alphabet[i&15],
+		}
+		vals[i] = dbWord(rng, 8) + string(tag)
+	}
+	rows := make([][]string, domain)
+	for i, v := range vals {
+		rows[i] = []string{v}
+	}
+	rel, err := dataset.FromRows(dataset.Strings("A"), rows)
+	if err != nil {
+		return doc, err
+	}
+	pairs := make([][2]string, 4096)
+	for i := range pairs {
+		a, b := rng.Intn(domain), rng.Intn(domain-1)
+		if b >= a {
+			b++
+		}
+		pairs[i] = [2]string{vals[a], vals[b]}
+	}
+	hitBatch := func(cfg *fd.DistConfig) func() {
+		return func() {
+			for _, p := range pairs {
+				distSink += int(cfg.AttrDist(0, p[0], p[1]) * 64)
+			}
+		}
+	}
+	planed := fd.DefaultDistConfig(rel)
+	hitBatch(planed)() // warm: every pair resolved exactly
+	mapped := fd.DefaultDistConfig(rel)
+	mapped.Dicts = nil
+	mapped.Cache = fd.NewDistCache()
+	hitBatch(mapped)()
+	mapHit := measure("maphit", 0, len(pairs), hitBatch(mapped))
+	planeHit := measure("planehit", 0, len(pairs), hitBatch(planed))
+	if planeHit.NsPerOp > 0 {
+		doc.Speedups["plane"] = mapHit.NsPerOp / planeHit.NsPerOp
+	}
+	return doc, nil
+}
+
+// PrintDistBench renders the microbenchmark table.
+func PrintDistBench(w io.Writer, doc *DistBenchDoc) {
+	fmt.Fprintf(w, "## Distance kernel bench (GOMAXPROCS=%d)\n", doc.GOMAXPROCS)
+	fmt.Fprintf(w, "%-18s %10s %12s %12s %12s\n", "path", "iters", "ns/op", "allocs/op", "B/op")
+	for _, e := range doc.Entries {
+		fmt.Fprintf(w, "%-18s %10d %12.1f %12.3f %12.1f\n",
+			e.Name, e.Iters, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+	}
+	for _, k := range []string{"kernel/len8", "kernel/len16", "kernel/len64", "kernel/len128",
+		"matcher/len8", "matcher/len16", "matcher/len64", "matcher/len128", "plane"} {
+		if v, ok := doc.Speedups[k]; ok {
+			fmt.Fprintf(w, "speedup %-18s %6.2fx\n", k, v)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -111,6 +111,7 @@ func GraphBench(c GraphBenchConfig) (*GraphBenchDoc, error) {
 		cfg := *single.Cfg // shallow copy: only the cache differs per entry
 		if useCache {
 			cfg.Cache = fd.NewDistCache()
+			cfg.AttachPlanes()
 		} else {
 			cfg.Cache = nil
 		}
@@ -185,6 +186,7 @@ func GraphBench(c GraphBenchConfig) (*GraphBenchDoc, error) {
 	// warm cache + Edge.D reuse.
 	cfg := *full.Cfg
 	cfg.Cache = fd.NewDistCache()
+	cfg.AttachPlanes()
 	var viols []repair.Violation
 	iters := 0
 	m0, b0 := allocSnap()

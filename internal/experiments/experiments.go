@@ -114,6 +114,7 @@ func list() []experiment {
 		{"detection", "FT vs classic error localization", detectionAblation},
 		{"autotau", "SelectTau heuristic vs fixed threshold", autotauAblation},
 		{"graphbench", "construction-phase timings: parallel + memoized graph build", graphbench},
+		{"distbench", "distance-kernel timings: bit-parallel vs DP, matcher streams, plane hits", distbench},
 		{"repairbench", "repair-phase timings: heap greedy growth, parallel B&B, plan evaluation", repairbench},
 		{"incrbench", "incremental-ingest timings: sharded engine per-batch latency vs from-scratch", incrbench},
 	}
@@ -547,6 +548,39 @@ func graphbench(c Config, w io.Writer) error {
 		return err
 	}
 	eval.PrintGraphBench(w, doc)
+	if c.BenchOut != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.BenchOut, append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("experiments: writing %s: %w", c.BenchOut, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", c.BenchOut)
+	}
+	return nil
+}
+
+// distbench times the string-distance hot paths (bit-parallel kernels vs
+// the retained DPs at several lengths, Matcher streaming, plane vs map
+// cache hits) and optionally writes the measurements to Config.BenchOut as
+// JSON (BENCH_strsim.json). Input sizes are fixed — the kernels are
+// length-keyed, not relation-sized — so only the per-entry measuring time
+// scales down for tiny (test) runs.
+func distbench(c Config, w io.Writer) error {
+	minTime := 500 * time.Millisecond
+	if c.Scale < 0.04 {
+		minTime = 10 * time.Millisecond
+	}
+	doc, err := eval.DistBench(eval.DistBenchConfig{
+		Seed:    c.Seed,
+		MinTime: minTime,
+		Cancel:  c.Cancel,
+	})
+	if err != nil {
+		return err
+	}
+	eval.PrintDistBench(w, doc)
 	if c.BenchOut != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

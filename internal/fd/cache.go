@@ -4,6 +4,8 @@ import (
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
+
+	"ftrepair/internal/dataset"
 )
 
 // DistCache memoizes per-attribute normalized string distances. The same
@@ -34,10 +36,26 @@ import (
 // place when a larger budget re-rejects or an acceptance resolves the
 // pair.
 //
+// In front of the sharded maps sit optional per-column distance planes
+// (AttachPlanes): flat triangular arrays over interned value-pair codes
+// holding integer edit distances and bounds. A pair whose both values are
+// interned is answered by one atomic load; everything else — un-interned
+// values, columns whose domain exceeds the plane caps, flavors other than
+// the attached one — falls through to the maps. See plane.go for the
+// encoding and the bit-identity argument.
+//
 // A DistCache must not be copied after first use.
 type DistCache struct {
 	seed   maphash.Seed
 	shards [cacheShards]cacheShard
+
+	// planes[col] answers value pairs interned in col's dictionary; nil
+	// entries (and a nil slice) fall through to the sharded maps. Written
+	// once by AttachPlanes before concurrent use.
+	planes      []*distPlane
+	planeFlavor EditFlavor
+	planeHits   atomic.Uint64
+	planeMisses atomic.Uint64
 }
 
 const (
@@ -153,16 +171,61 @@ func (s *cacheShard) storeLocked(k pairKey, v cacheVal) {
 	s.m[k] = v
 }
 
-// Counters returns the cumulative hit and miss counts across all shards.
+// AttachPlanes equips the cache with per-column distance planes over the
+// given dictionaries for one edit flavor. Columns with a nil dictionary,
+// fewer than two distinct values, or a domain exceeding the plane size caps
+// are skipped (their pairs keep using the sharded maps), and the Jaccard
+// flavor attaches nothing (its distances are not integer edit counts).
+// Attach before sharing the cache across goroutines; attaching replaces any
+// previous planes.
+func (c *DistCache) AttachPlanes(dicts []*dataset.Dict, flavor EditFlavor) {
+	c.planes = nil
+	c.planeFlavor = flavor
+	if flavor == EditJaccard || len(dicts) == 0 {
+		return
+	}
+	planes := make([]*distPlane, len(dicts))
+	attached := false
+	budget := planeTotalCells
+	for col, d := range dicts {
+		if d == nil || d.Len() < 2 {
+			continue
+		}
+		cells := planeCells(d.Len())
+		if cells > planeMaxCells || cells > budget {
+			continue
+		}
+		planes[col] = newDistPlane(d)
+		budget -= cells
+		attached = true
+	}
+	if attached {
+		c.planes = planes
+	}
+}
+
+// plane returns col's distance plane when one is attached for the flavor.
+func (c *DistCache) plane(col int, flavor EditFlavor) *distPlane {
+	if c.planes == nil || flavor != c.planeFlavor || col >= len(c.planes) {
+		return nil
+	}
+	return c.planes[col]
+}
+
+// Counters returns the cumulative hit and miss counts across all shards and
+// planes.
 func (c *DistCache) Counters() (hits, misses uint64) {
 	for i := range c.shards {
 		hits += c.shards[i].hits.Load()
 		misses += c.shards[i].misses.Load()
 	}
+	hits += c.planeHits.Load()
+	misses += c.planeMisses.Load()
 	return hits, misses
 }
 
-// Len returns the number of memoized entries currently held.
+// Len returns the number of memoized entries currently held, occupied plane
+// cells included.
 func (c *DistCache) Len() int {
 	n := 0
 	for i := range c.shards {
@@ -170,6 +233,11 @@ func (c *DistCache) Len() int {
 		s.mu.RLock()
 		n += len(s.m)
 		s.mu.RUnlock()
+	}
+	for _, p := range c.planes {
+		if p != nil {
+			n += p.occupied()
+		}
 	}
 	return n
 }

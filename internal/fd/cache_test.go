@@ -124,31 +124,47 @@ func TestDistCacheCounters(t *testing.T) {
 	}
 }
 
-func TestDistCacheLowerBounds(t *testing.T) {
-	// A bounded rejection is memoized as a lower bound: it answers repeat
-	// queries at the same or smaller budget, is recomputed (and upgraded)
-	// at a larger budget, and is superseded by an exact entry once some
-	// query accepts the pair.
+// lowerBoundRel is the two-tuple fixture for the lower-bound tests:
+// dist(A) = 1/4, weighted 0.125 under the default w_l = 0.5.
+func lowerBoundRel(t *testing.T) (*dataset.Relation, *fd.FD) {
+	t.Helper()
 	schema := dataset.Strings("A", "B")
 	rel, err := dataset.FromRows(schema, [][]string{{"abcd", "x"}, {"abce", "x"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := fd.MustParse(schema, "A->B")
-	cfg := fd.DefaultDistConfig(rel) // dist(A) = 1/4, weighted 0.125
+	return rel, fd.MustParse(schema, "A->B")
+}
+
+func checkLowerBound(t *testing.T, cfg *fd.DistConfig, f *fd.FD, t1, t2 dataset.Tuple,
+	step string, tau float64, wantOK bool, wantHits, wantMisses uint64) {
+	t.Helper()
+	if _, ok := cfg.DistWithin(f, tau, t1, t2); ok != wantOK {
+		t.Fatalf("%s: DistWithin ok = %v, want %v", step, ok, wantOK)
+	}
+	if h, m := cfg.Cache.Counters(); h != wantHits || m != wantMisses {
+		t.Fatalf("%s: counters = %d/%d, want %d/%d", step, h, m, wantHits, wantMisses)
+	}
+}
+
+func TestDistCacheLowerBounds(t *testing.T) {
+	// A bounded rejection is memoized as a lower bound: it answers repeat
+	// queries at the same or smaller budget, is recomputed (and upgraded)
+	// at a larger budget, and is superseded by an exact entry once some
+	// query accepts the pair. This exercises the sharded-map path, so the
+	// planes are detached (no dictionaries, fresh cache).
+	rel, f := lowerBoundRel(t)
+	cfg := fd.DefaultDistConfig(rel)
+	cfg.Dicts = nil
+	cfg.Cache = fd.NewDistCache()
 	t1, t2 := rel.Tuples[0], rel.Tuples[1]
 	check := func(step string, tau float64, wantOK bool, wantHits, wantMisses uint64) {
 		t.Helper()
-		if _, ok := cfg.DistWithin(f, tau, t1, t2); ok != wantOK {
-			t.Fatalf("%s: DistWithin ok = %v, want %v", step, ok, wantOK)
-		}
-		if h, m := cfg.Cache.Counters(); h != wantHits || m != wantMisses {
-			t.Fatalf("%s: counters = %d/%d, want %d/%d", step, h, m, wantHits, wantMisses)
-		}
+		checkLowerBound(t, cfg, f, t1, t2, step, tau, wantOK, wantHits, wantMisses)
 	}
 	check("first rejection", 0.05, false, 0, 1)  // miss, bound stored
 	check("repeat rejection", 0.05, false, 1, 1) // answered by the bound
-	check("larger budget", 0.08, false, 1, 2)    // bound too weak: recompute
+	check("larger budget", 0.08, false, 1, 2)    // float bound too weak: recompute
 	check("acceptance", 0.2, true, 1, 3)         // exact entry replaces bound
 	check("reject via exact", 0.05, false, 2, 3)
 	if d := cfg.AttrDist(0, "abcd", "abce"); !fd.FloatEq(d, 0.25) {
@@ -159,6 +175,35 @@ func TestDistCacheLowerBounds(t *testing.T) {
 	}
 	if cfg.Cache.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", cfg.Cache.Len())
+	}
+}
+
+func TestDistPlaneLowerBounds(t *testing.T) {
+	// Same sequence on the distance-plane path (both values interned).
+	// Plane bounds live in integer space — a rejection at band int(t*m)
+	// answers every later budget with the same band — so the "larger
+	// budget" step that recomputes on the map path is a plane hit: tau
+	// 0.08 still yields band int(0.16*4) = 0, covered by the stored bound.
+	rel, f := lowerBoundRel(t)
+	cfg := fd.DefaultDistConfig(rel) // planes attached by NewDistConfig
+	t1, t2 := rel.Tuples[0], rel.Tuples[1]
+	check := func(step string, tau float64, wantOK bool, wantHits, wantMisses uint64) {
+		t.Helper()
+		checkLowerBound(t, cfg, f, t1, t2, step, tau, wantOK, wantHits, wantMisses)
+	}
+	check("first rejection", 0.05, false, 0, 1)  // miss, bound L=0 stored
+	check("repeat rejection", 0.05, false, 1, 1) // answered by the bound
+	check("same-band budget", 0.08, false, 2, 1) // band still 0: bound answers
+	check("acceptance", 0.2, true, 2, 2)         // band 1: exact cell replaces bound
+	check("reject via exact", 0.05, false, 3, 2)
+	if d := cfg.AttrDist(0, "abcd", "abce"); !fd.FloatEq(d, 0.25) {
+		t.Fatalf("AttrDist = %v, want 0.25", d)
+	}
+	if h, m := cfg.Cache.Counters(); h != 4 || m != 2 {
+		t.Fatalf("final counters = %d/%d, want 4/2", h, m)
+	}
+	if cfg.Cache.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (one occupied plane cell)", cfg.Cache.Len())
 	}
 }
 

@@ -2,6 +2,7 @@ package fd
 
 import (
 	"fmt"
+	"unicode/utf8"
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/strsim"
@@ -31,6 +32,14 @@ type DistConfig struct {
 	// constructing a DistConfig literal opt in explicitly. The cache keys
 	// include the edit flavor, so mutating Edit on a live config is safe.
 	Cache *DistCache
+	// Dicts holds the per-column value dictionaries (nil for numeric
+	// columns) backing the cache's distance planes: pairs of interned
+	// values resolve to integer codes and their distances memoize in flat
+	// triangular arrays instead of the sharded maps. NewDistConfig builds
+	// them from the relation; a nil slice simply keeps every pair on the
+	// map path. Call AttachPlanes after replacing Cache or mutating Edit
+	// so the planes follow.
+	Dicts []*dataset.Dict
 }
 
 // EditFlavor selects the string edit-distance variant.
@@ -122,12 +131,28 @@ func NewDistConfig(rel *dataset.Relation, wl, wr float64) (*DistConfig, error) {
 		Spans:  make([]float64, rel.Schema.Len()),
 		Cache:  NewDistCache(),
 	}
+	cfg.Dicts = make([]*dataset.Dict, rel.Schema.Len())
 	for c := 0; c < rel.Schema.Len(); c++ {
 		if min, max, ok := rel.NumericRange(c); ok {
 			cfg.Spans[c] = max - min
 		}
+		if rel.Schema.Attr(c).Type != dataset.Numeric {
+			cfg.Dicts[c] = rel.ColumnDict(c)
+		}
 	}
+	cfg.AttachPlanes()
 	return cfg, nil
+}
+
+// AttachPlanes (re)attaches the cache's per-column distance planes for the
+// config's current edit flavor. Call it after swapping Cache (fresh caches
+// start plane-less) or mutating Edit; without dictionaries or a cache it is
+// a no-op and every pair stays on the sharded-map path.
+func (cfg *DistConfig) AttachPlanes() {
+	if cfg.Cache == nil || cfg.Dicts == nil {
+		return
+	}
+	cfg.Cache.AttachPlanes(cfg.Dicts, cfg.Edit)
 }
 
 // DefaultDistConfig is NewDistConfig with the paper's default weights.
@@ -149,9 +174,15 @@ func close1(x float64) bool {
 // that fail to parse fall back to string comparison, so dirty numeric cells
 // (a real-world occurrence) degrade gracefully rather than aborting.
 //
-// String comparisons consult Cache when set. Numeric comparisons bypass it:
-// parsing plus a subtraction is cheaper than a map lookup.
+// String comparisons consult Cache when set — the column's distance plane
+// when both values are interned, the sharded map otherwise. Numeric
+// comparisons bypass both: parsing plus a subtraction is cheaper than any
+// lookup.
 func (cfg *DistConfig) AttrDist(col int, a, b string) float64 {
+	return cfg.attrDist(col, a, b, nil)
+}
+
+func (cfg *DistConfig) attrDist(col int, a, b string, mt *strsim.Matcher) float64 {
 	if a == b {
 		return 0
 	}
@@ -163,14 +194,65 @@ func (cfg *DistConfig) AttrDist(col int, a, b string) float64 {
 		}
 	}
 	if cfg.Cache != nil {
+		if p := cfg.Cache.plane(col, cfg.Edit); p != nil {
+			if ca, okA := p.dict.Code(a); okA {
+				if cb, okB := p.dict.Code(b); okB {
+					return cfg.planeDist(p, ca, cb, a, b, mt)
+				}
+			}
+		}
 		if d, ok := cfg.Cache.getExact(col, cfg.Edit, a, b); ok {
 			return d
 		}
-		d := cfg.StringDist(a, b)
+		d := cfg.stringDist(a, b, mt)
 		cfg.Cache.putExact(col, cfg.Edit, a, b, d)
 		return d
 	}
-	return cfg.StringDist(a, b)
+	return cfg.stringDist(a, b, mt)
+}
+
+// planeDist answers an unbounded per-attribute query from the column's
+// distance plane. The normalized result is float64(k)/float64(m) — the
+// exact expression NormalizedEdit/NormalizedOSA evaluate — so a plane hit
+// is bitwise equal to recomputation.
+func (cfg *DistConfig) planeDist(p *distPlane, ca, cb int32, a, b string, mt *strsim.Matcher) float64 {
+	m := p.dict.RuneLen(ca)
+	if l := p.dict.RuneLen(cb); l > m {
+		m = l
+	}
+	if v := p.load(ca, cb); v&planeExactBit != 0 {
+		cfg.Cache.planeHits.Add(1)
+		return float64(v&^planeExactBit) / float64(m)
+	}
+	cfg.Cache.planeMisses.Add(1)
+	var k int
+	switch {
+	case mt != nil:
+		k = mt.Distance(b)
+	case cfg.Edit == EditOSA:
+		k = strsim.OSA(a, b)
+	default:
+		k = strsim.Levenshtein(a, b)
+	}
+	p.storeExact(ca, cb, k)
+	return float64(k) / float64(m)
+}
+
+// stringDist is StringDist with an optional prebuilt matcher for a
+// (Levenshtein flavor only; callers pass nil otherwise).
+func (cfg *DistConfig) stringDist(a, b string, mt *strsim.Matcher) float64 {
+	if mt == nil {
+		return cfg.StringDist(a, b)
+	}
+	la, lb := mt.Len(), runeLen(b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(mt.Distance(b)) / float64(m)
 }
 
 // Dist evaluates Eq. 2 for the FD: w_l * Σ_{A∈X} dist(A) + w_r * Σ_{A∈Y}
@@ -211,6 +293,12 @@ func (cfg *DistConfig) DatabaseCost(d, d2 *dataset.Relation) float64 {
 // the remaining budget. Returns ok=false as soon as the pair cannot be
 // within tau.
 func (cfg *DistConfig) DistWithin(f *FD, tau float64, t1, t2 dataset.Tuple) (float64, bool) {
+	return cfg.distWithin(f, tau, t1, t2, nil)
+}
+
+// distWithin is DistWithin with an optional PairMatcher carrying prebuilt
+// bitmask tables for t1's attribute values.
+func (cfg *DistConfig) distWithin(f *FD, tau float64, t1, t2 dataset.Tuple, pm *PairMatcher) (float64, bool) {
 	var sum float64
 	add := func(cols []int, w float64) bool {
 		for _, c := range cols {
@@ -226,7 +314,11 @@ func (cfg *DistConfig) DistWithin(f *FD, tau float64, t1, t2 dataset.Tuple) (flo
 				if budget > 1 {
 					budget = 1
 				}
-				nd, ok := cfg.stringDistWithinCached(c, a, b, budget)
+				var mt *strsim.Matcher
+				if pm != nil {
+					mt = pm.matcher(c, a)
+				}
+				nd, ok := cfg.stringDistWithinCached(c, a, b, budget, mt)
 				if !ok {
 					return false
 				}
@@ -257,12 +349,25 @@ func (cfg *DistConfig) DistWithin(f *FD, tau float64, t1, t2 dataset.Tuple) (flo
 // (both evaluate d/m in float64) and are stored exactly; rejections are
 // stored as lower bounds at the rejecting budget. Either way, cached and
 // uncached runs agree exactly.
-func (cfg *DistConfig) stringDistWithinCached(col int, a, b string, t float64) (float64, bool) {
+//
+// When both values are interned in an attached distance plane the query is
+// answered there instead: exact cells reject or accept in integer space and
+// reconstruct the same d/m float, bound cells reject any budget whose
+// integer band int(t*m) the stored bound covers. mt optionally carries a's
+// prebuilt matcher (Levenshtein flavor only) for the compute path.
+func (cfg *DistConfig) stringDistWithinCached(col int, a, b string, t float64, mt *strsim.Matcher) (float64, bool) {
 	if cfg.Edit != EditJaccard && strsim.MinDistByLength(a, b) > t {
 		return 0, false
 	}
 	if cfg.Cache == nil {
-		return cfg.StringDistWithin(a, b, t)
+		return cfg.stringDistWithin(a, b, t, mt)
+	}
+	if p := cfg.Cache.plane(col, cfg.Edit); p != nil {
+		if ca, okA := p.dict.Code(a); okA {
+			if cb, okB := p.dict.Code(b); okB {
+				return cfg.planeDistWithin(p, ca, cb, a, b, t, mt)
+			}
+		}
 	}
 	v, s, ok := cfg.Cache.lookup(col, cfg.Edit, a, b)
 	if ok && (v.exact || t <= v.d) {
@@ -273,7 +378,7 @@ func (cfg *DistConfig) stringDistWithinCached(col int, a, b string, t float64) (
 		return v.d, true
 	}
 	s.misses.Add(1)
-	d, ok := cfg.StringDistWithin(a, b, t)
+	d, ok := cfg.stringDistWithin(a, b, t, mt)
 	if ok {
 		cfg.Cache.putExact(col, cfg.Edit, a, b, d)
 	} else {
@@ -281,6 +386,91 @@ func (cfg *DistConfig) stringDistWithinCached(col int, a, b string, t float64) (
 	}
 	return d, ok
 }
+
+// planeDistWithin answers a bounded query from the column's distance plane
+// with NormalizedEditWithin's exact semantics: the absolute band is
+// int(t*m), acceptance reconstructs float64(k)/float64(m), and the final
+// nd > t guard is preserved. A stored lower bound L rejects any query whose
+// band does not exceed it — the distance provably exceeds L >= int(t*m).
+func (cfg *DistConfig) planeDistWithin(p *distPlane, ca, cb int32, a, b string, t float64, mt *strsim.Matcher) (float64, bool) {
+	if t < 0 {
+		return 0, false
+	}
+	m := p.dict.RuneLen(ca)
+	if l := p.dict.RuneLen(cb); l > m {
+		m = l
+	}
+	// a != b and both interned, so m >= 1.
+	maxDist := int(t * float64(m))
+	v := p.load(ca, cb)
+	if v&planeExactBit != 0 {
+		cfg.Cache.planeHits.Add(1)
+		nd := float64(v&^planeExactBit) / float64(m)
+		if nd > t {
+			return 0, false
+		}
+		return nd, true
+	}
+	if v != 0 && maxDist <= int(v)-1 {
+		cfg.Cache.planeHits.Add(1)
+		return 0, false
+	}
+	cfg.Cache.planeMisses.Add(1)
+	var k int
+	var ok bool
+	switch {
+	case mt != nil:
+		k, ok = mt.DistanceBounded(b, maxDist)
+	case cfg.Edit == EditOSA:
+		k, ok = strsim.OSABounded(a, b, maxDist)
+	default:
+		k, ok = strsim.LevenshteinBounded(a, b, maxDist)
+	}
+	if !ok {
+		p.storeBound(ca, cb, maxDist)
+		return 0, false
+	}
+	p.storeExact(ca, cb, k)
+	nd := float64(k) / float64(m)
+	if nd > t {
+		return 0, false
+	}
+	return nd, true
+}
+
+// stringDistWithin is StringDistWithin with an optional prebuilt matcher
+// for a (Levenshtein flavor only; callers pass nil otherwise). The matcher
+// path mirrors NormalizedEditWithin term for term.
+func (cfg *DistConfig) stringDistWithin(a, b string, t float64, mt *strsim.Matcher) (float64, bool) {
+	if mt == nil {
+		return cfg.StringDistWithin(a, b, t)
+	}
+	if t < 0 {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	m := mt.Len()
+	if lb := runeLen(b); lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0, true
+	}
+	d, ok := mt.DistanceBounded(b, int(t*float64(m)))
+	if !ok {
+		return 0, false
+	}
+	nd := float64(d) / float64(m)
+	if nd > t {
+		return 0, false
+	}
+	return nd, true
+}
+
+// runeLen is utf8.RuneCountInString.
+func runeLen(s string) int { return utf8.RuneCountInString(s) }
 
 // FTViolates reports the fault-tolerant violation of the FD at threshold
 // tau: the projections differ and their distance is at most tau.

@@ -1,0 +1,178 @@
+package fd
+
+import (
+	"sync"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/strsim"
+)
+
+// PairMatcher evaluates the Eq-2 distance of one fixed tuple against a
+// stream of candidate tuples. The hot detection loops — all-pairs ranging,
+// per-bucket indexed verification, incremental candidate probing — hold one
+// tuple fixed across hundreds of comparisons, so the fixed side's
+// bit-parallel equivalence tables (strsim.Matcher) are built once per
+// column and reused for every candidate that misses the distance plane and
+// cache. Results are identical to DistConfig.DistWithin; only the kernel
+// preprocessing is amortized.
+//
+// Matchers apply to the Levenshtein flavor only (the bit-parallel kernels
+// implement unrestricted edit distance); other flavors run exactly as
+// before. A PairMatcher is not safe for concurrent use: each worker
+// acquires its own and releases it when the stream ends.
+type PairMatcher struct {
+	cfg *DistConfig
+	f   *FD
+	t1  dataset.Tuple
+	use bool              // Levenshtein flavor: matchers apply
+	mts []*strsim.Matcher // per column, bound lazily on first miss
+}
+
+var pairMatcherPool = sync.Pool{New: func() any { return new(PairMatcher) }}
+
+// AcquirePairMatcher returns a pooled PairMatcher holding t1 fixed for the
+// FD's attributes. Release it when the candidate stream is exhausted.
+func (cfg *DistConfig) AcquirePairMatcher(f *FD, t1 dataset.Tuple) *PairMatcher {
+	pm := pairMatcherPool.Get().(*PairMatcher)
+	pm.cfg = cfg
+	pm.f = f
+	pm.t1 = t1
+	pm.use = cfg.Edit == EditLevenshtein
+	if n := cfg.Schema.Len(); cap(pm.mts) < n {
+		pm.mts = make([]*strsim.Matcher, n)
+	} else {
+		pm.mts = pm.mts[:n]
+	}
+	return pm
+}
+
+// Release returns the PairMatcher and its column matchers to their pools.
+func (pm *PairMatcher) Release() {
+	for i, mt := range pm.mts {
+		if mt != nil {
+			mt.Release()
+			pm.mts[i] = nil
+		}
+	}
+	pm.cfg = nil
+	pm.f = nil
+	pm.t1 = nil
+	pairMatcherPool.Put(pm)
+}
+
+// matcher returns the column's matcher bound to a (== t1[col]), building it
+// on first use; nil when matchers do not apply to the configured flavor.
+func (pm *PairMatcher) matcher(col int, a string) *strsim.Matcher {
+	if !pm.use {
+		return nil
+	}
+	mt := pm.mts[col]
+	if mt == nil {
+		mt = strsim.AcquireMatcher(a)
+		pm.mts[col] = mt
+	}
+	return mt
+}
+
+// DistWithin is DistConfig.DistWithin(f, tau, t1, t2) with the fixed side's
+// prebuilt tables.
+func (pm *PairMatcher) DistWithin(tau float64, t2 dataset.Tuple) (float64, bool) {
+	return pm.cfg.distWithin(pm.f, tau, pm.t1, t2, pm)
+}
+
+// Dist is DistConfig.Dist(f, t1, t2) with the fixed side's prebuilt tables.
+func (pm *PairMatcher) Dist(t2 dataset.Tuple) float64 {
+	var dl, dr float64
+	for _, c := range pm.f.LHS {
+		dl += pm.attrDist(c, t2)
+	}
+	for _, c := range pm.f.RHS {
+		dr += pm.attrDist(c, t2)
+	}
+	return pm.cfg.WL*dl + pm.cfg.WR*dr
+}
+
+// RepairDist is DistConfig.RepairDist(col, t1[col], t2[col]) with the fixed
+// side's prebuilt tables.
+func (pm *PairMatcher) RepairDist(col int, t2 dataset.Tuple) float64 {
+	d := pm.attrDist(col, t2)
+	if pm.cfg.Conf != nil {
+		d *= pm.cfg.Conf[col]
+	}
+	return d
+}
+
+func (pm *PairMatcher) attrDist(col int, t2 dataset.Tuple) float64 {
+	a, b := pm.t1[col], t2[col]
+	if a == b {
+		return 0
+	}
+	var mt *strsim.Matcher
+	if pm.cfg.Schema.Attr(col).Type != dataset.Numeric {
+		mt = pm.matcher(col, a)
+	}
+	return pm.cfg.attrDist(col, a, b, mt)
+}
+
+// RepairScorer evaluates per-attribute repair costs of one fixed tuple
+// against streamed repair candidates — the target-tree nearest scans, which
+// call a distance function column by column with the repaired tuple's value
+// always on the left. Wrapping RepairDist, it reuses the fixed side's
+// bit-parallel tables on cache misses and falls back to the plain path
+// whenever the left value is not the fixed tuple's (interior tree nodes
+// probe representative values too). Results are identical to RepairDist.
+//
+// Not safe for concurrent use; acquire one per scan and release it after.
+type RepairScorer struct {
+	cfg *DistConfig
+	t   dataset.Tuple
+	use bool
+	mts []*strsim.Matcher
+}
+
+var repairScorerPool = sync.Pool{New: func() any { return new(RepairScorer) }}
+
+// AcquireRepairScorer returns a pooled scorer holding t fixed on the left.
+func (cfg *DistConfig) AcquireRepairScorer(t dataset.Tuple) *RepairScorer {
+	rs := repairScorerPool.Get().(*RepairScorer)
+	rs.cfg = cfg
+	rs.t = t
+	rs.use = cfg.Edit == EditLevenshtein
+	if n := cfg.Schema.Len(); cap(rs.mts) < n {
+		rs.mts = make([]*strsim.Matcher, n)
+	} else {
+		rs.mts = rs.mts[:n]
+	}
+	return rs
+}
+
+// Release returns the scorer and its column matchers to their pools.
+func (rs *RepairScorer) Release() {
+	for i, mt := range rs.mts {
+		if mt != nil {
+			mt.Release()
+			rs.mts[i] = nil
+		}
+	}
+	rs.cfg = nil
+	rs.t = nil
+	repairScorerPool.Put(rs)
+}
+
+// RepairDist is DistConfig.RepairDist with the fixed tuple's prebuilt
+// tables; it has the tree scans' DistFunc shape.
+func (rs *RepairScorer) RepairDist(col int, a, b string) float64 {
+	var mt *strsim.Matcher
+	if rs.use && a != b && a == rs.t[col] && rs.cfg.Schema.Attr(col).Type != dataset.Numeric {
+		mt = rs.mts[col]
+		if mt == nil {
+			mt = strsim.AcquireMatcher(a)
+			rs.mts[col] = mt
+		}
+	}
+	d := rs.cfg.attrDist(col, a, b, mt)
+	if rs.cfg.Conf != nil {
+		d *= rs.cfg.Conf[col]
+	}
+	return d
+}

@@ -211,6 +211,7 @@ func NewEngine(base *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Opt
 		// the engine its own rather than mutating the caller's config.
 		cc := *cfg
 		cc.Cache = fd.NewDistCache()
+		cc.AttachPlanes()
 		cfg = &cc
 	}
 	e := &Engine{
@@ -316,13 +317,15 @@ func (pf *perFD) chooseProbe(schema *dataset.Schema, cfg *fd.DistConfig) {
 // just-appended pattern index, excluded from the scan.
 func (pf *perFD) candidates(cfg *fd.DistConfig, t dataset.Tuple, self int) []int {
 	var out []int
+	pm := cfg.AcquirePairMatcher(pf.phi, t)
+	defer pm.Release()
 	if pf.ix != nil {
 		for _, m := range pf.ix.SearchNormalized(t[pf.probe], pf.attrTau) {
 			for _, qi := range pf.byVal[m.ID] {
 				if qi == self {
 					continue
 				}
-				if _, within := cfg.DistWithin(pf.phi, pf.tau, t, pf.pats[qi].rep); within {
+				if _, within := pm.DistWithin(pf.tau, pf.pats[qi].rep); within {
 					out = append(out, qi)
 				}
 			}
@@ -333,7 +336,7 @@ func (pf *perFD) candidates(cfg *fd.DistConfig, t dataset.Tuple, self int) []int
 		if qi == self {
 			continue
 		}
-		if _, within := cfg.DistWithin(pf.phi, pf.tau, t, pf.pats[qi].rep); within {
+		if _, within := pm.DistWithin(pf.tau, pf.pats[qi].rep); within {
 			out = append(out, qi)
 		}
 	}

@@ -130,12 +130,14 @@ func (c *incComponent) accept(set *fd.Set, cfg *fd.DistConfig, t dataset.Tuple) 
 		if c.keys[f][k] {
 			continue // exact existing pattern: consistent by construction
 		}
+		pm := cfg.AcquirePairMatcher(phi, t)
 		for _, p := range c.patterns[f] {
-			if _, within := cfg.DistWithin(phi, set.Tau[i], t, p); within {
+			if _, within := pm.DistWithin(set.Tau[i], p); within {
 				violates = true
 				break
 			}
 		}
+		pm.Release()
 		if violates {
 			break
 		}
@@ -175,7 +177,9 @@ func (c *incComponent) nearestTarget(set *fd.Set, cfg *fd.DistConfig, t dataset.
 		c.tree = tree
 		c.treeDirty = false
 	}
-	tg, _, _ := c.tree.Nearest(t, cfg.RepairDist, nil)
+	rs := cfg.AcquireRepairScorer(t)
+	tg, _, _ := c.tree.Nearest(t, rs.RepairDist, nil)
+	rs.Release()
 	return tg, nil
 }
 
@@ -194,16 +198,18 @@ func (c *incComponent) nearestSingle(set *fd.Set, cfg *fd.DistConfig, t dataset.
 		c.treeDirty = false
 	}
 	attrs := set.FDs[c.fdIdx[0]].Attrs()
+	rs := cfg.AcquireRepairScorer(t)
+	defer rs.Release()
 	var best targettree.Target
 	bestDist := -1.0
 	if c.treeBuilt > 0 {
-		tg, d, _ := c.tree.Nearest(t, cfg.RepairDist, nil)
+		tg, d, _ := c.tree.Nearest(t, rs.RepairDist, nil)
 		best, bestDist = tg, d
 	}
 	for _, p := range c.patterns[0][c.treeBuilt:] {
 		var d float64
 		for _, col := range attrs {
-			d += cfg.RepairDist(col, t[col], p[col])
+			d += rs.RepairDist(col, t[col], p[col])
 		}
 		if bestDist < 0 || d < bestDist {
 			best = targettree.Target{Cols: attrs, Vals: p.Project(attrs)}

@@ -281,13 +281,17 @@ func (p *planner) costsParallel(tree *targettree.Tree, targets []*targettree.Tar
 }
 
 // nearest runs one group's target search through the configured strategy.
+// The group's representative is held fixed in a RepairScorer so its
+// bit-parallel tables are shared across every candidate the search visits.
 func (p *planner) nearest(tree *targettree.Tree, rep dataset.Tuple) groupResult {
 	var r groupResult
+	rs := p.cfg.AcquireRepairScorer(rep)
 	if p.disableTree {
-		r.tg, r.cost, r.visited = tree.NearestScan(rep, p.cfg.RepairDist, p.cancel)
+		r.tg, r.cost, r.visited = tree.NearestScan(rep, rs.RepairDist, p.cancel)
 	} else {
-		r.tg, r.cost, r.visited = tree.Nearest(rep, p.cfg.RepairDist, p.cancel)
+		r.tg, r.cost, r.visited = tree.Nearest(rep, rs.RepairDist, p.cancel)
 	}
+	rs.Release()
 	return r
 }
 

@@ -11,10 +11,50 @@ package strsim
 import "unicode/utf8"
 
 // Levenshtein returns the unrestricted edit distance (insert, delete,
-// substitute; unit costs) between a and b, computed over runes. ASCII
-// inputs — the bulk of relational data — take an allocation-light byte
-// path.
+// substitute; unit costs) between a and b, computed over runes. It runs on
+// the bit-parallel Myers kernels (see myers.go): single 64-bit word when the
+// shorter string fits one, multi-word blocks beyond. ASCII inputs — the bulk
+// of relational data — avoid rune decoding entirely. LevenshteinDP is the
+// retained dynamic program the kernels are fuzzed against.
 func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if isASCII(a) && isASCII(b) {
+		if len(a) > len(b) {
+			a, b = b, a
+		}
+		switch {
+		case len(a) == 0:
+			return len(b)
+		case len(a) <= 64:
+			d, _ := myersASCII(a, b, len(a)+len(b))
+			return d
+		default:
+			d, _ := myersBlockedASCII(a, b, len(a)+len(b))
+			return d
+		}
+	}
+	ra, rb := runes(a), runes(b)
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	switch {
+	case len(ra) == 0:
+		return len(rb)
+	case len(ra) <= 64:
+		d, _ := myersRunes(ra, rb, len(ra)+len(rb))
+		return d
+	default:
+		d, _ := myersBlockedRunes(ra, rb, len(ra)+len(rb))
+		return d
+	}
+}
+
+// LevenshteinDP is the classic dynamic program, retained as the equivalence
+// oracle for the bit-parallel kernels (fuzz_test.go) and as the baseline
+// the distance microbenchmarks compare against.
+func LevenshteinDP(a, b string) int {
 	if a == b {
 		return 0
 	}
@@ -103,9 +143,55 @@ func isASCII(s string) bool {
 
 // LevenshteinBounded computes the edit distance with early exit: it returns
 // (d, true) when the distance d <= maxDist, and (0, false) when the distance
-// exceeds maxDist. It uses a banded DP of width 2*maxDist+1, so the cost is
-// O(maxDist * max(|a|,|b|)).
+// exceeds maxDist. It runs on the bit-parallel kernels with a length-gap
+// prefilter and the score-based cutoff (the final score can drop by at most
+// one per remaining text character, so score - remaining > maxDist proves
+// rejection mid-stream). LevenshteinBoundedDP is the retained banded dynamic
+// program the kernels are fuzzed against, ok-flags included.
 func LevenshteinBounded(a, b string, maxDist int) (int, bool) {
+	if maxDist < 0 {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	if isASCII(a) && isASCII(b) {
+		if len(a) > len(b) {
+			a, b = b, a
+		}
+		if len(b)-len(a) > maxDist {
+			return 0, false
+		}
+		switch {
+		case len(a) == 0:
+			return len(b), true // length gap checked above
+		case len(a) <= 64:
+			return myersASCII(a, b, maxDist)
+		default:
+			return myersBlockedASCII(a, b, maxDist)
+		}
+	}
+	ra, rb := runes(a), runes(b)
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb)-len(ra) > maxDist {
+		return 0, false
+	}
+	switch {
+	case len(ra) == 0:
+		return len(rb), true
+	case len(ra) <= 64:
+		return myersRunes(ra, rb, maxDist)
+	default:
+		return myersBlockedRunes(ra, rb, maxDist)
+	}
+}
+
+// LevenshteinBoundedDP is the banded dynamic program behind the original
+// LevenshteinBounded, retained as the kernel equivalence oracle and
+// benchmark baseline. Same contract: (d, true) iff d <= maxDist.
+func LevenshteinBoundedDP(a, b string, maxDist int) (int, bool) {
 	if maxDist < 0 {
 		return 0, false
 	}

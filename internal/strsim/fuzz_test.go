@@ -2,27 +2,78 @@ package strsim
 
 import "testing"
 
-// FuzzLevenshteinBounded cross-checks the banded computation against the
-// full one on arbitrary inputs. Run `go test -fuzz=FuzzLevenshteinBounded`
-// to explore; the seed corpus runs in every normal test invocation.
+// FuzzLevenshteinKernel holds the bit-parallel kernels (single-word and
+// blocked, ASCII and rune paths) to exact parity with the retained dynamic
+// program. Run `go test -fuzz=FuzzLevenshteinKernel` to explore; the seed
+// corpus runs in every normal test invocation.
+func FuzzLevenshteinKernel(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "")
+	f.Add("abc", "")
+	f.Add("héllo", "hello")
+	f.Add("日本語のテキスト", "日本语のテキスト")
+	f.Add("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaabcde", "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaedcba")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 256 || len(b) > 256 {
+			t.Skip()
+		}
+		if got, want := Levenshtein(a, b), LevenshteinDP(a, b); got != want {
+			t.Fatalf("Levenshtein(%q,%q) = %d, DP oracle = %d", a, b, got, want)
+		}
+	})
+}
+
+// FuzzLevenshteinBounded cross-checks the bounded kernel against the banded
+// DP oracle on arbitrary inputs: distance AND ok-flag must agree exactly,
+// including the early-exit rejections.
 func FuzzLevenshteinBounded(f *testing.F) {
 	f.Add("kitten", "sitting", 3)
 	f.Add("", "", 0)
 	f.Add("abc", "", 5)
 	f.Add("héllo", "hello", 1)
 	f.Add("aaaaaaaaaa", "bbbbbbbbbb", 2)
+	f.Add("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaabcde", "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaedcba", 4)
 	f.Fuzz(func(t *testing.T, a, b string, k int) {
-		if len(a) > 64 || len(b) > 64 || k > 64 {
+		if len(a) > 256 || len(b) > 256 || k > 256 {
 			t.Skip()
 		}
-		full := Levenshtein(a, b)
 		d, ok := LevenshteinBounded(a, b, k)
+		dDP, okDP := LevenshteinBoundedDP(a, b, k)
+		if ok != okDP || d != dDP {
+			t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d,%v; DP oracle = %d,%v", a, b, k, d, ok, dDP, okDP)
+		}
+		full := LevenshteinDP(a, b)
 		if k >= 0 && full <= k {
 			if !ok || d != full {
 				t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d,%v; full = %d", a, b, k, d, ok, full)
 			}
 		} else if ok {
 			t.Fatalf("LevenshteinBounded(%q,%q,%d) accepted; full = %d", a, b, k, full)
+		}
+	})
+}
+
+// FuzzMatcher holds the one-vs-many Matcher — which keeps the pattern's
+// equivalence table across calls — to the same oracle parity as the one-shot
+// kernels, bounded and unbounded, over ASCII and multi-rune inputs.
+func FuzzMatcher(f *testing.F) {
+	f.Add("boston", "bostn", 1)
+	f.Add("", "x", 0)
+	f.Add("héllo", "h好llo", 2)
+	f.Add("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaabcde", "zzz", 100)
+	f.Fuzz(func(t *testing.T, pat, text string, k int) {
+		if len(pat) > 256 || len(text) > 256 || k > 256 {
+			t.Skip()
+		}
+		mt := AcquireMatcher(pat)
+		defer mt.Release()
+		if got, want := mt.Distance(text), LevenshteinDP(pat, text); got != want {
+			t.Fatalf("Matcher(%q).Distance(%q) = %d, DP oracle = %d", pat, text, got, want)
+		}
+		d, ok := mt.DistanceBounded(text, k)
+		dDP, okDP := LevenshteinBoundedDP(pat, text, k)
+		if ok != okDP || d != dDP {
+			t.Fatalf("Matcher(%q).DistanceBounded(%q,%d) = %d,%v; DP oracle = %d,%v", pat, text, k, d, ok, dDP, okDP)
 		}
 	})
 }

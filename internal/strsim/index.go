@@ -85,14 +85,18 @@ func (ix *Index) Search(s string, maxDist int) []Match {
 
 	// Candidate generation. Short strings (and short queries) bypass the
 	// count filter: every short string is a candidate, and for a short
-	// query every string passing the length filter is a candidate.
+	// query every string passing the length filter is a candidate. The
+	// query's equivalence table is built once (pooled Matcher) and streamed
+	// over every surviving candidate.
 	counts := make(map[int32]int)
 	var out []Match
+	mt := AcquireMatcher(s)
+	defer mt.Release()
 	verify := func(id int32) {
 		if abs(ix.lens[id]-ls) > maxDist {
 			return
 		}
-		if d, ok := LevenshteinBounded(s, ix.strs[id], maxDist); ok {
+		if d, ok := mt.DistanceBounded(ix.strs[id], maxDist); ok {
 			out = append(out, Match{ID: int(id), Dist: d})
 		}
 	}
@@ -143,12 +147,16 @@ func (ix *Index) Search(s string, maxDist int) []Match {
 	return out
 }
 
-// SearchNormalized returns ids whose normalized edit distance to s is at
-// most t, with the normalized distances.
-func (ix *Index) SearchNormalized(s string, t float64) []struct {
+// NormMatch pairs a candidate id with its verified normalized edit
+// distance.
+type NormMatch struct {
 	ID   int
 	Dist float64
-} {
+}
+
+// SearchNormalized returns ids whose normalized edit distance to s is at
+// most t, with the normalized distances.
+func (ix *Index) SearchNormalized(s string, t float64) []NormMatch {
 	ls := utf8.RuneCountInString(s)
 	// The absolute bound depends on the candidate's length; use the loosest
 	// bound t*(ls+k) solved for k: k <= t*ls/(1-t) + ... simpler: distances
@@ -163,10 +171,7 @@ func (ix *Index) SearchNormalized(s string, t float64) []struct {
 		maxDist = int(t * float64(ls) / (1 - t))
 	}
 	raw := ix.Search(s, maxDist)
-	var out []struct {
-		ID   int
-		Dist float64
-	}
+	var out []NormMatch
 	for _, m := range raw {
 		lc := ix.lens[m.ID]
 		mx := ls
@@ -178,10 +183,7 @@ func (ix *Index) SearchNormalized(s string, t float64) []struct {
 			nd = float64(m.Dist) / float64(mx)
 		}
 		if nd <= t {
-			out = append(out, struct {
-				ID   int
-				Dist float64
-			}{m.ID, nd})
+			out = append(out, NormMatch{ID: m.ID, Dist: nd})
 		}
 	}
 	return out

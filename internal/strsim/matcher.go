@@ -1,0 +1,235 @@
+package strsim
+
+import (
+	"sync"
+	"unicode/utf8"
+)
+
+// Matcher computes edit distances from one fixed pattern to many candidate
+// texts. It builds the pattern's character-equivalence bitmask table once at
+// Reset and reuses it for every Distance/DistanceBounded call, amortizing
+// the per-comparison preprocessing the one-shot kernels pay each time. The
+// hot consumers — Index.Search verification, vgraph candidate verification,
+// target-tree nearest scans — all stream many candidates against one query
+// value, which is exactly this shape.
+//
+// A Matcher is not safe for concurrent use; each worker acquires its own
+// (AcquireMatcher/Release pool the tables across uses, and Reset clears only
+// the entries the previous pattern touched).
+type Matcher struct {
+	pat string
+	m   int // pattern length in runes
+	w   int // 64-bit words covering the pattern
+
+	// Single-word ASCII pattern: dense table plus the list of characters it
+	// touches, so Reset is O(distinct chars), not O(128).
+	peqA    [128]uint64
+	touched []byte
+
+	// Single-word non-ASCII pattern: sparse table over the pattern's runes.
+	// xword says the sparse table is the live one (the map itself survives
+	// Reset for reuse, so nilness cannot be the discriminator).
+	peqX  map[rune]uint64
+	xword bool
+
+	// Blocked pattern (> 64 runes): per-rune multi-word equivalence rows and
+	// the reusable column scratch.
+	peqW   map[rune][]uint64
+	pv, mv []uint64
+}
+
+// NewMatcher builds a Matcher for the pattern. Callers comparing one value
+// against a stream of candidates should prefer AcquireMatcher, which pools
+// the tables.
+func NewMatcher(pattern string) *Matcher {
+	mt := &Matcher{}
+	mt.Reset(pattern)
+	return mt
+}
+
+var matcherPool = sync.Pool{New: func() any { return new(Matcher) }}
+
+// AcquireMatcher returns a pooled Matcher reset to the pattern. Release it
+// when the candidate stream is exhausted.
+func AcquireMatcher(pattern string) *Matcher {
+	mt := matcherPool.Get().(*Matcher)
+	mt.Reset(pattern)
+	return mt
+}
+
+// Release returns the Matcher to the pool.
+func (mt *Matcher) Release() { matcherPool.Put(mt) }
+
+// Pattern reports the pattern the Matcher is bound to.
+func (mt *Matcher) Pattern() string { return mt.pat }
+
+// Len reports the pattern length in runes.
+func (mt *Matcher) Len() int { return mt.m }
+
+// Reset rebinds the Matcher to a new pattern, clearing only the previous
+// pattern's table entries.
+func (mt *Matcher) Reset(pattern string) {
+	for _, c := range mt.touched {
+		mt.peqA[c] = 0
+	}
+	mt.touched = mt.touched[:0]
+	if len(mt.peqX) > 0 {
+		clear(mt.peqX)
+	}
+	if len(mt.peqW) > 0 {
+		clear(mt.peqW)
+	}
+
+	mt.pat = pattern
+	mt.xword = false
+	if isASCII(pattern) {
+		mt.m = len(pattern)
+		mt.w = (mt.m + 63) >> 6
+		if mt.m <= 64 {
+			for i := 0; i < len(pattern); i++ {
+				c := pattern[i] & 0x7f
+				if mt.peqA[c] == 0 {
+					mt.touched = append(mt.touched, c)
+				}
+				mt.peqA[c] |= 1 << uint(i)
+			}
+			return
+		}
+		mt.resetBlocked([]rune(pattern))
+		return
+	}
+	pr := []rune(pattern)
+	mt.m = len(pr)
+	mt.w = (mt.m + 63) >> 6
+	if mt.m <= 64 {
+		mt.xword = true
+		if mt.peqX == nil {
+			mt.peqX = make(map[rune]uint64, mt.m)
+		}
+		for i, r := range pr {
+			mt.peqX[r] |= 1 << uint(i)
+		}
+		return
+	}
+	mt.resetBlocked(pr)
+}
+
+func (mt *Matcher) resetBlocked(pr []rune) {
+	if mt.peqW == nil {
+		mt.peqW = make(map[rune][]uint64, len(pr))
+	}
+	for i, r := range pr {
+		row := mt.peqW[r]
+		if len(row) < mt.w {
+			row = make([]uint64, mt.w)
+			mt.peqW[r] = row
+		}
+		row[i>>6] |= 1 << uint(i&63)
+	}
+	if cap(mt.pv) < mt.w {
+		mt.pv = make([]uint64, mt.w)
+		mt.mv = make([]uint64, mt.w)
+	}
+}
+
+// Distance is the unrestricted edit distance between the pattern and text,
+// equal to Levenshtein(pattern, text).
+func (mt *Matcher) Distance(text string) int {
+	d, _ := mt.DistanceBounded(text, mt.m+len(text))
+	return d
+}
+
+// DistanceBounded is the bounded distance with the LevenshteinBounded
+// contract: (d, true) when the distance d <= maxDist, (0, false) otherwise.
+func (mt *Matcher) DistanceBounded(text string, maxDist int) (int, bool) {
+	if maxDist < 0 {
+		return 0, false
+	}
+	if text == mt.pat {
+		return 0, true
+	}
+	ascii := isASCII(text)
+	n := len(text)
+	if !ascii {
+		n = utf8.RuneCountInString(text)
+	}
+	if abs(mt.m-n) > maxDist {
+		return 0, false
+	}
+	if mt.m == 0 {
+		return n, true // length filter above guarantees n <= maxDist
+	}
+	if n == 0 {
+		return mt.m, true
+	}
+	if mt.m <= 64 {
+		if !mt.xword && ascii {
+			return myersRunASCII(&mt.peqA, mt.m, text, maxDist)
+		}
+		return mt.distWord(text, n, maxDist)
+	}
+	return mt.distBlocked(text, n, maxDist)
+}
+
+// distWord is the single-word kernel over a rune-iterated text, covering
+// non-ASCII patterns (sparse table) and non-ASCII texts against ASCII
+// patterns (dense table; runes outside it match nothing).
+func (mt *Matcher) distWord(text string, n, maxDist int) (int, bool) {
+	pv := ^uint64(0)
+	var mv uint64
+	score := mt.m
+	hbit := uint64(1) << uint(mt.m-1)
+	j := 0
+	for _, r := range text {
+		var eq uint64
+		if mt.xword {
+			eq = mt.peqX[r]
+		} else if r < 128 {
+			eq = mt.peqA[r]
+		}
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&hbit != 0 {
+			score++
+		} else if mh&hbit != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		pv = mh<<1 | ^(xv | ph)
+		mv = ph & xv
+		if score-(n-1-j) > maxDist {
+			return 0, false
+		}
+		j++
+	}
+	if score > maxDist {
+		return 0, false
+	}
+	return score, true
+}
+
+// distBlocked is the multi-word kernel for patterns longer than 64 runes.
+func (mt *Matcher) distBlocked(text string, n, maxDist int) (int, bool) {
+	pv := mt.pv[:mt.w]
+	mv := mt.mv[:mt.w]
+	for b := range pv {
+		pv[b] = ^uint64(0)
+		mv[b] = 0
+	}
+	score := mt.m
+	hbit := uint64(1) << uint((mt.m-1)&63)
+	j := 0
+	for _, r := range text {
+		score += advanceBlocks(mt.peqW[r], pv, mv, hbit)
+		if score-(n-1-j) > maxDist {
+			return 0, false
+		}
+		j++
+	}
+	if score > maxDist {
+		return 0, false
+	}
+	return score, true
+}

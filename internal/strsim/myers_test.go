@@ -1,0 +1,134 @@
+package strsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randWord draws a word from the alphabet; small alphabets force dense
+// match masks (many equal characters), large ones sparse masks.
+func randWord(rng *rand.Rand, alphabet []rune, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteRune(alphabet[rng.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+// mutate applies up to k random edits (insert/delete/substitute) to s.
+func mutate(rng *rand.Rand, alphabet []rune, s string, k int) string {
+	r := []rune(s)
+	for i := 0; i < k; i++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(r) > 0: // delete
+			p := rng.Intn(len(r))
+			r = append(r[:p], r[p+1:]...)
+		case op == 1: // insert
+			p := rng.Intn(len(r) + 1)
+			r = append(r[:p], append([]rune{alphabet[rng.Intn(len(alphabet))]}, r[p:]...)...)
+		default: // substitute
+			if len(r) > 0 {
+				r[rng.Intn(len(r))] = alphabet[rng.Intn(len(alphabet))]
+			}
+		}
+	}
+	return string(r)
+}
+
+// TestMyersMatchesDP sweeps the kernel dispatch across every code path —
+// single-word and blocked, ASCII and multi-rune, dense and sparse alphabets,
+// lengths straddling the 64-rune word boundary — and checks exact distance
+// and ok-flag parity with the retained DP oracles. The seed is fixed, so the
+// sweep is deterministic.
+func TestMyersMatchesDP(t *testing.T) {
+	alphabets := [][]rune{
+		[]rune("ab"),
+		[]rune("abcdefghijklmnop"),
+		[]rune("日本語テキストデータ好"),
+		[]rune("aé日z"),
+	}
+	lengths := []int{0, 1, 2, 3, 7, 8, 15, 16, 31, 63, 64, 65, 100, 127, 128, 130, 200}
+	rng := rand.New(rand.NewSource(42))
+	for _, alphabet := range alphabets {
+		for _, la := range lengths {
+			for trial := 0; trial < 4; trial++ {
+				a := randWord(rng, alphabet, la)
+				var b string
+				if trial%2 == 0 {
+					b = mutate(rng, alphabet, a, rng.Intn(6)) // near pair
+				} else {
+					b = randWord(rng, alphabet, rng.Intn(la+8)) // far pair
+				}
+				want := LevenshteinDP(a, b)
+				if got := Levenshtein(a, b); got != want {
+					t.Fatalf("Levenshtein(%q,%q) = %d, DP = %d", a, b, got, want)
+				}
+				for _, k := range []int{0, 1, 2, want - 1, want, want + 1, la} {
+					d, ok := LevenshteinBounded(a, b, k)
+					dDP, okDP := LevenshteinBoundedDP(a, b, k)
+					if ok != okDP || d != dDP {
+						t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d,%v; DP = %d,%v", a, b, k, d, ok, dDP, okDP)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatcherMatchesDP streams many candidates through one Matcher —
+// including Reset reuse and pool round-trips — and checks parity with the
+// DP oracle for every (pattern, candidate, bound) triple.
+func TestMatcherMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabets := [][]rune{[]rune("abcde"), []rune("héllo日本語xyz")}
+	for _, alphabet := range alphabets {
+		for _, pl := range []int{0, 1, 5, 16, 64, 65, 130} {
+			pat := randWord(rng, alphabet, pl)
+			mt := AcquireMatcher(pat)
+			for i := 0; i < 24; i++ {
+				var text string
+				if i%3 == 0 {
+					text = mutate(rng, alphabet, pat, rng.Intn(5))
+				} else {
+					text = randWord(rng, alphabet, rng.Intn(pl+10))
+				}
+				if got, want := mt.Distance(text), LevenshteinDP(pat, text); got != want {
+					t.Fatalf("Matcher(%q).Distance(%q) = %d, DP = %d", pat, text, got, want)
+				}
+				k := rng.Intn(pl + 10)
+				d, ok := mt.DistanceBounded(text, k)
+				dDP, okDP := LevenshteinBoundedDP(pat, text, k)
+				if ok != okDP || d != dDP {
+					t.Fatalf("Matcher(%q).DistanceBounded(%q,%d) = %d,%v; DP = %d,%v", pat, text, k, d, ok, dDP, okDP)
+				}
+			}
+			mt.Release() // next Acquire must not see stale table bits
+		}
+	}
+}
+
+// TestMatcherResetClearsTable reuses one Matcher across patterns with
+// overlapping characters: stale equivalence bits from a previous pattern
+// would corrupt the distances.
+func TestMatcherResetClearsTable(t *testing.T) {
+	mt := NewMatcher("abcdef")
+	if d := mt.Distance("abcdef"); d != 0 {
+		t.Fatalf("Distance = %d, want 0", d)
+	}
+	mt.Reset("abc")
+	if d := mt.Distance("xbc"); d != 1 {
+		t.Fatalf("after Reset: Distance(%q) = %d, want 1", "xbc", d)
+	}
+	if d := mt.Distance("abcdef"); d != 3 {
+		t.Fatalf("after Reset: Distance(%q) = %d, want 3", "abcdef", d)
+	}
+	mt.Reset("日本語")
+	if d := mt.Distance("日本"); d != 1 {
+		t.Fatalf("after rune Reset: Distance = %d, want 1", d)
+	}
+	mt.Reset("abc")
+	if d := mt.Distance("日本"); d != 3 {
+		t.Fatalf("ascii pattern vs rune text: Distance = %d, want 3", d)
+	}
+}

@@ -301,6 +301,26 @@ func (g *Graph) verifyPair(i, j int) (edgeRec, bool) {
 	return edgeRec{u: i, v: j, w: g.PatternDist(i, j), d: d}, true
 }
 
+// verifyPairMT is verifyPair with vertex i's pattern held fixed in a
+// PairMatcher; the build ranges stream every candidate j through it so i's
+// bit-parallel tables are built once, not once per pair. Same edge, weight,
+// and distance as verifyPair.
+func (g *Graph) verifyPairMT(pm *fd.PairMatcher, i, j int) (edgeRec, bool) {
+	if g.ungrouped && g.FD.ProjEqual(g.Vertices[i].Rep, g.Vertices[j].Rep) {
+		return edgeRec{}, false
+	}
+	tj := g.Vertices[j].Rep
+	d, ok := pm.DistWithin(g.Tau, tj)
+	if !ok {
+		return edgeRec{}, false
+	}
+	var w float64
+	for _, c := range g.FD.Attrs() {
+		w += pm.RepairDist(c, tj)
+	}
+	return edgeRec{u: i, v: j, w: w, d: d}, true
+}
+
 // fanOut runs the given range verifier on `workers` goroutines, worker w
 // owning the stride-partitioned slice {w, w+workers, w+2*workers, ...} of
 // the outer loop. Stride partitioning balances the triangular all-pairs
@@ -419,15 +439,18 @@ func (g *Graph) allPairsRange(recs []edgeRec, start, stride int, cancel <-chan s
 	n := len(g.Vertices)
 	pairs := 0
 	for i := start; i < n; i += stride {
+		pm := g.Cfg.AcquirePairMatcher(g.FD, g.Vertices[i].Rep)
 		for j := i + 1; j < n; j++ {
 			pairs++
 			if pairs&1023 == 0 && buildCanceled(cancel) {
+				pm.Release()
 				return recs
 			}
-			if rec, ok := g.verifyPair(i, j); ok {
+			if rec, ok := g.verifyPairMT(pm, i, j); ok {
 				recs = append(recs, rec)
 			}
 		}
+		pm.Release()
 	}
 	return recs
 }
@@ -436,30 +459,38 @@ func (g *Graph) allPairsRange(recs []edgeRec, start, stride int, cancel <-chan s
 // id congruent to start modulo stride. Each distinct value *pair* is
 // handled exactly once (by the lower id), so the emitted edges partition
 // across workers.
+// The vi loop is hoisted outside the match loop so one PairMatcher serves
+// vertex vi against every candidate; the emitted pair set is identical (the
+// (m, vi, vj) guards are order-independent), and the merge sorts per-vertex
+// adjacency anyway, so the final graph is unchanged.
 func (g *Graph) indexedRange(recs []edgeRec, start, stride int, cancel <-chan struct{}) []edgeRec {
 	pairs := 0
 	for id := start; id < len(g.vals); id += stride {
 		if buildCanceled(cancel) {
 			return recs
 		}
-		for _, m := range g.ix.SearchNormalized(g.vals[id], g.attrTau) {
-			if m.ID < id {
-				continue // handle each value pair once (m.ID == id covers same-value vertices)
-			}
-			for _, vi := range g.byVal[id] {
+		matches := g.ix.SearchNormalized(g.vals[id], g.attrTau)
+		for _, vi := range g.byVal[id] {
+			pm := g.Cfg.AcquirePairMatcher(g.FD, g.Vertices[vi].Rep)
+			for _, m := range matches {
+				if m.ID < id {
+					continue // handle each value pair once (m.ID == id covers same-value vertices)
+				}
 				for _, vj := range g.byVal[m.ID] {
 					if m.ID == id && vj <= vi {
 						continue // same value bucket: avoid double visits and self loops
 					}
 					pairs++
 					if pairs&1023 == 0 && buildCanceled(cancel) {
+						pm.Release()
 						return recs
 					}
-					if rec, ok := g.verifyPair(vi, vj); ok {
+					if rec, ok := g.verifyPairMT(pm, vi, vj); ok {
 						recs = append(recs, rec)
 					}
 				}
 			}
+			pm.Release()
 		}
 	}
 	return recs
@@ -574,10 +605,12 @@ func (g *Graph) ViolatorCount(t dataset.Tuple) int {
 		return g.Degree(v)
 	}
 	count := 0
+	pm := g.Cfg.AcquirePairMatcher(g.FD, t)
+	defer pm.Release()
 	if g.ix != nil {
 		for _, m := range g.ix.SearchNormalized(t[g.probe], g.attrTau) {
 			for _, u := range g.byVal[m.ID] {
-				if _, ok := g.distWithin(t, g.Vertices[u].Rep); ok {
+				if _, ok := pm.DistWithin(g.Tau, g.Vertices[u].Rep); ok {
 					count++
 				}
 			}
@@ -585,7 +618,7 @@ func (g *Graph) ViolatorCount(t dataset.Tuple) int {
 		return count
 	}
 	for u := range g.Vertices {
-		if _, ok := g.distWithin(t, g.Vertices[u].Rep); ok {
+		if _, ok := pm.DistWithin(g.Tau, g.Vertices[u].Rep); ok {
 			count++
 		}
 	}
