@@ -1,0 +1,57 @@
+// Command ledgercheck verifies a repair ledger dump offline. It reads the
+// JSONL format written by `ftrepair -ledger` or GET
+// /v1/jobs/{id}/ledger?format=jsonl, recomputes every event hash, every
+// batch Merkle root, and the chained run root from scratch, and exits
+// non-zero if anything — a flipped byte, a dropped event, a reordered
+// batch — fails to reproduce the recorded hashes.
+//
+// Usage:
+//
+//	ledgercheck ledger.jsonl        # verify a file
+//	ledgercheck -                   # verify stdin (curl ... | ledgercheck -)
+//
+// On success it prints the run root and event/batch counts so CI logs pin
+// the verified root next to the job that produced it.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ftrepair/internal/ledger"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ledgercheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: ledgercheck <ledger.jsonl | ->")
+	}
+	in := stdin
+	name := "stdin"
+	if args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		name = args[0]
+	}
+	dump, err := ledger.ReadJSONL(in)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", name, err)
+	}
+	if err := dump.Verify(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Fprintf(stdout, "ok: %d events in %d batches, run root %s\n",
+		len(dump.Events), len(dump.Batches), dump.RunRoot)
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftrepair/internal/ledger"
+)
+
+func writeDump(t *testing.T, mutate func(string) string) string {
+	t.Helper()
+	l := ledger.New()
+	l.Commit([]ledger.RepairEvent{
+		{Row: 0, Col: 1, Attr: "State", Old: "NY", New: "MA", FD: "City -> State", Algorithm: "ExactS", CostDelta: 0.3},
+		{Row: 2, Col: 0, Attr: "City", Old: "Boton", New: "Boston", FD: "City -> State", Algorithm: "ExactS", CostDelta: 0.1},
+	})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if mutate != nil {
+		text = mutate(text)
+	}
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLedgercheckAcceptsValidDump(t *testing.T) {
+	path := writeDump(t, nil)
+	var out strings.Builder
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok: 2 events in 1 batches") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestLedgercheckRejectsTamperedDump(t *testing.T) {
+	path := writeDump(t, func(s string) string {
+		return strings.Replace(s, `"Boston"`, `"Bostom"`, 1)
+	})
+	var out strings.Builder
+	if err := run([]string{path}, nil, &out); err == nil {
+		t.Fatal("tampered dump accepted")
+	}
+}
+
+func TestLedgercheckReadsStdin(t *testing.T) {
+	path := writeDump(t, nil)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-"}, bytes.NewReader(data), &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedgercheckUsage(t *testing.T) {
+	if err := run(nil, nil, nil); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"ftrepair/internal/discover"
 	"ftrepair/internal/fd"
 	"ftrepair/internal/ind"
+	"ftrepair/internal/ledger"
 	"ftrepair/internal/profile"
 	"ftrepair/internal/repair"
 	"ftrepair/internal/rules"
@@ -131,6 +132,40 @@ type (
 const (
 	String  = dataset.String
 	Numeric = dataset.Numeric
+)
+
+// Repair-ledger types re-exported from internal/ledger: the tamper-evident
+// repair ledger with cell-level provenance. Attach a ledger via
+// Options.Ledger; Commit batches events under Merkle roots chained into a
+// run root, Prove produces inclusion proofs, and Undo replays a suffix of
+// the event log backwards with per-cell verification.
+type (
+	// Ledger is the append-only, hash-chained repair event log.
+	Ledger = ledger.Ledger
+	// RepairEvent is one applied cell repair with its provenance.
+	RepairEvent = ledger.RepairEvent
+	// LedgerSink receives committed repair events (Options.Ledger).
+	LedgerSink = ledger.Sink
+	// LedgerProof is an inclusion proof for one event in its batch tree.
+	LedgerProof = ledger.Proof
+	// LedgerBatch summarizes one committed batch and its chained root.
+	LedgerBatch = ledger.Batch
+	// LedgerDump is a parsed JSONL ledger dump (self-verifying).
+	LedgerDump = ledger.Dump
+)
+
+var (
+	// NewLedger returns an empty ledger with a zero run root.
+	NewLedger = ledger.New
+	// UndoRepairs reverses the last n ledger events over a relation,
+	// replay-verified cell by cell.
+	UndoRepairs = ledger.Undo
+	// ReadLedgerJSONL parses a dump written by Ledger.WriteJSONL.
+	ReadLedgerJSONL = ledger.ReadJSONL
+	// VerifyLedgerProof checks an inclusion proof against a batch root.
+	VerifyLedgerProof = ledger.VerifyProof
+	// LedgerEventHash is the canonical leaf hash of one event.
+	LedgerEventHash = ledger.EventHash
 )
 
 // Construction helpers re-exported from the internal packages.

@@ -69,6 +69,7 @@ func All() []*Analyzer {
 		AtomicMix,
 		GoGuard,
 		SpanEnd,
+		LedgerWrite,
 	}
 }
 

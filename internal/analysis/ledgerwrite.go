@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LedgerWrite reports direct mutations of RepairEvent slices — append or
+// element assignment — outside the packages allowed to build them.
+//
+// The tamper-evident ledger only certifies what flows through its sanctioned
+// entry points: internal/repair's eventBuf collects events at the apply
+// sites and hands them to Ledger.Commit, and internal/ledger owns the Buffer
+// type other layers (incr's shard write-back) use to stage events. A bare
+// `append(events, ...)` anywhere else creates provenance records that skip
+// sequencing, Merkle hashing, and the obs counters — the event looks ledgered
+// but no proof will ever cover it. Reads and iteration stay unrestricted.
+var LedgerWrite = &Analyzer{
+	Name: "ledgerwrite",
+	Doc:  "flags direct writes to []RepairEvent outside internal/ledger and internal/repair; stage events through ledger.Buffer or eventBuf",
+	Run:  runLedgerWrite,
+}
+
+// ledgerWriteExempt reports whether pkg may build RepairEvent slices
+// directly: ledger owns the type and the Buffer staging API, and repair owns
+// the apply-site collectors that feed Commit.
+func ledgerWriteExempt(pkg string) bool {
+	return strings.HasSuffix(pkg, "internal/ledger") ||
+		strings.HasSuffix(pkg, "internal/repair")
+}
+
+func runLedgerWrite(pass *Pass) error {
+	if pass.Pkg != nil && ledgerWriteExempt(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				id, ok := st.Fun.(*ast.Ident)
+				if ok && id.Name == "append" && len(st.Args) > 0 &&
+					isRepairEventSlice(pass, st.Args[0]) {
+					pass.Reportf(st.Pos(), "append to %s outside internal/ledger/internal/repair; stage events through ledger.Buffer so they are sequenced and hashed", types.ExprString(st.Args[0]))
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					idx, ok := lhs.(*ast.IndexExpr)
+					if !ok || !isRepairEventSlice(pass, idx.X) {
+						continue
+					}
+					pass.Reportf(lhs.Pos(), "direct write to %s[...] outside internal/ledger/internal/repair; stage events through ledger.Buffer so they are sequenced and hashed", types.ExprString(idx.X))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRepairEventSlice reports whether e's type is a slice whose element is a
+// named type called RepairEvent (any package — the fixture and the real
+// ledger package both qualify, keeping the check robust to vendoring).
+func isRepairEventSlice(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "RepairEvent"
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/analysis"
+	"ftrepair/internal/analysis/analyzertest"
+)
+
+func TestLedgerWrite(t *testing.T) {
+	analyzertest.Run(t, analysis.LedgerWrite, "testdata/src/ledgerwrite")
+}
+
+// TestLedgerWriteExemptPath runs the analyzer over a package whose import
+// path ends in internal/ledger: the whole package is exempt, so its direct
+// RepairEvent-slice writes (Buffer's own append among them) must produce no
+// diagnostics. load.Dir uses the directory as the package path, which is
+// exactly what the exemption matches on.
+func TestLedgerWriteExemptPath(t *testing.T) {
+	analyzertest.Run(t, analysis.LedgerWrite, "testdata/src/ledgerwrite/internal/ledger")
+}

@@ -1,0 +1,48 @@
+// Package ledgerwrite exercises the ledgerwrite analyzer: outside
+// internal/ledger and internal/repair, RepairEvent slices must be built
+// through the ledger.Buffer staging API so every event is sequenced and
+// Merkle-hashed; direct appends and element writes are flagged, reads and
+// iteration are not.
+package ledgerwrite
+
+// RepairEvent mirrors ledger.RepairEvent; the analyzer matches the named
+// element type, not the import path.
+type RepairEvent struct {
+	Row, Col int
+	Old, New string
+}
+
+// Buffer mirrors ledger.Buffer, the sanctioned staging sink; its methods
+// live in an exempt package in the real tree, so calling them here is fine.
+type Buffer struct {
+	events []RepairEvent
+}
+
+func (b *Buffer) Add(e RepairEvent) { b.events = append(b.events, e) } // want `append to b\.events`
+
+// directWrites builds provenance records that skip hashing in every shape
+// the analyzer covers.
+func directWrites(events []RepairEvent, e RepairEvent) []RepairEvent {
+	events = append(events, e)           // want `stage events through ledger\.Buffer`
+	events[0] = e                        // want `direct write to events\[\.\.\.\]`
+	more := append([]RepairEvent{}, e)   // want `append to \[\]RepairEvent\{\}`
+	events = append(events, more[:1]...) // want `stage events through ledger\.Buffer`
+	return events
+}
+
+// sanctioned stages through the Buffer and only reads the slice directly.
+func sanctioned(b *Buffer, e RepairEvent) int {
+	b.Add(e)
+	total := 0
+	for _, ev := range b.events {
+		total += ev.Row + ev.Col
+	}
+	return total + len(b.events)
+}
+
+// otherSlices writes to slices of other element types; out of scope.
+func otherSlices(rows []string, counts []int) {
+	rows = append(rows, "x")
+	counts[0] = 1
+	_ = rows
+}

@@ -70,6 +70,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer, cancel <-chan
 		repReport = fs.Bool("report", false, "print a full repair report (violations before/after, edits by attribute) on stderr")
 		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the repair's phase spans to this path (load via chrome://tracing or go tool trace -http)")
 		metricsOn = fs.Bool("metrics", false, "dump the metrics registry (Prometheus text format) on stderr after the run")
+		ledgerOut = fs.String("ledger", "", "write the tamper-evident repair ledger (JSONL, verifiable with ledgercheck) to this path")
 	)
 	fs.Var(&fds, "fd", "functional dependency spec, e.g. \"City,Street -> District\" (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -80,7 +81,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer, cancel <-chan
 		in: *in, out: *out, types: *types, algoName: *algo,
 		fdSpecs: fds, tau: *tau, autoTau: *autoTau, wl: *wl, wr: *wr,
 		quiet: *quiet, detect: *detect, report: *repReport,
-		traceOut: *traceOut, metrics: *metricsOn,
+		traceOut: *traceOut, metrics: *metricsOn, ledgerOut: *ledgerOut,
 	}
 	var err error
 	if *discover {
@@ -111,6 +112,7 @@ type command struct {
 	quiet, detect, report    bool
 	traceOut                 string
 	metrics                  bool
+	ledgerOut                string
 }
 
 // newTrace builds the run trace when -trace was given (nil otherwise) and
@@ -134,6 +136,27 @@ func (c *command) newTrace() (*obs.Trace, func() error) {
 		}
 		return f.Close()
 	}
+}
+
+// writeLedger dumps the run's repair ledger as self-verifying JSONL and
+// notes the run root on stderr so operators can pin it out of band.
+func (c *command) writeLedger(led *ftrepair.Ledger) error {
+	f, err := os.Create(c.ledgerOut)
+	if err != nil {
+		return err
+	}
+	if err := led.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !c.quiet {
+		fmt.Fprintf(c.stderr, "ledger: %d events in %d batches, run root %s\n",
+			led.Len(), len(led.Batches()), led.RunRootHex())
+	}
+	return nil
 }
 
 // dumpMetrics writes the default registry on stderr when -metrics was given.
@@ -251,9 +274,24 @@ func (c *command) run() error {
 		return flushTrace()
 	}
 
-	res, err := ftrepair.Repair(rel, set, cfg, algo, ftrepair.Options{Cancel: c.cancel, Trace: tr})
+	opts := ftrepair.Options{Cancel: c.cancel, Trace: tr}
+	var led *ftrepair.Ledger
+	if c.ledgerOut != "" {
+		// Assigned only when non-nil: a nil *Ledger inside the Sink
+		// interface would read as an attached ledger.
+		led = ftrepair.NewLedger()
+		opts.Ledger = led
+	}
+	res, err := ftrepair.Repair(rel, set, cfg, algo, opts)
 	if terr := flushTrace(); terr != nil && err == nil {
 		err = terr
+	}
+	if led != nil {
+		// Written even after a canceled run: the ledger records exactly the
+		// cells the partial repair applied.
+		if lerr := c.writeLedger(led); lerr != nil && err == nil {
+			err = lerr
+		}
 	}
 	c.dumpMetrics()
 	canceled := errors.Is(err, ftrepair.ErrCanceled)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ftrepair/internal/cli"
+	"ftrepair/internal/ledger"
 )
 
 const sampleCSV = `City,State
@@ -137,5 +138,53 @@ func TestCLITypeInference(t *testing.T) {
 	code, _, errb := runCLI(t, csv, "-in", "-", "-fd", "City -> Score", "-q", "-out", os.DevNull)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb)
+	}
+}
+
+// TestCLILedgerOutput writes the repair ledger next to the repair and
+// verifies the dump offline — the same check cmd/ledgercheck performs —
+// then undoes it back to the input.
+func TestCLILedgerOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.jsonl")
+	code, _, errb := runCLI(t, sampleCSV, "-in", "-", "-fd", "City -> State",
+		"-algo", "exacts", "-ledger", path, "-out", os.DevNull)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(errb, "run root ") {
+		t.Fatalf("no run root note on stderr:\n%s", errb)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dump, err := ledger.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dump.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) != 2 {
+		t.Fatalf("ledgered %d events, want 2", len(dump.Events))
+	}
+	for _, e := range dump.Events {
+		if e.Attr == "" || e.FD == "" || e.Algorithm != "ExactS" {
+			t.Fatalf("event lacks provenance: %+v", e)
+		}
+	}
+}
+
+// TestCLILedgerOmittedByDefault leaves no ledger file and no note when the
+// flag is absent.
+func TestCLILedgerOmittedByDefault(t *testing.T) {
+	code, _, errb := runCLI(t, sampleCSV, "-in", "-", "-fd", "City -> State", "-out", os.DevNull)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if strings.Contains(errb, "run root") {
+		t.Fatalf("unexpected ledger note:\n%s", errb)
 	}
 }

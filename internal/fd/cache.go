@@ -224,6 +224,15 @@ func (c *DistCache) Counters() (hits, misses uint64) {
 	return hits, misses
 }
 
+// PlaneCounters returns the cumulative plane-only hit and miss counts: how
+// many lookups the per-column distance planes answered with one atomic load
+// versus how many fell through to the sharded maps. The same counts are
+// folded into Counters' totals; this accessor splits them out so per-run
+// deltas can attribute cache traffic to the plane fast path.
+func (c *DistCache) PlaneCounters() (hits, misses uint64) {
+	return c.planeHits.Load(), c.planeMisses.Load()
+}
+
 // Len returns the number of memoized entries currently held, occupied plane
 // cells included.
 func (c *DistCache) Len() int {

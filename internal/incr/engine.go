@@ -34,6 +34,7 @@ import (
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/ledger"
 	"ftrepair/internal/obs"
 	"ftrepair/internal/repair"
 	"ftrepair/internal/strsim"
@@ -49,11 +50,19 @@ type Options struct {
 	// repair shards sequentially. Shard repairs are independent, so the
 	// output is identical at any worker count.
 	Workers int
-	// Repair carries base options for the per-shard runs. Cancel, Trace and
-	// Parallel are managed per flush and ignored here.
+	// Repair carries base options for the per-shard runs. Cancel, Trace,
+	// Parallel and Ledger are managed per flush and ignored here.
 	Repair repair.Options
 	// Trace, when non-nil, collects shardselect/increpair spans.
 	Trace *obs.Trace
+	// Ledger, when non-nil, receives one committed batch of cell-repair
+	// events per flush, describing exactly the cells the flush changed in
+	// the repaired view (write-backs, not per-shard intermediate values).
+	// Old values are the overwritten repaired-view values, so replaying the
+	// ledger backwards restores the pre-flush view precisely. Events carry
+	// the justification (FD, violation edge or join-target) recorded by the
+	// shard's inner repair run where one exists for the cell.
+	Ledger ledger.Sink
 }
 
 // RowResult is the outcome of one submitted row.
@@ -174,6 +183,7 @@ type Engine struct {
 	workers int
 	ropts   repair.Options
 	trace   *obs.Trace
+	led     ledger.Sink
 
 	// input holds admitted rows with their original values (what detection
 	// and repair consume); out holds the repaired view, row-aligned.
@@ -222,6 +232,7 @@ func NewEngine(base *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Opt
 		workers: opts.Workers,
 		ropts:   opts.Repair,
 		trace:   opts.Trace,
+		led:     opts.Ledger,
 		input:   &dataset.Relation{Schema: base.Schema},
 		out:     &dataset.Relation{Schema: base.Schema},
 	}
@@ -441,6 +452,10 @@ type shardJob struct {
 	res  *repair.Result
 	err  error
 	skip bool // no violation edges: consistent without a run
+	// buf collects the inner repair run's ledger events (shard-local row
+	// numbering); the write-back loop consumes them as justification for
+	// the cells it actually changes.
+	buf *ledger.Buffer
 }
 
 // Append admits a batch of rows: validates and stores them, routes them
@@ -487,12 +502,17 @@ func (e *Engine) append(rows [][]string, reason string, cancel <-chan struct{}, 
 	// engine-private structures (guarded by mu); input rows are immutable
 	// once admitted, so no state lock is needed to read them.
 	sel := obs.Begin(e.trace, obs.PhaseShardSelect)
+	// The register loop is dominated by candidate scans (probe-index
+	// searches plus bounded distance verification); the distance child span
+	// makes that share visible under the shardselect phase.
+	ds := sel.Child(obs.PhaseDistance)
 	for _, c := range e.comps {
 		for k := range admitted {
 			row := batchStart + k
 			br.Merges += c.register(e.cfg, row, e.input.Tuples[row])
 		}
 	}
+	ds.End()
 	sel.Add("rows", int64(len(admitted)))
 	sel.End()
 
@@ -573,8 +593,12 @@ func (e *Engine) append(rows [][]string, reason string, cancel <-chan struct{}, 
 	// shards stay dirty and retry on the next flush.
 	var firstErr error
 	rewrittenOld := make(map[int]bool)
+	var pending *ledger.Buffer
+	if e.led != nil {
+		pending = &ledger.Buffer{}
+	}
 	e.stateMu.Lock()
-	for _, j := range jobs {
+	for ji, j := range jobs {
 		if j.err != nil {
 			if firstErr == nil {
 				firstErr = j.err
@@ -582,10 +606,41 @@ func (e *Engine) append(rows [][]string, reason string, cancel <-chan struct{}, 
 			continue
 		}
 		if !j.skip {
+			// just maps (shard-local row, col) to the inner run's event so
+			// write-back events inherit the justification (FD, edge,
+			// join-target, algorithm). Cells the inner run did not touch —
+			// possible when a re-repair reverts an earlier batch's change
+			// back to the input value — get a bare event.
+			var just map[[2]int]ledger.RepairEvent
+			if j.buf != nil {
+				inner := j.buf.Drain()
+				just = make(map[[2]int]ledger.RepairEvent, len(inner))
+				for _, ie := range inner {
+					just[[2]int{ie.Row, ie.Col}] = ie
+				}
+			}
 			for k, row := range j.rows {
 				rep := j.res.Repaired.Tuples[k]
 				for _, col := range j.comp.attrs {
 					if e.out.Tuples[row][col] != rep[col] {
+						if pending != nil {
+							ev := just[[2]int{k, col}]
+							ev.Row, ev.Col = row, col
+							ev.Attr = e.schema.Attr(col).Name
+							// Old is the overwritten repaired-view value
+							// (not the inner run's input value): reverse
+							// replay must restore exactly what stood here.
+							ev.Old = e.out.Tuples[row][col]
+							ev.New = rep[col]
+							ev.CostDelta = e.cfg.RepairDist(col, ev.Old, ev.New)
+							if ev.Algorithm == "" {
+								ev.Algorithm = e.algo
+							}
+							// Worker records the deterministic job ordinal,
+							// not the goroutine that ran the shard.
+							ev.Worker = ji
+							pending.Add(ev)
+						}
 						e.out.Tuples[row][col] = rep[col]
 						br.ChangedCells++
 						if row < batchStart {
@@ -623,6 +678,12 @@ func (e *Engine) append(rows [][]string, reason string, cancel <-chan struct{}, 
 	e.stats.Merges += br.Merges
 	e.stateMu.Unlock()
 
+	if pending != nil {
+		// One ledger batch per flush — the same single-flush-point pattern
+		// as ObserveIncrBatch below. Commit ignores empty flushes.
+		e.led.Commit(pending.Drain())
+	}
+
 	br.Elapsed = time.Since(start)
 	obs.ObserveIncrBatch(obs.IncrBatch{
 		Reason:         reason,
@@ -650,6 +711,14 @@ func (e *Engine) repairShard(j *shardJob, parallel int, cancel <-chan struct{}) 
 	opts.Cancel = cancel
 	opts.Trace = e.trace
 	opts.Parallel = parallel
+	opts.Ledger = nil
+	if e.led != nil {
+		// Collect the inner run's events privately; the write-back loop
+		// remaps rows and commits once per flush. The caller's sink never
+		// sees shard-local row numbers.
+		j.buf = &ledger.Buffer{}
+		opts.Ledger = j.buf
+	}
 	set := j.comp.sub
 	switch e.algo {
 	case "ExactS":

@@ -1,0 +1,110 @@
+package incr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/incr"
+	"ftrepair/internal/ledger"
+)
+
+// ledgeredEngine ingests rows in fixed-size chunks with a ledger attached.
+func ledgeredEngine(t *testing.T, base *dataset.Relation, rows [][]string, chunk, workers int,
+	inst interface {
+		// matched structurally below; see callers
+	}) {
+}
+
+// TestEngineLedgerDeterministicAcrossWorkers fixes the batch split and
+// varies only the worker count: the ledger's chained run root must be
+// bit-identical, because events are addressed by shard ordinal and sorted by
+// cell, never by goroutine scheduling. (Different batch splits legitimately
+// produce different roots — the chain commits to flush boundaries — so the
+// invariant is per-split; cross-split equivalence is undo-replay's job.)
+func TestEngineLedgerDeterministicAcrossWorkers(t *testing.T) {
+	inst := hospInstance(t, 300, 0)
+	split := 100
+	base := &dataset.Relation{Schema: inst.Dirty.Schema, Tuples: inst.Dirty.Tuples[:split]}
+	rows := rowsOf(inst.Dirty)[split:]
+	var ref string
+	for _, workers := range []int{1, 2, 8} {
+		led := ledger.New()
+		ingest(t, base, rows, 40, inst.Set, inst.Cfg,
+			incr.Options{Workers: workers, Ledger: led})
+		if led.Len() == 0 {
+			t.Fatal("ledger is empty; instance too clean to test determinism")
+		}
+		root := led.RunRootHex()
+		if ref == "" {
+			ref = root
+			continue
+		}
+		if root != ref {
+			t.Fatalf("workers=%d: run root %s != reference %s", workers, root, ref)
+		}
+	}
+}
+
+// TestEngineLedgerUndoRoundTrip checks the incremental ledger's replay
+// contract at several batch splits and worker counts: every flush commits
+// one batch whose events' Old values are the overwritten repaired-view
+// cells, so undoing the whole ledger over the final snapshot reproduces the
+// raw input exactly.
+func TestEngineLedgerUndoRoundTrip(t *testing.T) {
+	inst := hospInstance(t, 300, 0)
+	split := 100
+	base := &dataset.Relation{Schema: inst.Dirty.Schema, Tuples: inst.Dirty.Tuples[:split]}
+	rows := rowsOf(inst.Dirty)[split:]
+	for _, workers := range []int{1, 8} {
+		for _, chunk := range []int{7, 60, len(rows)} {
+			name := fmt.Sprintf("w%d/chunk%d", workers, chunk)
+			led := ledger.New()
+			eng := ingest(t, base, rows, chunk, inst.Set, inst.Cfg,
+				incr.Options{Workers: workers, Ledger: led})
+			for _, e := range led.Events() {
+				if e.Algorithm == "" {
+					t.Fatalf("%s: event seq %d has no algorithm", name, e.Seq)
+				}
+			}
+			reverted, err := ledger.Undo(eng.Snapshot(), led.Events(), 0)
+			if err != nil {
+				t.Fatalf("%s: undo: %v", name, err)
+			}
+			mustEqualRelations(t, reverted, eng.InputSnapshot(), name+"/undo")
+			// Forward replay over the raw input reproduces the snapshot.
+			replayed := eng.InputSnapshot()
+			for _, e := range led.Events() {
+				if got := replayed.Tuples[e.Row][e.Col]; got != e.Old {
+					t.Fatalf("%s: replay seq %d found %q, event recorded old %q", name, e.Seq, got, e.Old)
+				}
+				replayed.Tuples[e.Row][e.Col] = e.New
+			}
+			mustEqualRelations(t, replayed, eng.Snapshot(), name+"/replay")
+		}
+	}
+}
+
+// TestEngineLedgerOneBatchPerFlush pins the commit discipline: each flush
+// that applied repairs lands as exactly one ledger batch, so batch count
+// never exceeds the number of ingest flushes (plus the initial base
+// repair), and no committed batch is empty.
+func TestEngineLedgerOneBatchPerFlush(t *testing.T) {
+	inst := hospInstance(t, 300, 0)
+	split := 100
+	base := &dataset.Relation{Schema: inst.Dirty.Schema, Tuples: inst.Dirty.Tuples[:split]}
+	rows := rowsOf(inst.Dirty)[split:]
+	chunk := 40
+	led := ledger.New()
+	ingest(t, base, rows, chunk, inst.Set, inst.Cfg, incr.Options{Workers: 2, Ledger: led})
+	flushes := (len(rows)+chunk-1)/chunk + 1
+	batches := led.Batches()
+	if len(batches) == 0 || len(batches) > flushes {
+		t.Fatalf("%d ledger batches for at most %d flushes", len(batches), flushes)
+	}
+	for _, b := range batches {
+		if b.Count == 0 {
+			t.Fatalf("batch %d is empty; empty commits must be no-ops", b.Index)
+		}
+	}
+}

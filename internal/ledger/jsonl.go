@@ -1,0 +1,198 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MarshalJSON encodes the hash as lowercase hex, the form every surface
+// (JSONL dumps, the HTTP API, ledgercheck) exchanges roots in.
+func (h Hash) MarshalJSON() ([]byte, error) {
+	return json.Marshal(hex.EncodeToString(h[:]))
+}
+
+// UnmarshalJSON decodes a lowercase-hex hash.
+func (h *Hash) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("ledger: hash %q: %w", s, err)
+	}
+	if len(raw) != HashSize {
+		return fmt.Errorf("ledger: hash %q has %d bytes, want %d", s, len(raw), HashSize)
+	}
+	copy(h[:], raw)
+	return nil
+}
+
+// String returns the hash as lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// line is one JSONL record: an event, a batch summary (emitted after the
+// batch's events), or the trailing run record.
+type line struct {
+	Type  string       `json:"type"`
+	Event *RepairEvent `json:"event,omitempty"`
+	Batch *Batch       `json:"batch,omitempty"`
+	// Run-record fields.
+	RunRoot *Hash `json:"runRoot,omitempty"`
+	Events  int   `json:"events,omitempty"`
+	Batches int   `json:"batches,omitempty"`
+}
+
+// WriteJSONL dumps the ledger as one JSON object per line: each batch's
+// events in Seq order followed by the batch summary, then a trailing run
+// record with the chained run root. The dump is self-verifying — see
+// Dump.Verify and cmd/ledgercheck.
+func (l *Ledger) WriteJSONL(w io.Writer) error {
+	l.mu.Lock()
+	events := append([]RepairEvent(nil), l.events...)
+	batches := append([]Batch(nil), l.batches...)
+	root := l.root
+	l.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for bi := range batches {
+		b := batches[bi]
+		for i := 0; i < b.Count; i++ {
+			ev := events[b.Start+i]
+			if err := enc.Encode(line{Type: "event", Event: &ev}); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(line{Type: "batch", Batch: &b}); err != nil {
+			return err
+		}
+	}
+	rec := line{Type: "run", RunRoot: &root, Events: len(events), Batches: len(batches)}
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Dump is a parsed JSONL ledger dump.
+type Dump struct {
+	Events  []RepairEvent
+	Batches []Batch
+	// RunRoot is the trailing run record's root; RunEvents/RunBatches its
+	// counts.
+	RunRoot    Hash
+	RunEvents  int
+	RunBatches int
+}
+
+// ReadJSONL parses a dump written by WriteJSONL. Structural problems
+// (unknown record type, missing run record) are errors here; hash and
+// chain mismatches are Verify's job.
+func ReadJSONL(r io.Reader) (*Dump, error) {
+	d := &Dump{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sawRun := false
+	ln := 0
+	for sc.Scan() {
+		ln++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if sawRun {
+			return nil, fmt.Errorf("ledger: line %d: data after the run record", ln)
+		}
+		var rec line
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("ledger: line %d: %w", ln, err)
+		}
+		switch rec.Type {
+		case "event":
+			if rec.Event == nil {
+				return nil, fmt.Errorf("ledger: line %d: event record without event", ln)
+			}
+			d.Events = append(d.Events, *rec.Event)
+		case "batch":
+			if rec.Batch == nil {
+				return nil, fmt.Errorf("ledger: line %d: batch record without batch", ln)
+			}
+			d.Batches = append(d.Batches, *rec.Batch)
+		case "run":
+			if rec.RunRoot == nil {
+				return nil, fmt.Errorf("ledger: line %d: run record without runRoot", ln)
+			}
+			d.RunRoot = *rec.RunRoot
+			d.RunEvents = rec.Events
+			d.RunBatches = rec.Batches
+			sawRun = true
+		default:
+			return nil, fmt.Errorf("ledger: line %d: unknown record type %q", ln, rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawRun {
+		return nil, fmt.Errorf("ledger: dump has no run record (truncated?)")
+	}
+	return d, nil
+}
+
+// Verify recomputes the dump's entire hash structure offline: every event
+// hash, every batch's Merkle root, and the chained run root, comparing each
+// against the recorded values. A nil return means the dump is internally
+// consistent — any flipped byte in any event or root surfaces as an error.
+func (d *Dump) Verify() error {
+	if len(d.Batches) != d.RunBatches {
+		return fmt.Errorf("ledger: run record lists %d batches, dump has %d", d.RunBatches, len(d.Batches))
+	}
+	if len(d.Events) != d.RunEvents {
+		return fmt.Errorf("ledger: run record lists %d events, dump has %d", d.RunEvents, len(d.Events))
+	}
+	var prev Hash
+	off := 0
+	for bi := range d.Batches {
+		b := d.Batches[bi]
+		if b.Index != bi {
+			return fmt.Errorf("ledger: batch %d recorded as index %d", bi, b.Index)
+		}
+		if b.Start != off || b.Count <= 0 || b.Start+b.Count > len(d.Events) {
+			return fmt.Errorf("ledger: batch %d spans [%d,%d), events run to %d (expected start %d)",
+				bi, b.Start, b.Start+b.Count, len(d.Events), off)
+		}
+		leaves := make([]Hash, b.Count)
+		for i := 0; i < b.Count; i++ {
+			ev := &d.Events[b.Start+i]
+			if ev.Seq != uint64(b.Start+i)+1 {
+				return fmt.Errorf("ledger: event %d carries seq %d, want %d", b.Start+i, ev.Seq, b.Start+i+1)
+			}
+			if ev.Batch != bi {
+				return fmt.Errorf("ledger: event seq %d carries batch %d, want %d", ev.Seq, ev.Batch, bi)
+			}
+			leaves[i] = EventHash(ev)
+		}
+		root := MerkleRoot(leaves)
+		if root != b.Root {
+			return fmt.Errorf("ledger: batch %d root mismatch: recomputed %s, recorded %s", bi, root, b.Root)
+		}
+		run := chainHash(prev, root)
+		if run != b.RunRoot {
+			return fmt.Errorf("ledger: batch %d chained root mismatch: recomputed %s, recorded %s", bi, run, b.RunRoot)
+		}
+		prev = run
+		off += b.Count
+	}
+	if off != len(d.Events) {
+		return fmt.Errorf("ledger: %d events outside any batch", len(d.Events)-off)
+	}
+	if prev != d.RunRoot {
+		return fmt.Errorf("ledger: run root mismatch: recomputed %s, recorded %s", prev, d.RunRoot)
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+package ledger
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ftrepair/internal/dataset"
+)
+
+// testEvents builds n distinct events addressing cells of a 2-column
+// relation, in an order Commit will re-sort.
+func testEvents(n int) []RepairEvent {
+	events := make([]RepairEvent, n)
+	for i := range events {
+		events[i] = RepairEvent{
+			Row: n - 1 - i, Col: i % 2, Attr: "A",
+			Old: fmt.Sprintf("old%d", i), New: fmt.Sprintf("new%d", i),
+			FD: "A -> B", Algorithm: "TestAlgo", CostDelta: float64(i) * 0.5,
+			EdgeFrom: "x", EdgeTo: "y", EdgeW: 1, EdgeD: 0.25,
+			TargetCols: []int{0, 1}, Target: []string{"u", "v"}, Worker: i % 3,
+		}
+	}
+	return events
+}
+
+func TestCommitAssignsSeqAndSortsByCell(t *testing.T) {
+	l := New()
+	l.Commit(testEvents(5))
+	events := l.Events()
+	if len(events) != 5 || l.Len() != 5 {
+		t.Fatalf("committed %d events, want 5", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i)+1 || e.Batch != 0 {
+			t.Fatalf("event %d: seq %d batch %d, want seq %d batch 0", i, e.Seq, e.Batch, i+1)
+		}
+		if i > 0 {
+			prev := events[i-1]
+			if e.Row < prev.Row || (e.Row == prev.Row && e.Col < prev.Col) {
+				t.Fatalf("events not sorted by (Row, Col): %v before %v", prev, e)
+			}
+		}
+	}
+}
+
+func TestCommitEmptyIsNoOp(t *testing.T) {
+	l := New()
+	l.Commit(nil)
+	if l.Len() != 0 || l.RunRoot() != (Hash{}) || len(l.Batches()) != 0 {
+		t.Fatal("empty commit changed the ledger")
+	}
+}
+
+// TestProveAndVerify checks every event's inclusion proof across several
+// batch sizes, covering the odd-carry shapes of the Merkle fold.
+func TestProveAndVerify(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		l := New()
+		l.Commit(testEvents(n))
+		for seq := uint64(1); seq <= uint64(n); seq++ {
+			ev, proof, batch, ok := l.Prove(seq)
+			if !ok {
+				t.Fatalf("n=%d: Prove(%d) failed", n, seq)
+			}
+			leaf := EventHash(&ev)
+			if !VerifyProof(leaf, proof, batch.Root) {
+				t.Fatalf("n=%d: proof for seq %d does not verify", n, seq)
+			}
+			// A flipped byte in the leaf must be rejected.
+			leaf[0] ^= 0x01
+			if VerifyProof(leaf, proof, batch.Root) {
+				t.Fatalf("n=%d: tampered leaf for seq %d still verifies", n, seq)
+			}
+		}
+	}
+	l := New()
+	l.Commit(testEvents(3))
+	if _, _, _, ok := l.Prove(0); ok {
+		t.Fatal("Prove(0) succeeded")
+	}
+	if _, _, _, ok := l.Prove(4); ok {
+		t.Fatal("Prove past the end succeeded")
+	}
+}
+
+// TestTamperedProofStepRejected flips a byte inside a proof's sibling hash:
+// the fold must land on a different root.
+func TestTamperedProofStepRejected(t *testing.T) {
+	l := New()
+	l.Commit(testEvents(8))
+	ev, proof, batch, _ := l.Prove(3)
+	proof.Steps[1].Hash[7] ^= 0x80
+	if VerifyProof(EventHash(&ev), proof, batch.Root) {
+		t.Fatal("proof with a tampered step still verifies")
+	}
+}
+
+// TestEventHashBindsEveryField flips each field in turn and expects a new
+// hash: the canonical encoding must be injective over the whole event.
+func TestEventHashBindsEveryField(t *testing.T) {
+	base := testEvents(1)[0]
+	h0 := EventHash(&base)
+	mutations := map[string]func(*RepairEvent){
+		"Seq":        func(e *RepairEvent) { e.Seq++ },
+		"Batch":      func(e *RepairEvent) { e.Batch++ },
+		"Row":        func(e *RepairEvent) { e.Row++ },
+		"Col":        func(e *RepairEvent) { e.Col++ },
+		"Attr":       func(e *RepairEvent) { e.Attr += "x" },
+		"Old":        func(e *RepairEvent) { e.Old += "x" },
+		"New":        func(e *RepairEvent) { e.New += "x" },
+		"FD":         func(e *RepairEvent) { e.FD += "x" },
+		"Algorithm":  func(e *RepairEvent) { e.Algorithm += "x" },
+		"CostDelta":  func(e *RepairEvent) { e.CostDelta += 0.125 },
+		"EdgeFrom":   func(e *RepairEvent) { e.EdgeFrom += "x" },
+		"EdgeTo":     func(e *RepairEvent) { e.EdgeTo += "x" },
+		"EdgeW":      func(e *RepairEvent) { e.EdgeW += 1 },
+		"EdgeD":      func(e *RepairEvent) { e.EdgeD += 1 },
+		"TargetCols": func(e *RepairEvent) { e.TargetCols = append([]int{9}, e.TargetCols...) },
+		"Target":     func(e *RepairEvent) { e.Target = append([]string{"z"}, e.Target...) },
+		"Worker":     func(e *RepairEvent) { e.Worker++ },
+	}
+	for name, mutate := range mutations {
+		e := base
+		e.TargetCols = append([]int(nil), base.TargetCols...)
+		e.Target = append([]string(nil), base.Target...)
+		mutate(&e)
+		if EventHash(&e) == h0 {
+			t.Errorf("mutating %s left the event hash unchanged", name)
+		}
+	}
+	// Length-prefixed strings: shifting a boundary must not collide.
+	a := RepairEvent{Old: "ab", New: "c"}
+	b := RepairEvent{Old: "a", New: "bc"}
+	if EventHash(&a) == EventHash(&b) {
+		t.Fatal("string boundary shift collides")
+	}
+}
+
+// TestRunRootChainsBatches commits the same events as one batch and as two:
+// the run roots must differ (the chain commits to batch structure), and each
+// batch's RunRoot must equal the chain fold so far.
+func TestRunRootChainsBatches(t *testing.T) {
+	one := New()
+	one.Commit(testEvents(6))
+
+	two := New()
+	events := testEvents(6)
+	two.Commit(events[:3])
+	two.Commit(events[3:])
+
+	if one.RunRoot() == two.RunRoot() {
+		t.Fatal("different batch splits produced the same run root")
+	}
+	batches := two.Batches()
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches, want 2", len(batches))
+	}
+	if batches[1].RunRoot != two.RunRoot() {
+		t.Fatal("last batch's RunRoot is not the ledger's run root")
+	}
+	if len(two.RunRootHex()) != 2*HashSize || two.RunRootHex() == strings.Repeat("0", 2*HashSize) {
+		t.Fatalf("run root hex looks wrong: %q", two.RunRootHex())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := New()
+	events := testEvents(7)
+	l.Commit(events[:4])
+	l.Commit(events[4:])
+
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dump.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if dump.RunRoot != l.RunRoot() || len(dump.Events) != 7 || len(dump.Batches) != 2 {
+		t.Fatalf("dump mismatch: %d events, %d batches", len(dump.Events), len(dump.Batches))
+	}
+}
+
+// TestJSONLTamperDetected edits one event value in the serialized dump; the
+// offline verifier must catch it.
+func TestJSONLTamperDetected(t *testing.T) {
+	l := New()
+	l.Commit(testEvents(5))
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(buf.String(), `"new2"`, `"evil"`, 1)
+	if tampered == buf.String() {
+		t.Fatal("tamper target not found in dump")
+	}
+	dump, err := ReadJSONL(strings.NewReader(tampered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dump.Verify(); err == nil {
+		t.Fatal("Verify accepted a tampered dump")
+	}
+}
+
+func TestReadJSONLRejectsTruncation(t *testing.T) {
+	l := New()
+	l.Commit(testEvents(3))
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	truncated := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	if _, err := ReadJSONL(strings.NewReader(truncated)); err == nil {
+		t.Fatal("ReadJSONL accepted a dump without a run record")
+	}
+	trailing := buf.String() + lines[0] + "\n"
+	if _, err := ReadJSONL(strings.NewReader(trailing)); err == nil {
+		t.Fatal("ReadJSONL accepted data after the run record")
+	}
+}
+
+func TestUndoRoundTrip(t *testing.T) {
+	schema := dataset.Strings("A", "B")
+	rel, err := dataset.FromRows(schema, [][]string{{"a0", "b0"}, {"a1", "b1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward history: two writes to (0,0) in apply order, one to (1,1).
+	events := []RepairEvent{
+		{Row: 0, Col: 0, Old: "a0", New: "mid"},
+		{Row: 0, Col: 0, Old: "mid", New: "fin"},
+		{Row: 1, Col: 1, Old: "b1", New: "b9"},
+	}
+	repaired := rel.Clone()
+	for _, e := range events {
+		repaired.Tuples[e.Row][e.Col] = e.New
+	}
+	l := New()
+	l.Commit(events)
+
+	reverted, err := Undo(repaired, l.Events(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := dataset.Diff(reverted, rel)
+	if err != nil || len(cells) != 0 {
+		t.Fatalf("full undo did not reproduce the input: diff %v (%v)", cells, err)
+	}
+	if repaired.Tuples[0][0] != "fin" {
+		t.Fatal("Undo mutated its input relation")
+	}
+
+	// Partial undo of the newest event only.
+	part, err := Undo(repaired, l.Events(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := l.Events()
+	lastCell := all[len(all)-1]
+	if part.Tuples[lastCell.Row][lastCell.Col] != lastCell.Old {
+		t.Fatal("partial undo did not restore the newest event's Old value")
+	}
+
+	// Divergence: the relation no longer matches the ledger's New value.
+	diverged := repaired.Clone()
+	diverged.Tuples[1][1] = "corrupted"
+	if _, err := Undo(diverged, l.Events(), 0); err == nil {
+		t.Fatal("Undo accepted a relation that diverged from the ledger")
+	}
+}
+
+func TestBufferCollects(t *testing.T) {
+	var b Buffer
+	b.Add(RepairEvent{Row: 1})
+	b.Commit([]RepairEvent{{Row: 2}, {Row: 3}})
+	if b.Len() != 3 || len(b.Events()) != 3 {
+		t.Fatalf("buffer holds %d events, want 3", b.Len())
+	}
+	got := b.Drain()
+	if len(got) != 3 || b.Len() != 0 {
+		t.Fatalf("drain returned %d events, buffer now %d", len(got), b.Len())
+	}
+}

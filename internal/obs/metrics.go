@@ -27,6 +27,14 @@ var Pipeline = struct {
 	// (the "distCacheHits"/"distCacheMisses" Stats entries).
 	DistCacheHits   *Counter
 	DistCacheMisses *Counter
+	// DistPlaneHits / DistPlaneMisses are the per-run distance-plane deltas
+	// (the "distPlaneHits"/"distPlaneMisses" Stats entries): pairs answered
+	// by one atomic load against a per-column plane versus pairs that fell
+	// through to the sharded maps. The plane counts are also folded into
+	// the distcache totals above, so these split the cache traffic, they do
+	// not add to it.
+	DistPlaneHits   *Counter
+	DistPlaneMisses *Counter
 	// MISNodes / MISPruned count expansion-tree nodes explored and subtrees
 	// pruned by the exact single-FD search.
 	MISNodes  *Counter
@@ -53,6 +61,10 @@ var Pipeline = struct {
 		"Distance-cache hits reported by finished repair runs."),
 	DistCacheMisses: std.Counter("ftrepair_distcache_misses_total",
 		"Distance-cache misses reported by finished repair runs."),
+	DistPlaneHits: std.Counter("ftrepair_distplane_hits_total",
+		"Distance-plane hits (one-atomic-load answers) reported by finished repair runs."),
+	DistPlaneMisses: std.Counter("ftrepair_distplane_misses_total",
+		"Distance-plane fall-throughs to the sharded maps reported by finished repair runs."),
 	MISNodes: std.Counter("ftrepair_mis_nodes_explored_total",
 		"Expansion-tree nodes explored by the exact MIS search."),
 	MISPruned: std.Counter("ftrepair_mis_subtrees_pruned_total",
@@ -188,6 +200,28 @@ var runStatCounters = map[string]*Counter{
 	"joinFallback":    Pipeline.JoinFallbacks,
 	"distCacheHits":   Pipeline.DistCacheHits,
 	"distCacheMisses": Pipeline.DistCacheMisses,
+	"distPlaneHits":   Pipeline.DistPlaneHits,
+	"distPlaneMisses": Pipeline.DistPlaneMisses,
+}
+
+// Ledger bundles the repair-ledger metrics. internal/ledger flushes the
+// first three once per Commit (never per event); VerifyFailures moves when
+// a replay verification or proof check fails — in a healthy deployment it
+// stays at zero, which is exactly what makes it worth alerting on.
+var Ledger = struct {
+	Events         *Counter
+	Batches        *Counter
+	Bytes          *Counter
+	VerifyFailures *Counter
+}{
+	Events: std.Counter("ftrepair_ledger_events_total",
+		"Repair events committed to ledgers."),
+	Batches: std.Counter("ftrepair_ledger_batches_total",
+		"Ledger batches committed (one Merkle tree each)."),
+	Bytes: std.Counter("ftrepair_ledger_bytes_total",
+		"Canonical encoded bytes of committed ledger events."),
+	VerifyFailures: std.Counter("ftrepair_ledger_verify_failures_total",
+		"Ledger replay or proof verifications that failed."),
 }
 
 // FlushRunStats folds a finished run's Stats map into the registry. This is

@@ -42,6 +42,12 @@ const (
 	// PhaseTargetSearch covers joined-plan evaluation: target-tree builds
 	// plus nearest-target searches, including ExactM's branch-and-bound.
 	PhaseTargetSearch Phase = "targetsearch"
+	// PhaseDistance covers the distance-dominated inner work nested inside
+	// other phases: target-tree nearest searches inside targetsearch and
+	// candidate scans inside the incremental engine's shardselect. Always a
+	// child span, so trace exports show distance time separately from its
+	// parent phase.
+	PhaseDistance Phase = "distance"
 	// PhaseApply covers writing chosen repairs back into the relation.
 	PhaseApply Phase = "apply"
 	// PhaseShardSelect covers incremental-engine shard selection: registering
@@ -56,7 +62,7 @@ const (
 // Phases lists every phase in pipeline order.
 func Phases() []Phase {
 	return []Phase{PhaseDetect, PhaseGraphBuild, PhaseExpand,
-		PhaseGreedyGrow, PhaseTargetSearch, PhaseApply,
+		PhaseGreedyGrow, PhaseTargetSearch, PhaseDistance, PhaseApply,
 		PhaseShardSelect, PhaseIncRepair}
 }
 

@@ -64,6 +64,13 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 	start := time.Now()
 	snap := snapCacheStats(cfg)
 	stats := make(map[string]int)
+	// CFD repairs are not ledgered: the nested GreedyS runs operate on
+	// restricted sub-relations whose row numbering does not match rel, and
+	// the fixpoint rounds overwrite cells repeatedly outside any single
+	// apply site. Strip the sink so nested runs cannot commit misaddressed
+	// events; the ledger covers the five core algorithms and the
+	// incremental engine.
+	opts.Ledger = nil
 	// done stamps the distance-cache deltas for the whole CFD run (the
 	// nested GreedyM/GreedyS results carry only their own slices).
 	done := func() { addCacheStats(stats, cfg, snap) }
@@ -142,14 +149,14 @@ func RepairCFDSet(rel *dataset.Relation, s *CFDSet, cfg *fd.DistConfig, opts Opt
 		}
 	}
 	done()
-	return finish(rel, out, cfg, "CFDSet", time.Since(start), stats)
+	return finish(rel, out, cfg, "CFDSet", time.Since(start), stats, nil, nil)
 }
 
 // finishCanceled packages the work done so far as a partial result paired
 // with ErrCanceled, matching the partial-on-cancel contract of GreedyS and
 // GreedyM.
 func finishCanceled(rel, out *dataset.Relation, cfg *fd.DistConfig, name string, elapsed time.Duration, stats map[string]int) (*Result, error) {
-	res, err := finish(rel, out, cfg, name, elapsed, stats)
+	res, err := finish(rel, out, cfg, name, elapsed, stats, nil, nil)
 	if err != nil {
 		return nil, err
 	}

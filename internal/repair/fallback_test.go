@@ -34,7 +34,7 @@ func TestSequentialFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := rel.Clone()
-	if err := sequentialFallback(out, set, cfg, Options{}); err != nil {
+	if err := sequentialFallback(out, set, cfg, Options{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyFTConsistent(out, set, cfg); err != nil {
@@ -45,7 +45,7 @@ func TestSequentialFallback(t *testing.T) {
 	}
 	// A clean relation is a no-op.
 	clean := out.Clone()
-	if err := sequentialFallback(clean, set, cfg, Options{}); err != nil {
+	if err := sequentialFallback(clean, set, cfg, Options{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	cells, err := dataset.Diff(out, clean)

@@ -1,0 +1,208 @@
+package repair_test
+
+import (
+	"testing"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/eval"
+	"ftrepair/internal/ledger"
+	"ftrepair/internal/repair"
+)
+
+// runLedgered runs a multi-FD algorithm with a fresh ledger attached.
+func runLedgered(t *testing.T, algo multiAlgo, inst *eval.Instance, parallel int) (*repair.Result, *ledger.Ledger) {
+	t.Helper()
+	led := ledger.New()
+	res, err := algo(inst.Dirty, inst.Set, inst.Cfg, repair.Options{Parallel: parallel, Ledger: led})
+	if err != nil {
+		t.Fatalf("Parallel=%d: %v", parallel, err)
+	}
+	return res, led
+}
+
+// TestLedgerRunRootDeterministicAcrossWorkers is the tamper-evidence
+// analogue of TestMultiDeterministicAcrossWorkers: the chained run root —
+// which commits to every event byte, including the per-cell justifications
+// and worker lanes — must be bit-identical at every Parallel setting. Runs
+// under the race CI job, so the per-component event buffers double as a
+// data-race probe.
+func TestLedgerRunRootDeterministicAcrossWorkers(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 400, ErrorRate: 0.06, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactInst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 120, FDs: 4, ErrorRate: 0.03, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []struct {
+		name string
+		inst *eval.Instance
+		run  multiAlgo
+	}{
+		{"ExactM", exactInst, repair.ExactM},
+		{"ApproM", inst, repair.ApproM},
+		{"GreedyM", inst, repair.GreedyM},
+	}
+	for _, algo := range algos {
+		var ref string
+		for _, parallel := range []int{0, 1, 2, 8} {
+			res, led := runLedgered(t, algo.run, algo.inst, parallel)
+			if led.Len() == 0 {
+				t.Fatalf("%s: ledger is empty; instance too clean to test determinism", algo.name)
+			}
+			if led.Len() != len(res.Changed) {
+				// One event per applied write; on these instances no cell is
+				// written twice, so events and changed cells line up 1:1.
+				t.Fatalf("%s Parallel=%d: %d events for %d changed cells",
+					algo.name, parallel, led.Len(), len(res.Changed))
+			}
+			root := led.RunRootHex()
+			if ref == "" {
+				ref = root
+				continue
+			}
+			if root != ref {
+				t.Fatalf("%s Parallel=%d: run root %s != reference %s", algo.name, parallel, root, ref)
+			}
+		}
+	}
+}
+
+// TestLedgerSingleFDJustifiedAndDeterministic covers ExactS and GreedyS on
+// the paper's Citizens instance: repeated runs produce the same run root,
+// and every event carries the §3 pattern-repair justification (the FD and
+// the violation edge's in-set endpoint).
+func TestLedgerSingleFDJustifiedAndDeterministic(t *testing.T) {
+	dirty, _, f, cfg, tau := phi1Fixture(t)
+	for _, algo := range []struct {
+		name string
+		run  func(opts repair.Options) (*repair.Result, error)
+	}{
+		{"ExactS", func(opts repair.Options) (*repair.Result, error) {
+			return repair.ExactS(dirty, f, cfg, tau, opts)
+		}},
+		{"GreedyS", func(opts repair.Options) (*repair.Result, error) {
+			return repair.GreedyS(dirty, f, cfg, tau, opts)
+		}},
+	} {
+		var ref string
+		for _, parallel := range []int{0, 1, 2, 8} {
+			led := ledger.New()
+			res, err := algo.run(repair.Options{Parallel: parallel, Ledger: led})
+			if err != nil {
+				t.Fatalf("%s: %v", algo.name, err)
+			}
+			if led.Len() == 0 || led.Len() != len(res.Changed) {
+				t.Fatalf("%s: %d events for %d changed cells", algo.name, led.Len(), len(res.Changed))
+			}
+			for _, e := range led.Events() {
+				if e.FD == "" || e.EdgeTo == "" || e.Old == e.New || e.Algorithm != res.Algorithm {
+					t.Fatalf("%s: event lacks justification: %+v", algo.name, e)
+				}
+				if e.CostDelta <= 0 {
+					t.Fatalf("%s: event seq %d has cost delta %v", algo.name, e.Seq, e.CostDelta)
+				}
+			}
+			root := led.RunRootHex()
+			if ref == "" {
+				ref = root
+			} else if root != ref {
+				t.Fatalf("%s Parallel=%d: run root %s != reference %s", algo.name, parallel, root, ref)
+			}
+		}
+	}
+}
+
+// TestLedgerReplayAndUndoRoundTrip checks the ledger's core contract: the
+// events replayed forward over the dirty input reproduce the repaired
+// relation, and the replay-verified undo reproduces the dirty input — each
+// event's Old is the value the write actually overwrote.
+func TestLedgerReplayAndUndoRoundTrip(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 400, ErrorRate: 0.06, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []struct {
+		name string
+		run  multiAlgo
+	}{{"GreedyM", repair.GreedyM}, {"ApproM", repair.ApproM}} {
+		res, led := runLedgered(t, algo.run, inst, 4)
+		events := led.Events()
+
+		// Forward replay: every event's Old must match the cell it found.
+		replayed := inst.Dirty.Clone()
+		for _, e := range events {
+			if got := replayed.Tuples[e.Row][e.Col]; got != e.Old {
+				t.Fatalf("%s: replay seq %d found %q, event recorded old %q", algo.name, e.Seq, got, e.Old)
+			}
+			replayed.Tuples[e.Row][e.Col] = e.New
+		}
+		cells, err := dataset.Diff(replayed, res.Repaired)
+		if err != nil || len(cells) != 0 {
+			t.Fatalf("%s: forward replay deviates from the repair at %v (%v)", algo.name, cells, err)
+		}
+
+		// Reverse replay: full undo reproduces the pre-repair relation.
+		reverted, err := ledger.Undo(res.Repaired, events, 0)
+		if err != nil {
+			t.Fatalf("%s: undo: %v", algo.name, err)
+		}
+		cells, err = dataset.Diff(reverted, inst.Dirty)
+		if err != nil || len(cells) != 0 {
+			t.Fatalf("%s: undo deviates from the input at %v (%v)", algo.name, cells, err)
+		}
+	}
+}
+
+// TestLedgerCanceledRunCommitsAppliedWork submits a canceled run and checks
+// the partial repair is still fully ledgered: whatever was applied can be
+// undone back to the input.
+func TestLedgerCanceledRunCommitsAppliedWork(t *testing.T) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 400, ErrorRate: 0.06, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	close(cancel)
+	led := ledger.New()
+	res, err := repair.GreedyM(inst.Dirty, inst.Set, inst.Cfg, repair.Options{Cancel: cancel, Ledger: led})
+	if err == nil || res == nil {
+		t.Fatalf("expected a canceled partial result, got res=%v err=%v", res, err)
+	}
+	if led.Len() != len(res.Changed) {
+		t.Fatalf("%d events for %d applied cells", led.Len(), len(res.Changed))
+	}
+	reverted, uerr := ledger.Undo(res.Repaired, led.Events(), 0)
+	if uerr != nil {
+		t.Fatal(uerr)
+	}
+	cells, derr := dataset.Diff(reverted, inst.Dirty)
+	if derr != nil || len(cells) != 0 {
+		t.Fatalf("undo of the partial run deviates from the input at %v (%v)", cells, derr)
+	}
+}
+
+// BenchmarkLedgerOverhead measures the full GreedyM repair with and without
+// a ledger attached; the delta is the per-run cost of provenance capture and
+// Merkle hashing (acceptance target: under a few percent).
+func BenchmarkLedgerOverhead(b *testing.B) {
+	inst, err := eval.Prepare(eval.Setup{Workload: "hosp", N: 1000, ErrorRate: 0.06, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repair.GreedyM(inst.Dirty, inst.Set, inst.Cfg, repair.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repair.GreedyM(inst.Dirty, inst.Set, inst.Cfg, repair.Options{Ledger: ledger.New()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/ledger"
 	"ftrepair/internal/mis"
 	"ftrepair/internal/obs"
 	"ftrepair/internal/vgraph"
@@ -51,8 +52,9 @@ func GreedyM(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Option
 	return multiRepair(rel, set, cfg, opts, "GreedyM", greedyComponent)
 }
 
-// componentFunc repairs one connected component of the FD graph in place.
-type componentFunc func(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error
+// componentFunc repairs one connected component of the FD graph in place,
+// recording applied cells into ev when non-nil.
+type componentFunc func(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, ev *eventBuf) error
 
 func multiRepair(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options, name string, repairComp componentFunc) (*Result, error) {
 	start := time.Now()
@@ -60,30 +62,58 @@ func multiRepair(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Op
 	out := rel.Clone()
 	stats := make(map[string]int)
 	comps := set.Components()
+	// Each component gets a private event buffer: components repair disjoint
+	// attribute columns, so buffers never race, and flattening them in
+	// component order makes the collected stream independent of which
+	// goroutine finished first. Worker records the component index (stable
+	// across worker counts), not a goroutine id.
+	var bufs []*eventBuf
+	if opts.Ledger != nil {
+		bufs = make([]*eventBuf, len(comps))
+		for i := range bufs {
+			bufs[i] = &eventBuf{}
+		}
+	}
+	gather := func() []ledger.RepairEvent {
+		var all []ledger.RepairEvent
+		for ci, b := range bufs {
+			for _, e := range b.take() {
+				e.Worker = ci
+				all = append(all, e)
+			}
+		}
+		return all
+	}
 	// partial finishes the result over whatever components committed before
 	// a cancellation and surfaces the typed error alongside it.
 	partial := func() (*Result, error) {
 		addCacheStats(stats, cfg, snap)
-		res, ferr := finish(rel, out, cfg, name, time.Since(start), stats)
+		res, ferr := finish(rel, out, cfg, name, time.Since(start), stats, opts.Ledger, gather())
 		if ferr != nil {
 			return nil, ferr
 		}
 		return res, ErrCanceled
 	}
+	compBuf := func(i int) *eventBuf {
+		if bufs == nil {
+			return nil
+		}
+		return bufs[i]
+	}
 	if opts.Parallel >= 2 && len(comps) > 1 {
-		if err := repairComponentsParallel(rel, out, set, cfg, opts, stats, comps, repairComp); err != nil {
+		if err := repairComponentsParallel(rel, out, set, cfg, opts, stats, comps, repairComp, compBuf); err != nil {
 			if errors.Is(err, ErrCanceled) {
 				return partial()
 			}
 			return nil, err
 		}
 	} else {
-		for _, comp := range comps {
+		for i, comp := range comps {
 			if canceled(opts.Cancel) {
 				return partial()
 			}
 			sub := set.Subset(comp)
-			if err := repairComp(rel, out, sub, cfg, opts, stats); err != nil {
+			if err := repairComp(rel, out, sub, cfg, opts, stats, compBuf(i)); err != nil {
 				if errors.Is(err, ErrCanceled) {
 					return partial()
 				}
@@ -92,31 +122,32 @@ func multiRepair(rel *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Op
 		}
 	}
 	addCacheStats(stats, cfg, snap)
-	return finish(rel, out, cfg, name, time.Since(start), stats)
+	return finish(rel, out, cfg, name, time.Since(start), stats, opts.Ledger, gather())
 }
 
 // repairComponentsParallel runs component repairs on up to opts.Parallel
 // goroutines. Components write disjoint attribute columns of out, so the
-// repairs commute; stats merge under a lock.
-func repairComponentsParallel(rel, out *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, comps [][]int, repairComp componentFunc) error {
+// repairs commute; stats merge under a lock, and each worker records events
+// into its own component buffer (fetched via compBuf by component index).
+func repairComponentsParallel(rel, out *dataset.Relation, set *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, comps [][]int, repairComp componentFunc, compBuf func(int) *eventBuf) error {
 	sem := make(chan struct{}, opts.Parallel)
 	errs := make(chan error, len(comps))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for _, comp := range comps {
+	for ci, comp := range comps {
 		if canceled(opts.Cancel) {
 			// Stop submitting; in-flight workers observe the same channel
 			// and unwind on their own.
 			break
 		}
-		comp := comp
+		ci, comp := ci, comp
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			local := make(map[string]int)
-			err := repairComp(rel, out, set.Subset(comp), cfg, opts, local)
+			err := repairComp(rel, out, set.Subset(comp), cfg, opts, local, compBuf(ci))
 			if err != nil {
 				errs <- err
 				return
@@ -190,7 +221,7 @@ func buildGraphs(rel *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Op
 }
 
 // exactComponent implements Algorithm 3 for one component.
-func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error {
+func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, ev *eventBuf) error {
 	graphs := buildGraphs(rel, sub, cfg, opts)
 	if len(sub.FDs) == 1 {
 		// Single-FD component: the expansion algorithm is optimal
@@ -213,7 +244,7 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 		}
 		stats["nodes"] += res.NodesExplored
 		ap := obs.Begin(opts.Trace, obs.PhaseApply)
-		applyInPlace(out, graphs[0], repairTargets(graphs[0], res.Set))
+		applyInPlace(out, graphs[0], repairTargets(graphs[0], res.Set), cfg, ev)
 		ap.End()
 		return nil
 	}
@@ -257,14 +288,17 @@ func exactComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 	if bestTargets == nil {
 		return fmt.Errorf("repair: no feasible combination of independent sets joins into targets")
 	}
+	if ev != nil {
+		ev.fdLabel = fdSetLabel(sub)
+	}
 	ap := obs.Begin(opts.Trace, obs.PhaseApply)
-	applyPlan(out, groups, bestTargets)
+	applyPlan(out, groups, bestTargets, cfg, ev)
 	ap.End()
 	return nil
 }
 
 // approComponent implements §4.3 for one component.
-func approComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error {
+func approComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, ev *eventBuf) error {
 	graphs := buildGraphs(rel, sub, cfg, opts)
 	sp := obs.Begin(opts.Trace, obs.PhaseGreedyGrow)
 	sets := make([][]int, len(graphs))
@@ -276,11 +310,11 @@ func approComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig,
 		}
 	}
 	sp.End()
-	return applyJoinedSets(rel, out, sub, cfg, opts, stats, graphs, sets)
+	return applyJoinedSets(rel, out, sub, cfg, opts, stats, graphs, sets, ev)
 }
 
 // greedyComponent implements §4.4 for one component.
-func greedyComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int) error {
+func greedyComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, ev *eventBuf) error {
 	graphs := buildGraphs(rel, sub, cfg, opts)
 	sp := obs.Begin(opts.Trace, obs.PhaseGreedyGrow)
 	sets := jointGreedySets(rel, graphs, opts.Cancel)
@@ -290,23 +324,24 @@ func greedyComponent(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig
 		// rather than applying a half-grown plan.
 		return ErrCanceled
 	}
-	return applyJoinedSets(rel, out, sub, cfg, opts, stats, graphs, sets)
+	return applyJoinedSets(rel, out, sub, cfg, opts, stats, graphs, sets, ev)
 }
 
 // applyJoinedSets joins per-FD independent sets into targets and repairs
 // every tuple whose projections fall outside them. When the join is empty
 // (the chosen sets disagree on every shared value — possible for heuristic
 // sets), it falls back to iterated per-FD greedy repair.
-func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, graphs []*vgraph.Graph, sets [][]int) error {
+func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, stats map[string]int, graphs []*vgraph.Graph, sets [][]int, ev *eventBuf) error {
 	if len(graphs) == 1 {
 		ap := obs.Begin(opts.Trace, obs.PhaseApply)
-		applyInPlace(out, graphs[0], repairTargets(graphs[0], sets[0]))
+		applyInPlace(out, graphs[0], repairTargets(graphs[0], sets[0]), cfg, ev)
 		ap.End()
 		return nil
 	}
 	groups := groupTuples(rel, unionAttrs(sub.FDs))
 	p := newPlanner(groups, graphs, cfg, opts.DisableTargetTree, opts.Cancel, planWorkers(false))
 	ts := obs.Begin(opts.Trace, obs.PhaseTargetSearch)
+	p.span = ts
 	targets, _, visited, ok := p.costs(chosenBits(graphs, sets), levelsFor(graphs, sets), nil)
 	ts.Add("treeVisited", int64(visited))
 	ts.End()
@@ -316,10 +351,13 @@ func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig
 	}
 	if !ok {
 		stats["joinFallback"]++
-		return sequentialFallback(out, sub, cfg, opts)
+		return sequentialFallback(out, sub, cfg, opts, ev)
+	}
+	if ev != nil {
+		ev.fdLabel = fdSetLabel(sub)
 	}
 	ap := obs.Begin(opts.Trace, obs.PhaseApply)
-	applyPlan(out, groups, targets)
+	applyPlan(out, groups, targets, cfg, ev)
 	ap.End()
 	return nil
 }
@@ -328,7 +366,7 @@ func applyJoinedSets(rel, out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig
 // greedy algorithm, iterating until the component is FT-consistent or a
 // round budget is exhausted. It is only used when the joined independent
 // sets admit no target.
-func sequentialFallback(out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options) error {
+func sequentialFallback(out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, opts Options, ev *eventBuf) error {
 	const maxRounds = 5
 	for round := 0; round < maxRounds; round++ {
 		clean := true
@@ -341,7 +379,7 @@ func sequentialFallback(out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, 
 				continue
 			}
 			clean = false
-			applyInPlace(out, g, repairTargets(g, greedySet(g, opts.Cancel)))
+			applyInPlace(out, g, repairTargets(g, greedySet(g, opts.Cancel)), cfg, ev)
 		}
 		if clean {
 			return nil
@@ -351,13 +389,24 @@ func sequentialFallback(out *dataset.Relation, sub *fd.Set, cfg *fd.DistConfig, 
 }
 
 // applyInPlace is applyVertexRepairs writing directly into out (whose rows
-// align with the graph's source relation).
-func applyInPlace(out *dataset.Relation, g *vgraph.Graph, target map[int]int) {
+// align with the graph's source relation). When ev is non-nil, every cell
+// whose value actually changes is recorded with the violation edge (from →
+// to) that justified the repair; unchanged cells stay silent, so the ledger
+// matches dataset.Diff exactly for single-write repairs.
+func applyInPlace(out *dataset.Relation, g *vgraph.Graph, target map[int]int, cfg *fd.DistConfig, ev *eventBuf) {
 	for from, to := range target {
 		pattern := g.Vertices[to].Rep
+		var tmpl ledger.RepairEvent
+		if ev != nil {
+			tmpl = vertexTemplate(g, from, to)
+		}
 		for _, row := range g.Vertices[from].Rows {
 			for _, c := range g.FD.Attrs() {
+				old := out.Tuples[row][c]
 				out.Tuples[row][c] = pattern[c]
+				if ev != nil && old != pattern[c] {
+					ev.record(cellEvent(tmpl, out, cfg, row, c, old, pattern[c]))
+				}
 			}
 		}
 	}

@@ -1,0 +1,84 @@
+package repair
+
+import (
+	"strings"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/fd"
+	"ftrepair/internal/ledger"
+	"ftrepair/internal/vgraph"
+)
+
+// eventBuf collects one run's (or one component's) ledger events while the
+// repair applies. A nil *eventBuf disables collection — the apply paths pay
+// one nil check per written cell and nothing else, which is what keeps the
+// ledgered hot path within the documented overhead budget. Buffers are
+// never shared across goroutines: multiRepair gives each component its own
+// and flattens them in component order, so the collected stream is
+// scheduling-independent before Ledger.Commit even sorts it.
+type eventBuf struct {
+	// fdLabel names the FD context of join-target events, which span every
+	// FD of a component and have no single justifying dependency.
+	fdLabel string
+	events  []ledger.RepairEvent
+}
+
+// newEventBuf returns a collector when the run wants one, nil otherwise.
+func newEventBuf(opts Options) *eventBuf {
+	if opts.Ledger == nil {
+		return nil
+	}
+	return &eventBuf{}
+}
+
+// take returns the collected events (nil-safe).
+func (b *eventBuf) take() []ledger.RepairEvent {
+	if b == nil {
+		return nil
+	}
+	return b.events
+}
+
+// fdSetLabel names a component's FD set for join-target events.
+func fdSetLabel(sub *fd.Set) string {
+	parts := make([]string, len(sub.FDs))
+	for i, f := range sub.FDs {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// vertexTemplate pre-fills the justification shared by every cell event of
+// one pattern repair: the FD, both pattern projections, and the violation
+// edge's repair weight and distance.
+func vertexTemplate(g *vgraph.Graph, from, to int) ledger.RepairEvent {
+	attrs := g.FD.Attrs()
+	e := ledger.RepairEvent{
+		FD:       g.FD.String(),
+		EdgeFrom: strings.Join(g.Vertices[from].Rep.Project(attrs), "|"),
+		EdgeTo:   strings.Join(g.Vertices[to].Rep.Project(attrs), "|"),
+	}
+	for _, n := range g.Neighbors(from) {
+		if n.To == to {
+			e.EdgeW, e.EdgeD = n.W, n.D
+			break
+		}
+	}
+	return e
+}
+
+// record appends one cell event. Callers check b != nil and old != new
+// first, so the disabled path never constructs events.
+func (b *eventBuf) record(e ledger.RepairEvent) {
+	b.events = append(b.events, e)
+}
+
+// cellEvent fills the cell-address half of an event from a template.
+func cellEvent(tmpl ledger.RepairEvent, rel *dataset.Relation, cfg *fd.DistConfig, row, col int, old, new string) ledger.RepairEvent {
+	e := tmpl
+	e.Row, e.Col = row, col
+	e.Attr = rel.Schema.Attr(col).Name
+	e.Old, e.New = old, new
+	e.CostDelta = cfg.RepairDist(col, old, new)
+	return e
+}

@@ -22,6 +22,7 @@ import (
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/ledger"
 	"ftrepair/internal/obs"
 	"ftrepair/internal/vgraph"
 )
@@ -93,6 +94,14 @@ type Options struct {
 	// perturb repair decisions. Metrics flow into the obs default registry
 	// whether or not a trace is attached.
 	Trace *obs.Trace
+	// Ledger, when non-nil, receives every applied cell repair as a
+	// structured event with its justification (FD, violation edge or
+	// join-target, per-cell cost delta). Each run commits exactly once, in
+	// finish — the same single-flush-point pattern as FlushRunStats — and
+	// partial (canceled) runs commit the work they applied. Like Trace,
+	// purely observational: repair decisions never consult the sink, and
+	// the committed event stream is bit-identical at any worker count.
+	Ledger ledger.Sink
 }
 
 // ErrCanceled is returned when Options.Cancel fires mid-repair. The Result
@@ -118,19 +127,23 @@ func graphOpts(opts Options) vgraph.Options {
 
 // cacheSnap freezes the distance-cache counters at the start of a repair so
 // per-run deltas can be reported even though the cache (and its cumulative
-// counters) outlives individual runs.
-type cacheSnap struct{ hits, misses uint64 }
+// counters) outlives individual runs. Plane counts are snapped separately:
+// they split the cache totals into fast-path and fall-through traffic.
+type cacheSnap struct{ hits, misses, planeHits, planeMisses uint64 }
 
 func snapCacheStats(cfg *fd.DistConfig) cacheSnap {
 	if cfg.Cache == nil {
 		return cacheSnap{}
 	}
 	h, m := cfg.Cache.Counters()
-	return cacheSnap{hits: h, misses: m}
+	ph, pm := cfg.Cache.PlaneCounters()
+	return cacheSnap{hits: h, misses: m, planeHits: ph, planeMisses: pm}
 }
 
 // addCacheStats records the distance-cache hit/miss deltas since snap into
-// the stats map under "distCacheHits"/"distCacheMisses".
+// the stats map under "distCacheHits"/"distCacheMisses", and the
+// distance-plane share of that traffic under
+// "distPlaneHits"/"distPlaneMisses".
 func addCacheStats(stats map[string]int, cfg *fd.DistConfig, snap cacheSnap) {
 	if cfg.Cache == nil || stats == nil {
 		return
@@ -138,6 +151,9 @@ func addCacheStats(stats map[string]int, cfg *fd.DistConfig, snap cacheSnap) {
 	h, m := cfg.Cache.Counters()
 	stats["distCacheHits"] += int(h - snap.hits)
 	stats["distCacheMisses"] += int(m - snap.misses)
+	ph, pm := cfg.Cache.PlaneCounters()
+	stats["distPlaneHits"] += int(ph - snap.planeHits)
+	stats["distPlaneMisses"] += int(pm - snap.planeMisses)
 }
 
 // canceled reports whether the cancel channel (possibly nil) has fired.
@@ -156,7 +172,11 @@ func canceled(ch <-chan struct{}) bool {
 // finish takes the elapsed wall time rather than the start instant so that
 // repair decision code never holds a clock reading as data — callers pass
 // time.Since(start) at the return point (nondeterm invariant, DESIGN.md §15).
-func finish(orig *dataset.Relation, repaired *dataset.Relation, cfg *fd.DistConfig, algorithm string, elapsed time.Duration, stats map[string]int) (*Result, error) {
+//
+// It is also the run's single ledger flush point, mirroring FlushRunStats:
+// every algorithm funnels its applied events here exactly once, canceled
+// partial runs included, so a sink sees each applied cell exactly once.
+func finish(orig *dataset.Relation, repaired *dataset.Relation, cfg *fd.DistConfig, algorithm string, elapsed time.Duration, stats map[string]int, sink ledger.Sink, events []ledger.RepairEvent) (*Result, error) {
 	changed, err := dataset.Diff(orig, repaired)
 	if err != nil {
 		return nil, err
@@ -167,6 +187,12 @@ func finish(orig *dataset.Relation, repaired *dataset.Relation, cfg *fd.DistConf
 	// excluded — vgraph.Build flushes those at construction.
 	obs.FlushRunStats(stats)
 	obs.ObserveRepair(algorithm, elapsed)
+	if sink != nil && len(events) > 0 {
+		for i := range events {
+			events[i].Algorithm = algorithm
+		}
+		sink.Commit(events)
+	}
 	return &Result{
 		Repaired:  repaired,
 		Cost:      cfg.DatabaseCost(orig, repaired),
@@ -235,15 +261,10 @@ func VerifyValid(orig, repaired *dataset.Relation, set *fd.Set) error {
 
 // applyVertexRepairs writes pattern repairs into a cloned relation: each
 // entry maps a graph vertex to the vertex whose pattern its rows adopt.
-func applyVertexRepairs(rel *dataset.Relation, g *vgraph.Graph, target map[int]int) *dataset.Relation {
+// When ev is non-nil, every actually changed cell is recorded with the
+// violation edge that justified the repair.
+func applyVertexRepairs(rel *dataset.Relation, g *vgraph.Graph, target map[int]int, cfg *fd.DistConfig, ev *eventBuf) *dataset.Relation {
 	out := rel.Clone()
-	for from, to := range target {
-		pattern := g.Vertices[to].Rep
-		for _, row := range g.Vertices[from].Rows {
-			for _, c := range g.FD.Attrs() {
-				out.Tuples[row][c] = pattern[c]
-			}
-		}
-	}
+	applyInPlace(out, g, target, cfg, ev)
 	return out
 }

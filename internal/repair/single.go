@@ -42,7 +42,7 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 			"edges":    g.NumEdges(),
 		}
 		addCacheStats(stats, cfg, snap)
-		partial, ferr := finish(rel, rel.Clone(), cfg, "ExactS", time.Since(start), stats)
+		partial, ferr := finish(rel, rel.Clone(), cfg, "ExactS", time.Since(start), stats, opts.Ledger, nil)
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -51,8 +51,9 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 	if err != nil {
 		return nil, err
 	}
+	ev := newEventBuf(opts)
 	ap := obs.Begin(opts.Trace, obs.PhaseApply)
-	repaired := applyVertexRepairs(rel, g, repairTargets(g, res.Set))
+	repaired := applyVertexRepairs(rel, g, repairTargets(g, res.Set), cfg, ev)
 	ap.End()
 	stats := map[string]int{
 		"vertices": len(g.Vertices),
@@ -61,7 +62,7 @@ func ExactS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, op
 		"pruned":   res.Pruned,
 	}
 	addCacheStats(stats, cfg, snap)
-	return finish(rel, repaired, cfg, "ExactS", time.Since(start), stats)
+	return finish(rel, repaired, cfg, "ExactS", time.Since(start), stats, opts.Ledger, ev.take())
 }
 
 // repairTargets maps every vertex outside the independent set to its
@@ -102,8 +103,9 @@ func GreedyS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, o
 	set := greedySet(g, opts.Cancel)
 	sp.Add("setSize", int64(len(set)))
 	sp.End()
+	ev := newEventBuf(opts)
 	ap := obs.Begin(opts.Trace, obs.PhaseApply)
-	repaired := applyVertexRepairs(rel, g, repairTargets(g, set))
+	repaired := applyVertexRepairs(rel, g, repairTargets(g, set), cfg, ev)
 	ap.End()
 	stats := map[string]int{
 		"vertices": len(g.Vertices),
@@ -111,7 +113,7 @@ func GreedyS(rel *dataset.Relation, f *fd.FD, cfg *fd.DistConfig, tau float64, o
 		"setSize":  len(set),
 	}
 	addCacheStats(stats, cfg, snap)
-	res, err := finish(rel, repaired, cfg, "GreedyS", time.Since(start), stats)
+	res, err := finish(rel, repaired, cfg, "GreedyS", time.Since(start), stats, opts.Ledger, ev.take())
 	if err == nil && canceled(opts.Cancel) {
 		// The greedy growth stopped early: excluded vertices without an
 		// in-set neighbor stay unrepaired.

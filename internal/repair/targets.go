@@ -8,6 +8,8 @@ import (
 	"ftrepair/internal/bitset"
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/ledger"
+	"ftrepair/internal/obs"
 	"ftrepair/internal/targettree"
 	"ftrepair/internal/vgraph"
 )
@@ -129,6 +131,12 @@ type planner struct {
 	// always repairs). Precomputed once, it turns the per-combination
 	// needs-repair test into a bitset probe — no key strings, no map hits.
 	vertexOf [][]int32
+	// span, when non-nil, is the parent span under which costs opens a
+	// distance child covering the nearest-target searches. Only the
+	// single-evaluation callers (applyJoinedSets) set it: ExactM calls costs
+	// once per combination and a per-combination child span would swamp the
+	// trace.
+	span *obs.Span
 }
 
 // newPlanner builds a planner over a fixed grouping, precomputing the
@@ -199,6 +207,13 @@ func (p *planner) costs(chosen []bitset.Set, levels []targettree.Level, abortAbo
 	tree, err := targettree.Build(levels)
 	if err != nil {
 		return nil, 0, 0, false
+	}
+	if p.span != nil {
+		// The remainder of the evaluation is the distance-dominated nearest
+		// searches; the child span makes that share visible under the
+		// parent targetsearch phase.
+		ds := p.span.Child(obs.PhaseDistance)
+		defer ds.End()
 	}
 	sc := planScratchPool.Get().(*planScratch)
 	defer planScratchPool.Put(sc)
@@ -295,15 +310,31 @@ func (p *planner) nearest(tree *targettree.Tree, rep dataset.Tuple) groupResult 
 	return r
 }
 
-// applyPlan writes the chosen targets into out.
-func applyPlan(out *dataset.Relation, groups []tupleGroup, targets []*targettree.Target) {
+// applyPlan writes the chosen targets into out. When ev is non-nil, every
+// cell whose value actually changes is recorded with its join-target
+// justification (the target's columns and values plus the component's FD
+// label, set by the caller on ev.fdLabel — plan repairs span every FD of
+// the component, so no single violation edge applies).
+func applyPlan(out *dataset.Relation, groups []tupleGroup, targets []*targettree.Target, cfg *fd.DistConfig, ev *eventBuf) {
 	for gi, tg := range targets {
 		if tg == nil {
 			continue
 		}
+		var tmpl ledger.RepairEvent
+		if ev != nil {
+			tmpl = ledger.RepairEvent{
+				FD:         ev.fdLabel,
+				TargetCols: tg.Cols,
+				Target:     tg.Vals,
+			}
+		}
 		for _, row := range groups[gi].rows {
 			for i, c := range tg.Cols {
+				old := out.Tuples[row][c]
 				out.Tuples[row][c] = tg.Vals[i]
+				if ev != nil && old != tg.Vals[i] {
+					ev.record(cellEvent(tmpl, out, cfg, row, c, old, tg.Vals[i]))
+				}
 			}
 		}
 	}

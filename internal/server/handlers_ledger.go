@@ -1,0 +1,224 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/ledger"
+)
+
+// ledgerView is the JSON body of GET /v1/jobs/{id}/ledger.
+type ledgerView struct {
+	Job     string               `json:"job"`
+	RunRoot ledger.Hash          `json:"runRoot"`
+	Events  []ledger.RepairEvent `json:"events"`
+	Batches []ledger.Batch       `json:"batches"`
+}
+
+// jobLedger resolves a job id to its attached ledger, writing the HTTP error
+// itself when the job or ledger is missing.
+func (s *Server) jobLedger(w http.ResponseWriter, id string) (*Job, *ledger.Ledger, *dataset.Relation, bool) {
+	job, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return nil, nil, nil, false
+	}
+	led, repaired := job.Ledger()
+	if led == nil {
+		writeError(w, http.StatusConflict, "job %s has no ledger yet (state %s)", id, job.State())
+		return nil, nil, nil, false
+	}
+	return job, led, repaired, true
+}
+
+// handleJobLedger serves a job's repair ledger: the default JSON view, or
+// the self-verifying JSONL dump (?format=jsonl) that cmd/ledgercheck and
+// ledger.ReadJSONL consume.
+func (s *Server) handleJobLedger(w http.ResponseWriter, r *http.Request) {
+	job, led, _, ok := s.jobLedger(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = led.WriteJSONL(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, ledgerView{
+		Job:     job.id,
+		RunRoot: led.RunRoot(),
+		Events:  led.Events(),
+		Batches: led.Batches(),
+	})
+}
+
+// explainView is the JSON body of GET /v1/explain: the last event that wrote
+// the cell plus its inclusion proof, checkable offline against BatchRoot
+// (and, through the chain, RunRoot).
+type explainView struct {
+	Job       string             `json:"job"`
+	Event     ledger.RepairEvent `json:"event"`
+	Proof     ledger.Proof       `json:"proof"`
+	BatchRoot ledger.Hash        `json:"batchRoot"`
+	RunRoot   ledger.Hash        `json:"runRoot"`
+	// Verified reports the server-side proof check; clients should re-run
+	// VerifyProof themselves rather than trust it.
+	Verified bool `json:"verified"`
+	// History counts how many ledger events wrote this cell in total (> 1
+	// when later batches re-repaired it).
+	History int `json:"history"`
+}
+
+// latestLedgeredJob returns the most recently submitted job that has a
+// ledger attached.
+func (s *Server) latestLedgeredJob() (*Job, bool) {
+	jobs := s.jobs.list()
+	for i := len(jobs) - 1; i >= 0; i-- {
+		if led, _ := jobs[i].Ledger(); led != nil {
+			return jobs[i], true
+		}
+	}
+	return nil, false
+}
+
+// resolveCol turns a col query value (attribute name or numeric index) into
+// a column index of the relation.
+func resolveCol(rel *dataset.Relation, col string) (int, bool) {
+	if n, err := strconv.Atoi(col); err == nil {
+		if n >= 0 && n < rel.Schema.Len() {
+			return n, true
+		}
+		return 0, false
+	}
+	for i := 0; i < rel.Schema.Len(); i++ {
+		if strings.EqualFold(rel.Schema.Attr(i).Name, col) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// handleExplain resolves one repaired cell (?tuple=&col=, col by attribute
+// name or index; ?job= optional, defaulting to the latest ledgered job) to
+// the ledger event that last wrote it, with the FD / violation edge /
+// join-target justification, the cost delta, and an inclusion proof.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id := q.Get("job")
+	if id == "" {
+		job, ok := s.latestLedgeredJob()
+		if !ok {
+			writeError(w, http.StatusNotFound, "no job with a ledger; submit a job first")
+			return
+		}
+		id = job.id
+	}
+	job, led, repaired, ok := s.jobLedger(w, id)
+	if !ok {
+		return
+	}
+	row, err := strconv.Atoi(q.Get("tuple"))
+	if err != nil || row < 0 {
+		writeError(w, http.StatusBadRequest, "tuple must be a row index, got %q", q.Get("tuple"))
+		return
+	}
+	col, ok := resolveCol(repaired, q.Get("col"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "col %q names no attribute", q.Get("col"))
+		return
+	}
+	events := led.Events()
+	last, history := uint64(0), 0
+	for _, e := range events {
+		if e.Row == row && e.Col == col {
+			last = e.Seq
+			history++
+		}
+	}
+	if last == 0 {
+		writeError(w, http.StatusNotFound, "cell (tuple %d, %s) was not repaired by job %s",
+			row, repaired.Schema.Attr(col).Name, id)
+		return
+	}
+	ev, proof, batch, ok := led.Prove(last)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "ledger lost seq %d", last)
+		return
+	}
+	leaf := ledger.EventHash(&ev)
+	writeJSON(w, http.StatusOK, explainView{
+		Job:       job.id,
+		Event:     ev,
+		Proof:     proof,
+		BatchRoot: batch.Root,
+		RunRoot:   led.RunRoot(),
+		Verified:  ledger.VerifyProof(leaf, proof, batch.Root),
+		History:   history,
+	})
+}
+
+// undoRequest is the body of POST /v1/undo.
+type undoRequest struct {
+	// Job names the ledgered job to undo against; empty means the latest.
+	Job string `json:"job,omitempty"`
+	// Events is how many trailing events to reverse; 0 or negative means
+	// all of them (full undo reproduces the pre-repair relation).
+	Events int `json:"events,omitempty"`
+}
+
+// undoResponse reports a replay-verified undo. The operation is
+// non-mutating: the job's stored result is untouched, the reverted relation
+// is returned as CSV.
+type undoResponse struct {
+	Job      string      `json:"job"`
+	Reverted int         `json:"reverted"`
+	RunRoot  ledger.Hash `json:"runRoot"`
+	CSV      string      `json:"csv"`
+}
+
+// handleUndo reverses a suffix of a job's ledger over its result relation,
+// verifying each event's recorded New value against the cell before
+// restoring Old. A mismatch (the relation diverged from the ledger) is a
+// 409 and bumps ftrepair_ledger_verify_failures_total.
+func (s *Server) handleUndo(w http.ResponseWriter, r *http.Request) {
+	var req undoRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	id := req.Job
+	if id == "" {
+		job, ok := s.latestLedgeredJob()
+		if !ok {
+			writeError(w, http.StatusNotFound, "no job with a ledger; submit a job first")
+			return
+		}
+		id = job.id
+	}
+	job, led, repaired, ok := s.jobLedger(w, id)
+	if !ok {
+		return
+	}
+	events := led.Events()
+	n := req.Events
+	if n <= 0 || n > len(events) {
+		n = len(events)
+	}
+	reverted, err := ledger.Undo(repaired, events, n)
+	if err != nil {
+		writeError(w, http.StatusConflict, "undo: %v", err)
+		return
+	}
+	var buf strings.Builder
+	if err := dataset.WriteCSV(&buf, reverted); err != nil {
+		writeError(w, http.StatusInternalServerError, "serializing reverted relation: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, undoResponse{
+		Job:      job.id,
+		Reverted: n,
+		RunRoot:  led.RunRoot(),
+		CSV:      buf.String(),
+	})
+}

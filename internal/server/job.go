@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ftrepair/internal/dataset"
+	"ftrepair/internal/ledger"
 	"ftrepair/internal/obs"
 )
 
@@ -88,6 +89,12 @@ type Job struct {
 	result     *JobResult
 	cancelCh   chan struct{}
 	cancelOnce sync.Once
+	// led is the job's repair ledger (every applied cell with provenance and
+	// Merkle commitments); repaired is the result relation the ledger's
+	// events replay against. Both are set once at completion and immutable
+	// afterwards, so accessors hand them out without copying.
+	led      *ledger.Ledger
+	repaired *dataset.Relation
 }
 
 func newJob(id string, spec JobSpec, prob *problem, now time.Time) *Job {
@@ -144,6 +151,22 @@ func (j *Job) complete(state JobState, res *JobResult, errMsg string) {
 	j.finished = time.Now()
 	j.result = res
 	j.errMsg = errMsg
+}
+
+// attachLedger records the finished run's ledger and result relation.
+func (j *Job) attachLedger(led *ledger.Ledger, repaired *dataset.Relation) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.led = led
+	j.repaired = repaired
+}
+
+// Ledger returns the job's ledger and result relation, nil before the job
+// reached a terminal state with a result.
+func (j *Job) Ledger() (*ledger.Ledger, *dataset.Relation) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.led, j.repaired
 }
 
 // View snapshots the job for JSON encoding. withResult controls whether the

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ftrepair/internal/dataset"
+	"ftrepair/internal/ledger"
+)
+
+// doneLedgeredJob submits the HOSP job and waits for completion, returning
+// the job id and its ledger view.
+func doneLedgeredJob(t *testing.T, base string) (string, ledgerView) {
+	t.Helper()
+	v := submitJob(t, base, JobSpec{
+		CSV: hospCSV(), FDs: []string{"City -> State"},
+		Tau: 0.3, WL: 0.7, WR: 0.3,
+	})
+	done := pollJob(t, base, v.ID, 30*time.Second)
+	if done.State != JobDone {
+		t.Fatalf("job finished %s: %s", done.State, done.Error)
+	}
+	resp, body := doJSON(t, http.MethodGet, base+"/v1/jobs/"+v.ID+"/ledger")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET ledger: %d %s", resp.StatusCode, body)
+	}
+	var lv ledgerView
+	if err := json.Unmarshal(body, &lv); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID, lv
+}
+
+// TestJobLedgerEndpoint fetches a finished job's ledger in both formats and
+// verifies the JSONL dump offline — the same check cmd/ledgercheck runs.
+func TestJobLedgerEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id, lv := doneLedgeredJob(t, ts.URL)
+	if lv.Job != id || len(lv.Events) == 0 || len(lv.Batches) == 0 {
+		t.Fatalf("ledger view: %d events, %d batches for job %s", len(lv.Events), len(lv.Batches), lv.Job)
+	}
+	if lv.RunRoot == (ledger.Hash{}) {
+		t.Fatal("run root is zero")
+	}
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+id+"/ledger?format=jsonl")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET ledger jsonl: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("jsonl content type %q", ct)
+	}
+	dump, err := ledger.ReadJSONL(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dump.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if dump.RunRoot != lv.RunRoot {
+		t.Fatal("jsonl run root differs from the JSON view")
+	}
+
+	if resp, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/nope/ledger"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: %d", resp.StatusCode)
+	}
+}
+
+// TestExplainEndpoint resolves a repaired cell to its justifying event with
+// a proof that checks out client-side against the returned batch root.
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id, lv := doneLedgeredJob(t, ts.URL)
+	ev0 := lv.Events[0]
+
+	// Address the cell by attribute name, letting job default to the latest
+	// ledgered job.
+	resp, body := doJSON(t, http.MethodGet,
+		ts.URL+"/v1/explain?tuple="+strconv.Itoa(ev0.Row)+"&col="+ev0.Attr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET explain: %d %s", resp.StatusCode, body)
+	}
+	var ex explainView
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Job != id || ex.Event.Row != ev0.Row || ex.Event.Col != ev0.Col || ex.History < 1 {
+		t.Fatalf("explain resolved the wrong event: %+v", ex)
+	}
+	if !ex.Verified {
+		t.Fatal("server-side proof check failed")
+	}
+	// Client-side verification from the response alone.
+	leaf := ledger.EventHash(&ex.Event)
+	if !ledger.VerifyProof(leaf, ex.Proof, ex.BatchRoot) {
+		t.Fatal("returned proof does not verify against the batch root")
+	}
+	if ex.RunRoot != lv.RunRoot {
+		t.Fatal("explain run root differs from the ledger view")
+	}
+
+	// A never-repaired cell is a 404.
+	if resp, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/explain?job="+id+"&tuple=0&col=0"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("clean cell: %d", resp.StatusCode)
+	}
+	// An unknown column is a 400.
+	if resp, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/explain?job="+id+"&tuple=0&col=Bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus column: %d", resp.StatusCode)
+	}
+}
+
+// TestUndoEndpoint reverses the whole ledger and expects the job's input
+// back, byte for byte, without mutating the stored result.
+func TestUndoEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id, lv := doneLedgeredJob(t, ts.URL)
+
+	resp, body := postJSON(t, ts.URL+"/v1/undo", undoRequest{Job: id})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST undo: %d %s", resp.StatusCode, body)
+	}
+	var ur undoResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Job != id || ur.Reverted != len(lv.Events) {
+		t.Fatalf("undo reverted %d of %d events", ur.Reverted, len(lv.Events))
+	}
+	reverted, err := dataset.ReadCSV(strings.NewReader(ur.CSV), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, err := dataset.ReadCSV(strings.NewReader(hospCSV()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := dataset.Diff(reverted, input)
+	if err != nil || len(cells) != 0 {
+		t.Fatalf("undo CSV deviates from the input at %v (%v)", cells, err)
+	}
+
+	// The stored result must be untouched: a second full undo still works.
+	resp, _ = postJSON(t, ts.URL+"/v1/undo", undoRequest{Job: id, Events: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second undo: %d", resp.StatusCode)
+	}
+}

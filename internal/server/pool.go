@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"ftrepair/internal/ledger"
 	"ftrepair/internal/obs"
 	"ftrepair/internal/repair"
 )
@@ -103,8 +104,11 @@ func (s *Server) execJob(j *Job) {
 	// server-side profiling. CloseOpen is the safety net for error paths
 	// that unwound before a span's deferred End ran.
 	tr := obs.NewTrace("job:" + j.id)
+	// Every job also gets its own ledger: the run commits applied cell
+	// repairs into it, and the explain/undo/ledger endpoints read it back.
+	led := ledger.New()
 	start := time.Now()
-	res, err := j.prob.run(cancel, tr)
+	res, err := j.prob.run(cancel, tr, led)
 	elapsed := time.Since(start)
 	tr.CloseOpen()
 
@@ -113,6 +117,7 @@ func (s *Server) execJob(j *Job) {
 		jr := buildResult(j.prob, &jobRunOutcome{result: res})
 		jr.Spans = tr.Summaries()
 		s.verifyIfRequested(j, jr, res)
+		j.attachLedger(led, res.Repaired)
 		j.complete(JobDone, jr, "")
 		s.metrics.jobFinished(JobDone, j.prob.algo, elapsed, len(res.Changed))
 		s.metrics.addDistCache(res.Stats)
@@ -124,6 +129,7 @@ func (s *Server) execJob(j *Job) {
 			jr.Spans = tr.Summaries()
 			changed = len(res.Changed)
 			s.metrics.addDistCache(res.Stats)
+			j.attachLedger(led, res.Repaired)
 		}
 		j.complete(JobCanceled, jr, err.Error())
 		s.metrics.jobFinished(JobCanceled, j.prob.algo, elapsed, changed)

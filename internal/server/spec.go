@@ -6,6 +6,7 @@ import (
 
 	"ftrepair/internal/dataset"
 	"ftrepair/internal/fd"
+	"ftrepair/internal/ledger"
 	"ftrepair/internal/obs"
 	"ftrepair/internal/profile"
 	"ftrepair/internal/repair"
@@ -236,12 +237,14 @@ func (spec *JobSpec) compile() (*problem, error) {
 	}, nil
 }
 
-// run executes the compiled problem with the given cancellation channel and
-// an optional trace collecting phase spans (nil disables tracing).
-func (p *problem) run(cancel <-chan struct{}, tr *obs.Trace) (*repair.Result, error) {
+// run executes the compiled problem with the given cancellation channel, an
+// optional trace collecting phase spans, and an optional ledger sink
+// receiving the applied cell repairs (nil disables either).
+func (p *problem) run(cancel <-chan struct{}, tr *obs.Trace, sink ledger.Sink) (*repair.Result, error) {
 	opts := p.opts
 	opts.Cancel = cancel
 	opts.Trace = tr
+	opts.Ledger = sink
 	switch p.algo {
 	case "ExactS":
 		return repair.ExactS(p.rel, p.set.FDs[0], p.cfg, p.set.Tau[0], opts)

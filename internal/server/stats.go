@@ -26,8 +26,13 @@ type StatsView struct {
 	SessionRepairs int              `json:"sessionRepairs"`
 	// DistCacheHits/Misses aggregate the distance-cache counters reported by
 	// finished jobs (the "distCacheHits"/"distCacheMisses" Stats entries).
-	DistCacheHits   int                  `json:"distCacheHits"`
-	DistCacheMisses int                  `json:"distCacheMisses"`
+	DistCacheHits   int `json:"distCacheHits"`
+	DistCacheMisses int `json:"distCacheMisses"`
+	// DistPlaneHits/Misses split the cache traffic above into the
+	// distance-plane fast path versus sharded-map fall-throughs (the
+	// "distPlaneHits"/"distPlaneMisses" Stats entries).
+	DistPlaneHits   int                  `json:"distPlaneHits"`
+	DistPlaneMisses int                  `json:"distPlaneMisses"`
 	Algorithms      map[string]*AlgoStat `json:"algorithms"`
 }
 
@@ -45,6 +50,8 @@ type metrics struct {
 	sessionRepairs int
 	distCacheHits  int
 	distCacheMiss  int
+	distPlaneHits  int
+	distPlaneMiss  int
 	perAlgo        map[string]*AlgoStat
 
 	obsJobsSubmitted  *obs.Counter
@@ -109,6 +116,8 @@ func (m *metrics) addDistCache(stats map[string]int) {
 	m.mu.Lock()
 	m.distCacheHits += stats["distCacheHits"]
 	m.distCacheMiss += stats["distCacheMisses"]
+	m.distPlaneHits += stats["distPlaneHits"]
+	m.distPlaneMiss += stats["distPlaneMisses"]
 	m.mu.Unlock()
 }
 
@@ -156,6 +165,8 @@ func (m *metrics) snapshot(uptime time.Duration, jobs map[JobState]int, sessions
 		SessionRepairs:  m.sessionRepairs,
 		DistCacheHits:   m.distCacheHits,
 		DistCacheMisses: m.distCacheMiss,
+		DistPlaneHits:   m.distPlaneHits,
+		DistPlaneMisses: m.distPlaneMiss,
 		Algorithms:      algos,
 	}
 }
